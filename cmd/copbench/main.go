@@ -1,0 +1,96 @@
+// Command copbench regenerates the paper's evaluation: every table and
+// figure, or a selected one.
+//
+// Usage:
+//
+//	copbench -exp all                # everything (minutes)
+//	copbench -exp fig9               # one experiment
+//	copbench -exp fig11 -epochs 8000 # more simulation fidelity
+//	copbench -exp fig9 -format csv   # machine-readable output
+//	copbench -list                   # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cop"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "copbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("copbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		exp      = fs.String("exp", "all", "experiment id or 'all'")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		samples  = fs.Int("samples", 0, "blocks sampled per benchmark (0: default 20000)")
+		aliasN   = fs.Int("alias-samples", 0, "Monte-Carlo samples for alias census (0: default 2e6)")
+		epochs   = fs.Int("epochs", 0, "epochs per core for sim/reliability runs (0: default 3000)")
+		format   = fs.String("format", "text", "output format: text, csv, or chart")
+		chartCol = fs.Int("chart-col", -1, "column to chart in -format chart (negative: from the end)")
+		outPath  = fs.String("o", "", "also write the report(s) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range cop.Experiments() {
+			fmt.Fprintln(stdout, id)
+		}
+		return nil
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(stdout, f)
+	}
+
+	opts := cop.ExperimentOptions{Samples: *samples, AliasSamples: *aliasN, Epochs: *epochs}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = cop.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		r, err := cop.RunExperiment(id, opts)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "csv":
+			fmt.Fprintf(out, "# %s — %s\n%s\n", r.ID, r.Title, r.CSV())
+		case "chart":
+			fmt.Fprintln(out, r.Chart(*chartCol, 48))
+		case "text":
+			fmt.Fprintln(out, r.Format())
+			fmt.Fprintf(out, "(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		default:
+			return fmt.Errorf("unknown -format %q", *format)
+		}
+	}
+	if *exp == "all" && *format != "text" {
+		return nil
+	}
+	if *exp == "all" {
+		fmt.Fprintln(out, strings.Repeat("-", 60))
+		fmt.Fprintln(out, "All experiments regenerated. Paper-vs-measured commentary: EXPERIMENTS.md")
+	}
+	return nil
+}

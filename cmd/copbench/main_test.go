@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig9", "table3", "alias", "relatedwork"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestSingleExperimentText(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "dimmcmp"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "6.7x") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "dimmcmp", "-format", "csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "comparison,exposure ratio") {
+		t.Fatalf("csv output: %s", out)
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "config", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Simulated system configuration") {
+		t.Fatalf("file contents: %.200s", data)
+	}
+	if string(data) == "" || !strings.Contains(sb.String(), "Simulated system configuration") {
+		t.Fatal("stdout should mirror the file")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nope"}, &sb); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if err := run([]string{"-exp", "config", "-format", "xml"}, &sb); err == nil {
+		t.Fatal("unknown format should error")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestChartFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "dimmcmp", "-format", "chart"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "█") {
+		t.Fatalf("chart output:\n%s", sb.String())
+	}
+}

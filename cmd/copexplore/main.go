@@ -1,0 +1,35 @@
+// Command copexplore serves the experiment suite over HTTP: browse every
+// reproducible table and figure, regenerate them live with custom
+// fidelity, download CSVs, and classify your own data through COP's eyes.
+//
+// Usage:
+//
+//	copexplore                 # listen on :8344
+//	copexplore -addr :9000 -samples 5000 -epochs 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"cop"
+	"cop/internal/webui"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8344", "listen address")
+		samples = flag.Int("samples", 5000, "default blocks sampled per benchmark")
+		epochs  = flag.Int("epochs", 800, "default epochs per core")
+		aliasN  = flag.Int("alias-samples", 500000, "default alias Monte-Carlo samples")
+	)
+	flag.Parse()
+
+	srv := webui.NewServer(cop.ExperimentOptions{
+		Samples: *samples, Epochs: *epochs, AliasSamples: *aliasN,
+	})
+	fmt.Printf("copexplore: serving %d experiments on %s\n", len(cop.Experiments()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,171 @@
+// Command copfault runs fault-injection campaigns against the functional
+// protected-memory model: populate memory with a benchmark's content,
+// settle it to DRAM, inject single-bit soft errors, and tally corrected /
+// silent / detected outcomes per protection mode.
+//
+// Usage:
+//
+//	copfault                                   # defaults: gcc, all modes
+//	copfault -bench lbm -blocks 4096 -flips 5000
+//	copfault -mode cop-er -seed 7
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cop"
+	"cop/internal/memctrl"
+	"cop/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "copfault:", err)
+		os.Exit(1)
+	}
+}
+
+var modeNames = map[string]memctrl.Mode{
+	"unprotected":  memctrl.Unprotected,
+	"cop":          memctrl.COP,
+	"cop-er":       memctrl.COPER,
+	"cop-adaptive": memctrl.COPAdaptive,
+	"cop-chipkill": memctrl.COPChipkill,
+	"ecc-region":   memctrl.ECCRegion,
+	"ecc-dimm":     memctrl.ECCDIMM,
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("copfault", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		bench    = fs.String("bench", "gcc", "workload supplying block contents")
+		blocks   = fs.Int("blocks", 2048, "blocks to populate")
+		flips    = fs.Int("flips", 3000, "single-bit faults to inject")
+		mode     = fs.String("mode", "all", "protection mode or 'all' ("+modeList()+")")
+		seed     = fs.Uint64("seed", 0xFA117, "injection PRNG seed")
+		chipFail = fs.Bool("chipfail", false, "inject whole-chip failures instead of single-bit flips")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := workload.Get(*bench)
+	if err != nil {
+		return err
+	}
+
+	var modes []string
+	if *mode == "all" {
+		modes = []string{"unprotected", "cop", "cop-adaptive", "cop-er", "cop-chipkill", "ecc-region", "ecc-dimm"}
+	} else {
+		if _, ok := modeNames[*mode]; !ok {
+			return fmt.Errorf("unknown mode %q (%s)", *mode, modeList())
+		}
+		modes = []string{*mode}
+	}
+
+	kind := "single-bit flips"
+	if *chipFail {
+		kind = "whole-chip failures"
+	}
+	fmt.Fprintf(stdout, "workload=%s blocks=%d faults=%d (%s) seed=%#x\n\n", p.Name, *blocks, *flips, kind, *seed)
+	fmt.Fprintf(stdout, "%-14s %10s %10s %10s %12s\n", "mode", "corrected", "silent", "detected", "silent rate")
+	for _, name := range modes {
+		res, err := campaign(p, modeNames[name], *blocks, *flips, *seed, *chipFail)
+		if err != nil {
+			return err
+		}
+		total := res.corrected + res.silent + res.detected
+		fmt.Fprintf(stdout, "%-14s %10d %10d %10d %11.2f%%\n",
+			name, res.corrected, res.silent, res.detected, 100*float64(res.silent)/float64(total))
+	}
+	return nil
+}
+
+func modeList() string {
+	names := make([]string, 0, len(modeNames))
+	for n := range modeNames {
+		names = append(names, n)
+	}
+	// Deterministic help text.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+type campaignResult struct {
+	corrected, silent, detected int
+}
+
+// xorshift for deterministic injection independent of math/rand.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func campaign(p *workload.Profile, mode memctrl.Mode, blocks, flips int, seed uint64, chipFail bool) (campaignResult, error) {
+	mem := cop.NewMemory(cop.MemoryConfig{Mode: mode, LLCBytes: 64 * 1024, LLCWays: 8})
+	ref := make(map[uint64][]byte, blocks)
+	for i := 0; i < blocks; i++ {
+		addr := uint64(i) * cop.BlockBytes
+		data := p.Block(addr, 0)
+		ref[addr] = data
+		if err := mem.Write(addr, data); err != nil {
+			return campaignResult{}, err
+		}
+	}
+	if err := mem.Flush(); err != nil {
+		return campaignResult{}, err
+	}
+
+	r := &rng{s: seed | 1}
+	var res campaignResult
+	for i := 0; i < flips; i++ {
+		addr := (r.next() % uint64(blocks)) * cop.BlockBytes
+		bit := int(r.next() % (8 * cop.BlockBytes))
+		if chipFail {
+			if !mem.InjectChipFailure(addr, bit%8, byte(r.next())) {
+				continue
+			}
+		} else if !mem.InjectBitFlip(addr, bit) {
+			continue
+		}
+		before := mem.Stats().CorrectedErrors
+		got, err := mem.Read(addr)
+		switch {
+		case err != nil:
+			res.detected++
+		case !bytes.Equal(got, ref[addr]):
+			res.silent++
+		case mem.Stats().CorrectedErrors > before:
+			res.corrected++
+		}
+		// Restore a clean DRAM image for the next trial.
+		mem.LLC().Evict(addr)
+		if !chipFail && err == nil && bytes.Equal(got, ref[addr]) {
+			mem.InjectBitFlip(addr, bit) // undo the latent flip
+		} else {
+			if werr := mem.Write(addr, ref[addr]); werr != nil {
+				return campaignResult{}, werr
+			}
+			if werr := mem.Flush(); werr != nil {
+				return campaignResult{}, werr
+			}
+		}
+	}
+	return res, nil
+}

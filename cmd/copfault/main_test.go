@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCampaignAllModes(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "gcc", "-blocks", "256", "-flips", "300"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, mode := range []string{"unprotected", "cop", "cop-er", "ecc-dimm"} {
+		if !strings.Contains(out, mode) {
+			t.Errorf("missing mode %s:\n%s", mode, out)
+		}
+	}
+	// Unprotected must show a 100% silent rate; COP-ER 0%.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 5 && fields[0] == "unprotected" {
+			if fields[4] != "100.00%" {
+				t.Errorf("unprotected silent rate: %s", fields[4])
+			}
+		}
+		if len(fields) == 5 && fields[0] == "cop-er" {
+			if fields[4] != "0.00%" {
+				t.Errorf("cop-er silent rate: %s", fields[4])
+			}
+		}
+	}
+}
+
+func TestCampaignSingleMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "cop", "-blocks", "128", "-flips", "100"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cop") || strings.Contains(sb.String(), "ecc-dimm") {
+		t.Fatalf("single-mode output wrong:\n%s", sb.String())
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-mode", "cop", "-blocks", "128", "-flips", "200", "-seed", "42"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("campaign not deterministic")
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "nope"}, &sb); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+	if err := run([]string{"-mode", "nope"}, &sb); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}
+
+func TestChipFailureCampaign(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-blocks", "128", "-flips", "120", "-chipfail"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "whole-chip failures") {
+		t.Fatalf("banner missing:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 5 && fields[0] == "cop-chipkill" && fields[4] != "0.00%" {
+			t.Errorf("cop-chipkill silent rate under chip failures: %s", fields[4])
+		}
+		if len(fields) == 5 && fields[0] == "cop" && fields[4] == "0.00%" {
+			t.Errorf("plain cop should not survive chip failures")
+		}
+	}
+}

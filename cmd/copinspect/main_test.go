@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectTextFile(t *testing.T) {
+	data := []byte(strings.Repeat("All ASCII text compresses under TXT. ", 10))
+	path := writeTemp(t, data)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "COP classification:") {
+		t.Fatalf("output: %s", out)
+	}
+	// Every full block is pure ASCII: all protected, TXT catches all.
+	if !strings.Contains(out, "stored raw (unprotected):        0") {
+		t.Fatalf("expected zero raw blocks:\n%s", out)
+	}
+}
+
+func TestInspectPointerData(t *testing.T) {
+	data := make([]byte, 256)
+	for i := 0; i < 32; i++ {
+		binary.BigEndian.PutUint64(data[8*i:], 0x00007F00_00000000|uint64(i))
+	}
+	path := writeTemp(t, data)
+	var sb strings.Builder
+	if err := run([]string{"-v", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "0x00000000  compressed") {
+		t.Fatalf("verbose per-block lines missing:\n%s", out)
+	}
+	if !strings.Contains(out, "msb") {
+		t.Fatal("scheme table missing")
+	}
+}
+
+func TestInspectECC8(t *testing.T) {
+	data := make([]byte, 128)
+	path := writeTemp(t, data) // zero blocks: compressible in both configs
+	var sb strings.Builder
+	if err := run([]string{"-ecc", "8", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "8-byte ECC configuration") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if err := run([]string{"/nonexistent"}, &sb); err == nil {
+		t.Fatal("unreadable file should error")
+	}
+	short := writeTemp(t, []byte("tiny"))
+	if err := run([]string{short}, &sb); err == nil {
+		t.Fatal("short file should error")
+	}
+	ok := writeTemp(t, make([]byte, 64))
+	if err := run([]string{"-ecc", "5", ok}, &sb); err == nil {
+		t.Fatal("bad -ecc should error")
+	}
+}

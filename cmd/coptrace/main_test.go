@@ -1,0 +1,78 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListBenchmarks(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"mcf", "lbm", "canneal", "libquantum"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "* = memory-intensive") {
+		t.Error("legend missing")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "gcc", "-epochs", "200"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"benchmark:        gcc", "L3 misses:", "COP-compressible:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "mcf", "-epochs", "5", "-dump", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "epoch 0:") || !strings.Contains(sb.String(), "miss") {
+		t.Fatalf("dump output: %s", sb.String())
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.copt")
+	var sb strings.Builder
+	if err := run([]string{"-bench", "lbm", "-epochs", "100", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote 100 epochs of lbm") {
+		t.Fatalf("write output: %s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-in", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "benchmark:    lbm") || !strings.Contains(out, "epochs:       100") {
+		t.Fatalf("archive summary: %s", out)
+	}
+}
+
+func TestErrorsTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing -bench should error")
+	}
+	if err := run([]string{"-bench", "doom3"}, &sb); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+	if err := run([]string{"-in", "/nonexistent/file"}, &sb); err == nil {
+		t.Fatal("missing archive should error")
+	}
+}

@@ -1,0 +1,176 @@
+// Package cop is a from-scratch reproduction of "COP: To Compress and
+// Protect Main Memory" (Palframan, Kim, Lipasti — ISCA 2015).
+//
+// COP protects commodity non-ECC DIMMs from soft errors by compressing
+// each 64-byte block just enough to fit SECDED check bits inline — so
+// protection costs no extra DRAM storage and no extra memory accesses —
+// and, uniquely, distinguishes compressed (protected) blocks from raw
+// (incompressible) ones with no tracking metadata at all: the decoder
+// simply counts valid ECC code words. COP-ER extends protection to
+// incompressible blocks through a compact, dynamically grown ECC region.
+//
+// The package offers three levels of API:
+//
+//   - Codec / ERCodec: the block encoder/decoder pair (the paper's
+//     contribution) for callers who manage storage themselves.
+//   - Memory: a functional protected-memory model (LLC + DRAM images +
+//     fault injection) for end-to-end experiments.
+//   - RunExperiment: regenerates any table or figure from the paper's
+//     evaluation.
+//
+// All implementation lives under internal/; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package cop
+
+import (
+	"cop/internal/chipkill"
+	"cop/internal/core"
+	"cop/internal/experiments"
+	"cop/internal/memctrl"
+	"cop/internal/workload"
+)
+
+// Core codec types, re-exported from internal/core.
+type (
+	// Codec encodes 64-byte blocks into self-describing DRAM images and
+	// decodes/corrects them (plain COP: incompressible blocks stay raw).
+	Codec = core.Codec
+	// ERCodec is the COP-ER variant that also protects incompressible
+	// blocks via an ECC region.
+	ERCodec = core.ERCodec
+	// Config selects the code geometry, detection threshold, and
+	// compression scheme.
+	Config = core.Config
+	// StoreStatus reports how a block was (or could not be) stored.
+	StoreStatus = core.StoreStatus
+	// DecodeInfo describes what the decoder observed for one block.
+	DecodeInfo = core.DecodeInfo
+)
+
+// BlockBytes is the DRAM block granularity COP operates on.
+const BlockBytes = core.BlockBytes
+
+// Store statuses (see StoreStatus).
+const (
+	// StoredCompressed: compressed with inline ECC — protected.
+	StoredCompressed = core.StoredCompressed
+	// StoredRaw: incompressible, stored unprotected.
+	StoredRaw = core.StoredRaw
+	// RejectedAlias: incompressible alias; must remain in the LLC.
+	RejectedAlias = core.RejectedAlias
+)
+
+// NoPointer marks the absence of an ECC-region entry in ERCodec calls.
+const NoPointer = core.NoPointer
+
+// Config4 returns the paper's preferred operating point: free 4 bytes,
+// four (128,120) SECDED code words, 3-of-4 detection threshold, combined
+// TXT+MSB+RLE compression.
+func Config4() Config { return core.NewConfig4() }
+
+// Config8 returns the 8-byte operating point: eight (64,56) code words,
+// 5-of-8 threshold, MSB+RLE compression.
+func Config8() Config { return core.NewConfig8() }
+
+// NewCodec builds a COP codec. Use Config4() unless you need the stronger
+// multi-error behaviour (and lower coverage) of Config8().
+func NewCodec(cfg Config) *Codec { return core.NewCodec(cfg) }
+
+// NewERCodec builds a COP-ER codec with a fresh ECC region.
+func NewERCodec(cfg Config) *ERCodec { return core.NewERCodec(cfg) }
+
+// Memory is a functional protected-memory hierarchy (LLC in front of
+// encoded DRAM images) with fault-injection hooks.
+type Memory = memctrl.Controller
+
+// MemoryConfig parameterizes NewMemory.
+type MemoryConfig = memctrl.Config
+
+// Protection modes for NewMemory.
+const (
+	ModeUnprotected = memctrl.Unprotected
+	ModeCOP         = memctrl.COP
+	ModeCOPER       = memctrl.COPER
+	ModeECCRegion   = memctrl.ECCRegion
+	ModeECCDIMM     = memctrl.ECCDIMM
+	ModeCOPAdaptive = memctrl.COPAdaptive
+	ModeCOPChipkill = memctrl.COPChipkill
+)
+
+// NewMemory builds a protected-memory model. The zero MemoryConfig (beyond
+// Mode) gives the paper's 4 MB / 16-way LLC and the Config4 codec.
+func NewMemory(cfg MemoryConfig) *Memory { return memctrl.New(cfg) }
+
+// Workload modeling, re-exported from internal/workload.
+type (
+	// WorkloadProfile models one application: a block-content mixture
+	// plus an access model (footprint, MPKI, locality, perfect-L3 IPC).
+	WorkloadProfile = workload.Profile
+	// ContentMix weights the block-content categories of a profile.
+	ContentMix = workload.ContentMix
+)
+
+// Workloads returns every registered workload profile, name-sorted
+// (the paper's benchmarks plus any custom registrations).
+func Workloads() []*WorkloadProfile { return workload.All() }
+
+// Workload returns one profile by name.
+func Workload(name string) (*WorkloadProfile, error) { return workload.Get(name) }
+
+// RegisterWorkload adds a custom application model usable with traces,
+// experiments helpers, and the simulator.
+func RegisterWorkload(p WorkloadProfile) (*WorkloadProfile, error) {
+	return workload.RegisterCustom(p)
+}
+
+// Extensions beyond the paper's main proposal.
+
+// AdaptiveCodec stores each block in the strongest format it fits (§3.1's
+// "stronger codes for more compressible blocks" option): eight (64,56)
+// words when the block frees 8 bytes, four (128,120) words when it only
+// frees 4, raw otherwise — still with zero tracking metadata.
+type AdaptiveCodec = core.AdaptiveCodec
+
+// NewAdaptiveCodec builds the two-tier codec.
+func NewAdaptiveCodec() *AdaptiveCodec { return core.NewAdaptiveCodec() }
+
+// ChipkillCodec is the paper's future-work extension: compression-funded
+// chip-failure tolerance (per-beat chip parity + CRC validation), able to
+// reconstruct a whole dead ×8 chip in any compressible block.
+type ChipkillCodec = chipkill.Codec
+
+// NewChipkillCodec builds a COP-CK codec.
+func NewChipkillCodec() *ChipkillCodec { return chipkill.New() }
+
+// ChipkillERCodec extends COP-CK to incompressible blocks: dual
+// SEC-protected region pointers (one per chip half) locate entries holding
+// the displaced bits, the chip parity, and a CRC — so *every* block
+// survives a whole-chip failure.
+type ChipkillERCodec = chipkill.ERCodec
+
+// NewChipkillERCodec builds a COP-CK-ER codec with a fresh region.
+func NewChipkillERCodec() *ChipkillERCodec { return chipkill.NewER() }
+
+// FailChip simulates a whole-chip failure on a DRAM image (see
+// internal/chipkill).
+func FailChip(image []byte, chip int, pattern byte) { chipkill.FailChip(image, chip, pattern) }
+
+// Experiment types, re-exported from internal/experiments.
+type (
+	// ExperimentReport is a regenerated paper table/figure.
+	ExperimentReport = experiments.Report
+	// ExperimentOptions trades fidelity for runtime (zero value: full).
+	ExperimentOptions = experiments.Options
+)
+
+// Experiments lists the available experiment ids: every figure and table
+// from the paper (fig1, fig4, fig8, fig9, fig10, fig11, fig12, table3,
+// alias, dimmcmp, config, benchmarks) plus the beyond-the-paper studies
+// (fig10mc, ablations, fieldmodes, relatedwork, sensitivity, energy,
+// census, chipfail).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table or figure.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(id, opts)
+}

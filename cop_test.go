@@ -1,0 +1,121 @@
+package cop_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"cop"
+)
+
+func pointerBlock(rng *rand.Rand) []byte {
+	b := make([]byte, cop.BlockBytes)
+	base := uint64(0x00007FAA_00000000)
+	for i := 0; i < 8; i++ {
+		binary.BigEndian.PutUint64(b[8*i:], base|uint64(rng.Intn(1<<24)))
+	}
+	return b
+}
+
+func TestPublicCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	codec := cop.NewCodec(cop.Config4())
+	block := pointerBlock(rng)
+	image, status := codec.Encode(block)
+	if status != cop.StoredCompressed {
+		t.Fatalf("status = %v", status)
+	}
+	got, info, err := codec.Decode(image)
+	if err != nil || !info.Compressed {
+		t.Fatalf("decode: %v %+v", err, info)
+	}
+	if !bytes.Equal(got, block) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestPublicERCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	er := cop.NewERCodec(cop.Config4())
+	raw := make([]byte, cop.BlockBytes)
+	rng.Read(raw)
+	image, ptr, compressed, err := er.Write(raw, cop.NoPointer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed {
+		t.Skip("random block happened to compress")
+	}
+	if ptr == cop.NoPointer {
+		t.Fatal("incompressible block needs an entry")
+	}
+	got, _, err := er.Read(image)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Fatalf("ER round trip: %v", err)
+	}
+}
+
+func TestPublicMemory(t *testing.T) {
+	mem := cop.NewMemory(cop.MemoryConfig{Mode: cop.ModeCOPER, LLCBytes: 32 * 1024, LLCWays: 8})
+	rng := rand.New(rand.NewSource(3))
+	want := pointerBlock(rng)
+	if err := mem.Write(0x1000, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mem.InjectBitFlip(0x1000, 17)
+	got, err := mem.Read(0x1000)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("fault not corrected: %v", err)
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	ids := cop.Experiments()
+	if len(ids) != 20 {
+		t.Fatalf("expected 20 experiments, got %v", ids)
+	}
+	r, err := cop.RunExperiment("alias", cop.ExperimentOptions{AliasSamples: 50000})
+	if err != nil || len(r.Rows) == 0 {
+		t.Fatalf("alias experiment: %v", err)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	all := cop.Workloads()
+	if len(all) < 30 {
+		t.Fatalf("only %d workloads registered", len(all))
+	}
+	p, err := cop.Workload("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("lookup: %v", err)
+	}
+	custom, err := cop.RegisterWorkload(cop.WorkloadProfile{
+		Name:            "public-api-app",
+		Mix:             cop.ContentMix{Text: 1},
+		FootprintBlocks: 100,
+		MPKI:            1,
+		PerfectIPC:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(custom.Block(0, 0)) != cop.BlockBytes {
+		t.Fatal("custom profile unusable")
+	}
+}
+
+func TestPublicByteAccess(t *testing.T) {
+	mem := cop.NewMemory(cop.MemoryConfig{Mode: cop.ModeCOP, LLCBytes: 8192, LLCWays: 4})
+	msg := []byte("unaligned protected bytes")
+	if err := mem.WriteBytes(0x123, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.ReadBytes(0x123, len(msg))
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("byte access: %v", err)
+	}
+}

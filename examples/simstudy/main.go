@@ -1,0 +1,60 @@
+// Simstudy: drive the interval simulator directly — the programmable
+// counterpart of Figure 11. Pick benchmarks for the four cores, sweep the
+// protection schemes (and a decoder-latency sensitivity), and print
+// normalized IPC.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cop/internal/sim"
+)
+
+func main() {
+	var (
+		benchList = flag.String("bench", "mcf,gcc,lbm,xalancbmk", "comma-separated benchmarks (1 or 4)")
+		epochs    = flag.Int("epochs", 2000, "epochs per core")
+	)
+	flag.Parse()
+	benches := strings.Split(*benchList, ",")
+
+	fmt.Printf("4-core interval simulation, %d epochs/core, workloads: %s\n\n",
+		*epochs, *benchList)
+
+	schemes := []sim.Scheme{sim.Unprotected, sim.COP, sim.COPER, sim.ECCRegion, sim.VECC, sim.ECCDIMM}
+	var base float64
+	fmt.Printf("%-10s %8s %10s %12s %14s\n", "scheme", "IPC", "normalized", "L3 misses", "extra accesses")
+	for _, s := range schemes {
+		cfg := sim.DefaultConfig(s)
+		cfg.EpochsPerCore = *epochs
+		res, err := sim.Run(cfg, benches...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s == sim.Unprotected {
+			base = res.IPC
+		}
+		fmt.Printf("%-10s %8.3f %10.3f %12d %14d\n",
+			s, res.IPC, res.IPC/base, res.Misses, res.ExtraAccesses)
+	}
+
+	fmt.Println("\ndecoder-latency sensitivity (COP):")
+	fmt.Printf("%-12s %10s\n", "latency", "normalized")
+	for _, lat := range []uint64{0, 4, 16, 64} {
+		cfg := sim.DefaultConfig(sim.COP)
+		cfg.EpochsPerCore = *epochs
+		cfg.DecompressLatency = lat
+		if lat == 0 {
+			cfg.DecompressLatency = 1 // 0 means "default"; use 1 as the floor
+		}
+		res, err := sim.Run(cfg, benches...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d %10.3f\n", cfg.DecompressLatency, res.IPC/base)
+	}
+	fmt.Println("\nthe paper's 4-cycle decoder costs ~1% — hidden behind DRAM latency")
+}

@@ -1,0 +1,3 @@
+module cop
+
+go 1.22

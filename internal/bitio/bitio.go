@@ -1,0 +1,191 @@
+// Package bitio provides bit-granularity readers, writers, and bit-vector
+// helpers shared by the ECC codes and compression schemes.
+//
+// All multi-bit fields are serialized MSB-first within each byte: bit index
+// 0 of a buffer is the most significant bit of byte 0. This matches the way
+// the paper's block diagrams number bits left to right and keeps hex dumps
+// readable.
+package bitio
+
+import "fmt"
+
+// Bit returns bit i (MSB-first order) of buf.
+func Bit(buf []byte, i int) int {
+	return int(buf[i>>3]>>(7-uint(i&7))) & 1
+}
+
+// SetBit sets bit i (MSB-first order) of buf to v (0 or 1).
+func SetBit(buf []byte, i int, v int) {
+	mask := byte(1) << (7 - uint(i&7))
+	if v != 0 {
+		buf[i>>3] |= mask
+	} else {
+		buf[i>>3] &^= mask
+	}
+}
+
+// FlipBit inverts bit i (MSB-first order) of buf.
+func FlipBit(buf []byte, i int) {
+	buf[i>>3] ^= byte(1) << (7 - uint(i&7))
+}
+
+// Writer appends bit fields to a byte buffer, MSB-first.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// NewWriter returns a Writer with capacity for capBits bits preallocated.
+func NewWriter(capBits int) *Writer {
+	return &Writer{buf: make([]byte, 0, (capBits+7)/8)}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(v int) {
+	if w.nbit&7 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if v != 0 {
+		w.buf[w.nbit>>3] |= byte(1) << (7 - uint(w.nbit&7))
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v>>uint(i)) & 1)
+	}
+}
+
+// WriteBytes appends all bits of p.
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nbit&7 == 0 {
+		// Fast path: byte aligned.
+		w.buf = append(w.buf, p...)
+		w.nbit += 8 * len(p)
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Bytes returns the written bits padded with zeros to a byte boundary.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// PadTo appends zero bits until exactly n bits have been written. It panics
+// if more than n bits were already written.
+func (w *Writer) PadTo(n int) {
+	if w.nbit > n {
+		panic(fmt.Sprintf("bitio: PadTo(%d) with %d bits already written", n, w.nbit))
+	}
+	for w.nbit < n {
+		w.WriteBit(0)
+	}
+}
+
+// Reader consumes bit fields from a byte buffer, MSB-first.
+type Reader struct {
+	buf  []byte
+	pos  int
+	errd bool
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Pos returns the current bit offset.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return 8*len(r.buf) - r.pos }
+
+// Err reports whether any read ran past the end of the buffer.
+func (r *Reader) Err() bool { return r.errd }
+
+// ReadBit reads one bit, returning 0 and setting the error flag on overrun.
+func (r *Reader) ReadBit() int {
+	if r.pos >= 8*len(r.buf) {
+		r.errd = true
+		return 0
+	}
+	v := Bit(r.buf, r.pos)
+	r.pos++
+	return v
+}
+
+// ReadBits reads n bits (n ≤ 64) as an unsigned value, MSB-first.
+func (r *Reader) ReadBits(n int) uint64 {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.ReadBit())
+	}
+	return v
+}
+
+// ReadBytes reads 8*n bits into a fresh n-byte slice.
+func (r *Reader) ReadBytes(n int) []byte {
+	out := make([]byte, n)
+	if r.pos&7 == 0 && r.pos+8*n <= 8*len(r.buf) {
+		copy(out, r.buf[r.pos>>3:])
+		r.pos += 8 * n
+		return out
+	}
+	for i := range out {
+		out[i] = byte(r.ReadBits(8))
+	}
+	return out
+}
+
+// ExtractBits copies the n bits of src starting at bit offset off into a new
+// buffer, left-aligned (bit 0 of the result is src bit off).
+func ExtractBits(src []byte, off, n int) []byte {
+	out := make([]byte, (n+7)/8)
+	for i := 0; i < n; i++ {
+		if Bit(src, off+i) != 0 {
+			SetBit(out, i, 1)
+		}
+	}
+	return out
+}
+
+// DepositBits copies the first n bits of src into dst starting at bit offset
+// off.
+func DepositBits(dst []byte, off int, src []byte, n int) {
+	for i := 0; i < n; i++ {
+		SetBit(dst, off+i, Bit(src, i))
+	}
+}
+
+// XOR xors src into dst in place; the slices must be the same length.
+func XOR(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("bitio: XOR length mismatch")
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// Parity returns the XOR of all bits in buf (0 or 1).
+func Parity(buf []byte) int {
+	var acc byte
+	for _, b := range buf {
+		acc ^= b
+	}
+	acc ^= acc >> 4
+	acc ^= acc >> 2
+	acc ^= acc >> 1
+	return int(acc & 1)
+}

@@ -1,0 +1,190 @@
+package compress
+
+import (
+	"encoding/binary"
+
+	"cop/internal/bitio"
+)
+
+// BDI implements base-delta-immediate compression (Pekhimenko et al., PACT
+// 2012), the algorithm whose decompression behaviour inspired the paper's
+// MSB scheme. The block is stored as one base value plus per-word deltas;
+// values clustered in magnitude compress well, left-normalized floats and
+// mixed-sign data do not — the weakness Figure 4's shifted-MSB comparison
+// addresses.
+//
+// Encoding: a 4-bit variant tag followed by the variant payload.
+//
+//	0:  all-zero block (tag only)
+//	1:  repeated 8-byte value (tag + 64 bits)
+//	2..7: base+delta with (base, delta) byte sizes
+//	      (8,1) (8,2) (8,4) (4,1) (4,2) (2,1)
+//
+// For base+delta variants the base is the first value and every value's
+// signed delta from the base must fit the delta width.
+type BDI struct{}
+
+// Name implements Scheme.
+func (BDI) Name() string { return "bdi" }
+
+type bdiVariant struct {
+	base, delta int // sizes in bytes
+}
+
+var bdiVariants = []bdiVariant{
+	{8, 1}, {8, 2}, {8, 4}, {4, 1}, {4, 2}, {2, 1},
+}
+
+const bdiTagBits = 4
+
+// bdiSize returns the encoded size in bits of variant v.
+func bdiSize(v bdiVariant) int {
+	n := BlockBytes / v.base
+	return bdiTagBits + 8*v.base + n*8*v.delta
+}
+
+func bdiLoad(block []byte, size, i int) uint64 {
+	switch size {
+	case 8:
+		return binary.BigEndian.Uint64(block[8*i:])
+	case 4:
+		return uint64(binary.BigEndian.Uint32(block[4*i:]))
+	default:
+		return uint64(binary.BigEndian.Uint16(block[2*i:]))
+	}
+}
+
+func bdiStore(block []byte, size, i int, v uint64) {
+	switch size {
+	case 8:
+		binary.BigEndian.PutUint64(block[8*i:], v)
+	case 4:
+		binary.BigEndian.PutUint32(block[4*i:], uint32(v))
+	default:
+		binary.BigEndian.PutUint16(block[2*i:], uint16(v))
+	}
+}
+
+// fitsSigned reports whether the two's-complement difference d (computed in
+// width 8*size bits) fits in a signed deltaBytes-byte field.
+func fitsSigned(d uint64, size, deltaBytes int) bool {
+	w := uint(8 * size)
+	sd := int64(d<<(64-w)) >> (64 - w)
+	limit := int64(1) << uint(8*deltaBytes-1)
+	return sd >= -limit && sd < limit
+}
+
+func bdiAllZero(block []byte) bool {
+	var acc byte
+	for _, b := range block {
+		acc |= b
+	}
+	return acc == 0
+}
+
+func bdiRepeated(block []byte) bool {
+	first := binary.BigEndian.Uint64(block)
+	for i := 1; i < BlockBytes/8; i++ {
+		if binary.BigEndian.Uint64(block[8*i:]) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Compress implements Scheme. It picks the smallest variant that fits the
+// budget.
+func (BDI) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	checkBlock(block)
+	if bdiAllZero(block) && bdiTagBits <= maxBits {
+		w := bitio.NewWriter(bdiTagBits)
+		w.WriteBits(0, bdiTagBits)
+		return w.Bytes(), w.Len(), true
+	}
+	if bdiRepeated(block) && bdiTagBits+64 <= maxBits {
+		w := bitio.NewWriter(bdiTagBits + 64)
+		w.WriteBits(1, bdiTagBits)
+		w.WriteBits(binary.BigEndian.Uint64(block), 64)
+		return w.Bytes(), w.Len(), true
+	}
+	bestTag, bestBits := -1, maxBits+1
+	for tag, v := range bdiVariants {
+		size := bdiSize(v)
+		if size >= bestBits {
+			continue
+		}
+		base := bdiLoad(block, v.base, 0)
+		ok := true
+		for i := 1; i < BlockBytes/v.base; i++ {
+			if !fitsSigned(bdiLoad(block, v.base, i)-base, v.base, v.delta) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			bestTag, bestBits = tag+2, size
+		}
+	}
+	if bestTag < 0 {
+		return nil, 0, false
+	}
+	v := bdiVariants[bestTag-2]
+	base := bdiLoad(block, v.base, 0)
+	w := bitio.NewWriter(bestBits)
+	w.WriteBits(uint64(bestTag), bdiTagBits)
+	w.WriteBits(base, 8*v.base)
+	mask := ^uint64(0)
+	if v.base < 8 {
+		mask = (uint64(1) << uint(8*v.base)) - 1
+	}
+	for i := 0; i < BlockBytes/v.base; i++ {
+		d := (bdiLoad(block, v.base, i) - base) & mask
+		w.WriteBits(d&((uint64(1)<<uint(8*v.delta))-1), 8*v.delta)
+	}
+	return w.Bytes(), w.Len(), true
+}
+
+// Decompress implements Scheme.
+func (BDI) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	r := bitio.NewReader(payload)
+	tag := int(r.ReadBits(bdiTagBits))
+	block := make([]byte, BlockBytes)
+	switch {
+	case tag == 0:
+		if nbits < bdiTagBits {
+			return nil, ErrIncompressible
+		}
+		return block, nil
+	case tag == 1:
+		v := r.ReadBits(64)
+		for i := 0; i < BlockBytes/8; i++ {
+			binary.BigEndian.PutUint64(block[8*i:], v)
+		}
+		if r.Err() || nbits < bdiTagBits+64 {
+			return nil, ErrIncompressible
+		}
+		return block, nil
+	case tag >= 2 && tag < 2+len(bdiVariants):
+		v := bdiVariants[tag-2]
+		if nbits < bdiSize(v) {
+			return nil, ErrIncompressible
+		}
+		base := r.ReadBits(8 * v.base)
+		mask := ^uint64(0)
+		if v.base < 8 {
+			mask = (uint64(1) << uint(8*v.base)) - 1
+		}
+		for i := 0; i < BlockBytes/v.base; i++ {
+			d := r.ReadBits(8 * v.delta)
+			// Sign-extend the delta to the base width.
+			sd := uint64(int64(d<<(64-uint(8*v.delta))) >> (64 - uint(8*v.delta)))
+			bdiStore(block, v.base, i, (base+sd)&mask)
+		}
+		if r.Err() {
+			return nil, ErrIncompressible
+		}
+		return block, nil
+	default:
+		return nil, ErrIncompressible
+	}
+}

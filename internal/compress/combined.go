@@ -1,0 +1,85 @@
+package compress
+
+import "cop/internal/bitio"
+
+// Combined is the paper's hybrid scheme: every compressed block spends two
+// bits selecting which of up to three sub-schemes encoded it, and each
+// sub-scheme is asked to fit in two fewer bits. The 4-byte-ECC evaluation
+// combines TXT+MSB+RLE (Figure 9); the 8-byte one MSB+RLE (Figure 8 —
+// TXT's fixed 448-bit output cannot free 66 bits). FPC is excluded because
+// RLE dominates it with simpler hardware (§4).
+type Combined struct {
+	schemes []Scheme // index = selector value
+}
+
+const combinedSelectorBits = 2
+
+// NewCombined returns the paper's preferred hybrid: selector 0 = MSB
+// (shifted), 1 = RLE, 2 = TXT. TXT drops out naturally at 8-byte budgets.
+func NewCombined() *Combined {
+	return &Combined{schemes: []Scheme{MSB{Shifted: true}, RLE{}, TXT{}}}
+}
+
+// NewCombinedOf builds a hybrid from explicit sub-schemes (at most four,
+// selector width permitting); used by the ablation benchmarks.
+func NewCombinedOf(schemes ...Scheme) *Combined {
+	if len(schemes) == 0 || len(schemes) > 1<<combinedSelectorBits {
+		panic("compress: Combined requires 1..4 sub-schemes")
+	}
+	return &Combined{schemes: schemes}
+}
+
+// Name implements Scheme.
+func (c *Combined) Name() string {
+	n := "combined("
+	for i, s := range c.schemes {
+		if i > 0 {
+			n += "+"
+		}
+		n += s.Name()
+	}
+	return n + ")"
+}
+
+// Compress implements Scheme. Sub-schemes are tried in selector order; the
+// first that fits wins (compression quality is identical for COP — the
+// only question is fit).
+func (c *Combined) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	checkBlock(block)
+	inner := maxBits - combinedSelectorBits
+	if inner <= 0 {
+		return nil, 0, false
+	}
+	for sel, s := range c.schemes {
+		payload, nbits, ok := s.Compress(block, inner)
+		if !ok {
+			continue
+		}
+		w := bitio.NewWriter(combinedSelectorBits + nbits)
+		w.WriteBits(uint64(sel), combinedSelectorBits)
+		r := bitio.NewReader(payload)
+		for i := 0; i < nbits; i++ {
+			w.WriteBit(r.ReadBit())
+		}
+		return w.Bytes(), w.Len(), true
+	}
+	return nil, 0, false
+}
+
+// Decompress implements Scheme.
+func (c *Combined) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	if nbits < combinedSelectorBits {
+		return nil, ErrIncompressible
+	}
+	r := bitio.NewReader(payload)
+	sel := int(r.ReadBits(combinedSelectorBits))
+	if sel >= len(c.schemes) {
+		return nil, ErrIncompressible
+	}
+	innerBits := nbits - combinedSelectorBits
+	inner := bitio.ExtractBits(payload, combinedSelectorBits, innerBits)
+	return c.schemes[sel].Decompress(inner, innerBits, maxBits-combinedSelectorBits)
+}
+
+// Schemes returns the sub-schemes in selector order.
+func (c *Combined) Schemes() []Scheme { return c.schemes }

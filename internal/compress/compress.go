@@ -1,0 +1,92 @@
+// Package compress implements the block-compression schemes COP combines
+// to free just enough space in each 64-byte block for inline ECC check
+// bits: MSB compression (a simplification of BDI, §3.2.1), run-length
+// encoding with 7-bit run metadata (§3.2.3), ASCII text compression
+// (§3.2.4), frequent pattern compression (FPC, evaluated as a baseline,
+// §3.2.2), and base-delta-immediate (BDI, the inspiration for MSB). The
+// Combined scheme picks among TXT/MSB/RLE with a 2-bit selector exactly as
+// the paper's hybrid does.
+//
+// Unlike conventional cache/memory compressors that maximize ratio, every
+// scheme here answers one question: can this block be represented in at
+// most maxBits bits? For COP-4 maxBits is 478 (freeing 34 bits: 32 ECC + 2
+// selector); for COP-8 it is 446 (freeing 66 bits).
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// BlockBytes is the memory block size COP operates on.
+	BlockBytes = 64
+	// BlockBits is BlockBytes in bits.
+	BlockBits = 8 * BlockBytes
+)
+
+// Common target sizes, in bits, derived from the paper's two
+// configurations. Each reserves 2 bits for the combined-scheme selector on
+// top of the ECC check bits.
+const (
+	// MaxBitsCOP4 is the payload budget when freeing 4 bytes of ECC: 512
+	// - 32 (check bits) - 2 (selector) = 478.
+	MaxBitsCOP4 = BlockBits - 32 - 2
+	// MaxBitsCOP8 is the payload budget when freeing 8 bytes of ECC: 512
+	// - 64 (check bits) - 2 (selector) = 446.
+	MaxBitsCOP8 = BlockBits - 64 - 2
+)
+
+// ErrIncompressible is returned by Decompress implementations when handed a
+// payload that could not have been produced by the matching Compress (a
+// programming error or corrupted-beyond-ECC data).
+var ErrIncompressible = errors.New("compress: block is not compressible to the target size")
+
+// A Scheme compresses 64-byte blocks to a bit budget.
+//
+// Compress returns the payload bits (left-aligned in the returned slice)
+// and their exact count, or ok=false when the block cannot be represented
+// within maxBits bits. Decompress inverts Compress given the same maxBits.
+// Every scheme is self-delimiting: nbits may be an upper bound (COP's
+// decoder hands over the full zero-padded data capacity of the block, since
+// no length is stored in DRAM), and implementations must consume only what
+// Compress produced and reconstruct the block exactly.
+type Scheme interface {
+	Name() string
+	Compress(block []byte, maxBits int) (payload []byte, nbits int, ok bool)
+	Decompress(payload []byte, nbits, maxBits int) ([]byte, error)
+}
+
+func checkBlock(block []byte) {
+	if len(block) != BlockBytes {
+		panic(fmt.Sprintf("compress: block must be %d bytes, got %d", BlockBytes, len(block)))
+	}
+}
+
+// need returns how many bits must be freed to fit the budget.
+func need(maxBits int) int { return BlockBits - maxBits }
+
+// Registry returns the named scheme, covering every scheme in the paper's
+// evaluation. It returns nil for unknown names.
+func Registry(name string) Scheme {
+	switch name {
+	case "msb":
+		return MSB{Shifted: true}
+	case "msb-unshifted":
+		return MSB{Shifted: false}
+	case "rle":
+		return RLE{}
+	case "txt":
+		return TXT{}
+	case "fpc":
+		return FPC{}
+	case "bdi":
+		return BDI{}
+	case "cpack":
+		return CPACK{}
+	case "combined":
+		return NewCombined()
+	default:
+		return nil
+	}
+}

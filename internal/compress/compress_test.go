@@ -1,0 +1,933 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip asserts Compress→Decompress restores the block exactly.
+func roundTrip(t *testing.T, s Scheme, block []byte, maxBits int) {
+	t.Helper()
+	payload, nbits, ok := s.Compress(block, maxBits)
+	if !ok {
+		t.Fatalf("%s: block unexpectedly incompressible at %d bits", s.Name(), maxBits)
+	}
+	if nbits > maxBits {
+		t.Fatalf("%s: payload %d bits exceeds budget %d", s.Name(), nbits, maxBits)
+	}
+	got, err := s.Decompress(payload, nbits, maxBits)
+	if err != nil {
+		t.Fatalf("%s: decompress: %v", s.Name(), err)
+	}
+	if !bytes.Equal(got, block) {
+		t.Fatalf("%s: round trip mismatch\n got %x\nwant %x", s.Name(), got, block)
+	}
+}
+
+func mustIncompressible(t *testing.T, s Scheme, block []byte, maxBits int) {
+	t.Helper()
+	if _, _, ok := s.Compress(block, maxBits); ok {
+		t.Fatalf("%s: block should be incompressible at %d bits", s.Name(), maxBits)
+	}
+}
+
+// Data generators ------------------------------------------------------------
+
+func zeroBlock() []byte { return make([]byte, BlockBytes) }
+
+func pointerBlock(rng *rand.Rand) []byte {
+	// Eight 64-bit pointers into the same heap region: high bits shared.
+	b := make([]byte, BlockBytes)
+	base := uint64(0x00007F3A_40000000)
+	for i := 0; i < 8; i++ {
+		binary.BigEndian.PutUint64(b[8*i:], base|uint64(rng.Intn(1<<26)))
+	}
+	return b
+}
+
+func floatBlock(rng *rand.Rand, mixedSign bool) []byte {
+	// Eight float64s with similar exponents; optionally mixed signs.
+	b := make([]byte, BlockBytes)
+	for i := 0; i < 8; i++ {
+		v := 1000.0 + 500.0*rng.Float64()
+		if mixedSign && rng.Intn(2) == 0 {
+			v = -v
+		}
+		bits := uint64(0)
+		if v < 0 {
+			bits = 1 << 63
+			v = -v
+		}
+		// Build the IEEE754 representation by hand to stay stdlib-math free.
+		bits |= floatBits(v) &^ (1 << 63)
+		binary.BigEndian.PutUint64(b[8*i:], bits)
+	}
+	return b
+}
+
+func floatBits(v float64) uint64 {
+	var buf [8]byte
+	u := uint64(0)
+	// math.Float64bits without importing math: encode via a conversion
+	// trick is not possible in pure Go; approximate with a manual
+	// normalization. For test data exactness is irrelevant — only shared
+	// exponents matter — so synthesize exponent+mantissa directly.
+	exp := 0
+	for v >= 2 {
+		v /= 2
+		exp++
+	}
+	for v < 1 {
+		v *= 2
+		exp--
+	}
+	mant := uint64((v - 1) * (1 << 52))
+	u = uint64(exp+1023)<<52 | mant
+	binary.BigEndian.PutUint64(buf[:], u)
+	return u
+}
+
+func textBlock(rng *rand.Rand) []byte {
+	const corpus = "The quick brown fox jumps over the lazy dog 0123456789. "
+	b := make([]byte, BlockBytes)
+	off := rng.Intn(len(corpus))
+	for i := range b {
+		b[i] = corpus[(off+i)%len(corpus)]
+	}
+	return b
+}
+
+func randomBlock(rng *rand.Rand) []byte {
+	b := make([]byte, BlockBytes)
+	rng.Read(b)
+	return b
+}
+
+func smallIntBlock(rng *rand.Rand) []byte {
+	// Sixteen 32-bit integers, each small (sign-extending from <=8 bits).
+	b := make([]byte, BlockBytes)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(int32(rng.Intn(256)-128)))
+	}
+	return b
+}
+
+// MSB ------------------------------------------------------------------------
+
+func TestMSBWidth(t *testing.T) {
+	s := MSB{Shifted: true}
+	if m := s.width(MaxBitsCOP4); m != 5 {
+		t.Fatalf("COP-4 MSB width = %d, want 5 (paper: 5 MSBs free 35 bits)", m)
+	}
+	if m := s.width(MaxBitsCOP8); m != 10 {
+		t.Fatalf("COP-8 MSB width = %d, want 10", m)
+	}
+}
+
+func TestMSBPointerBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		roundTrip(t, MSB{Shifted: true}, pointerBlock(rng), MaxBitsCOP4)
+		roundTrip(t, MSB{Shifted: false}, pointerBlock(rng), MaxBitsCOP4)
+		roundTrip(t, MSB{Shifted: true}, pointerBlock(rng), MaxBitsCOP8)
+	}
+}
+
+func TestMSBExactSaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, nbits, ok := MSB{Shifted: true}.Compress(pointerBlock(rng), MaxBitsCOP4)
+	if !ok || nbits != BlockBits-35 {
+		t.Fatalf("COP-4 MSB payload = %d bits, want %d (frees exactly 35)", nbits, BlockBits-35)
+	}
+}
+
+func TestMSBShiftHelpsMixedSignFloats(t *testing.T) {
+	// The Figure 4 effect: shifting the comparison window off the sign
+	// bit lets mixed-sign same-magnitude floats compress.
+	rng := rand.New(rand.NewSource(3))
+	shiftWins := 0
+	for trial := 0; trial < 100; trial++ {
+		b := floatBlock(rng, true)
+		_, _, shifted := MSB{Shifted: true}.Compress(b, MaxBitsCOP4)
+		_, _, unshifted := MSB{Shifted: false}.Compress(b, MaxBitsCOP4)
+		if unshifted && !shifted {
+			t.Fatal("unshifted compressed a block shifted could not — shift should only widen coverage here")
+		}
+		if shifted && !unshifted {
+			shiftWins++
+		}
+	}
+	if shiftWins == 0 {
+		t.Fatal("shifted comparison never beat unshifted on mixed-sign floats")
+	}
+}
+
+func TestMSBMixedSignRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		b := floatBlock(rng, true)
+		if _, _, ok := (MSB{Shifted: true}).Compress(b, MaxBitsCOP4); ok {
+			roundTrip(t, MSB{Shifted: true}, b, MaxBitsCOP4)
+		}
+	}
+}
+
+func TestMSBIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	found := false
+	for trial := 0; trial < 20; trial++ {
+		b := randomBlock(rng)
+		if _, _, ok := (MSB{Shifted: true}).Compress(b, MaxBitsCOP4); !ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("random blocks should essentially never be MSB-compressible")
+	}
+}
+
+func TestMSBDecompressWrongSize(t *testing.T) {
+	if _, err := (MSB{Shifted: true}).Decompress(make([]byte, 60), 100, MaxBitsCOP4); err == nil {
+		t.Fatal("expected error for wrong payload size")
+	}
+}
+
+// RLE ------------------------------------------------------------------------
+
+func TestRLEBasic(t *testing.T) {
+	b := randomBlock(rand.New(rand.NewSource(6)))
+	// Plant two 3-byte zero runs at aligned offsets: nets 34 bits.
+	copy(b[0:3], []byte{0, 0, 0})
+	copy(b[8:11], []byte{0, 0, 0})
+	roundTrip(t, RLE{}, b, MaxBitsCOP4)
+}
+
+func TestRLEOnesRuns(t *testing.T) {
+	b := randomBlock(rand.New(rand.NewSource(7)))
+	copy(b[10:13], []byte{0xFF, 0xFF, 0xFF})
+	copy(b[20:23], []byte{0xFF, 0xFF, 0xFF})
+	roundTrip(t, RLE{}, b, MaxBitsCOP4)
+}
+
+func TestRLETwoByteRunsOnly(t *testing.T) {
+	b := randomBlock(rand.New(rand.NewSource(8)))
+	// Four 2-byte runs: 4*9 = 36 >= 34. Ensure no accidental 3-byte runs.
+	for i, off := range []int{0, 8, 16, 24} {
+		v := byte(0x00)
+		if i%2 == 1 {
+			v = 0xFF
+		}
+		b[off], b[off+1] = v, v
+		if b[off+2] == v {
+			b[off+2] = v ^ 0x55
+		}
+	}
+	payload, nbits, ok := RLE{}.Compress(b, MaxBitsCOP4)
+	if !ok {
+		t.Fatal("four 2-byte runs should free 36 bits")
+	}
+	got, err := RLE{}.Decompress(payload, nbits, MaxBitsCOP4)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestRLEInsufficientRuns(t *testing.T) {
+	b := randomBlock(rand.New(rand.NewSource(9)))
+	// One 3-byte run (17) + one 2-byte run (9) = 26 < 34.
+	for i := range b {
+		if b[i] == 0 || b[i] == 0xFF {
+			b[i] = 0x5A
+		}
+	}
+	copy(b[0:3], []byte{0, 0, 0})
+	b[4], b[5] = 0xFF, 0xFF
+	if b[6] == 0xFF {
+		b[6] = 1
+	}
+	mustIncompressible(t, RLE{}, b, MaxBitsCOP4)
+}
+
+func TestRLEZeroBlock(t *testing.T) {
+	roundTrip(t, RLE{}, zeroBlock(), MaxBitsCOP4)
+	roundTrip(t, RLE{}, zeroBlock(), MaxBitsCOP8)
+}
+
+func TestRLEStopRuleMinimalRuns(t *testing.T) {
+	// A block with many runs: the encoder must stop once >= need and the
+	// decoder must agree on the metadata/data boundary.
+	b := randomBlock(rand.New(rand.NewSource(10)))
+	for _, off := range []int{0, 4, 8, 12, 16, 20} {
+		b[off], b[off+1], b[off+2] = 0, 0, 0
+	}
+	payload, nbits, ok := RLE{}.Compress(b, MaxBitsCOP4)
+	if !ok {
+		t.Fatal("compressible block rejected")
+	}
+	// need=34 → two 3-byte runs (2*17=34) suffice: metadata is 14 bits,
+	// data is 58 bytes → 478 total.
+	if want := 14 + 8*58; nbits != want {
+		t.Fatalf("payload = %d bits, want %d (exactly two runs encoded)", nbits, want)
+	}
+	got, err := RLE{}.Decompress(payload, nbits, MaxBitsCOP4)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestRLEUnalignedRunsNotUsable(t *testing.T) {
+	b := randomBlock(rand.New(rand.NewSource(11)))
+	for i := range b {
+		if b[i] == 0 || b[i] == 0xFF {
+			b[i] = 0x33
+		}
+	}
+	// Runs starting at odd offsets only: scanner must not use byte 1..3.
+	b[1], b[2], b[3] = 0, 0, 0
+	b[7], b[8], b[9] = 0, 0, 0 // 8 is aligned: usable as a 2-byte run at most
+	if _, _, ok := (RLE{}).Compress(b, MaxBitsCOP4); ok {
+		t.Fatal("9+...: misaligned runs alone must not reach 34 bits")
+	}
+}
+
+// TXT ------------------------------------------------------------------------
+
+func TestTXTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		roundTrip(t, TXT{}, textBlock(rng), MaxBitsCOP4)
+	}
+}
+
+func TestTXTUTF16(t *testing.T) {
+	// ASCII-as-UTF-16: alternating char / 0x00 bytes are all < 0x80.
+	b := make([]byte, BlockBytes)
+	for i := 0; i < BlockBytes; i += 2 {
+		b[i] = byte('A' + i%26)
+	}
+	roundTrip(t, TXT{}, b, MaxBitsCOP4)
+}
+
+func TestTXTRejectsNonASCII(t *testing.T) {
+	b := textBlock(rand.New(rand.NewSource(13)))
+	b[63] = 0x80
+	mustIncompressible(t, TXT{}, b, MaxBitsCOP4)
+}
+
+func TestTXTCannotMeetCOP8Budget(t *testing.T) {
+	// 448-bit output > 446-bit budget: the reason Figure 8 has no TXT.
+	mustIncompressible(t, TXT{}, textBlock(rand.New(rand.NewSource(14))), MaxBitsCOP8)
+}
+
+func TestTXTPayloadBits(t *testing.T) {
+	_, nbits, ok := TXT{}.Compress(textBlock(rand.New(rand.NewSource(15))), MaxBitsCOP4)
+	if !ok || nbits != 448 {
+		t.Fatalf("TXT payload = %d bits, want 448", nbits)
+	}
+}
+
+// FPC ------------------------------------------------------------------------
+
+func TestFPCPatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		word uint32
+		bits int // payload bits excluding prefix
+	}{
+		{"zero", 0, 0},
+		{"4bit", 0xFFFFFFF9, 4},
+		{"4bit-pos", 0x00000007, 4},
+		{"8bit", 0xFFFFFF85, 8},
+		{"16bit", 0xFFFF8001, 16},
+		{"zero-padded", 0xABCD0000, 16},
+		{"two-halfwords", 0x007FFF85, 16},
+		{"repeated", 0x5A5A5A5A, 8},
+		{"uncompressed", 0x12345678, 32},
+	}
+	for _, tc := range cases {
+		_, n := fpcClassify(tc.word)
+		if n != tc.bits {
+			t.Errorf("%s (%#x): payload %d bits, want %d", tc.name, tc.word, n, tc.bits)
+		}
+	}
+}
+
+func TestFPCRoundTripPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	words := []uint32{0, 0xFFFFFFF9, 7, 0xFFFFFF85, 0xFFFF8001, 0xABCD0000,
+		0x007FFF85, 0x5A5A5A5A, 0x12345678, 0xFF80007F}
+	for trial := 0; trial < 50; trial++ {
+		b := make([]byte, BlockBytes)
+		for i := 0; i < 16; i++ {
+			binary.BigEndian.PutUint32(b[4*i:], words[rng.Intn(len(words))])
+		}
+		if (FPC{}).CompressedBits(b) <= MaxBitsCOP4 {
+			roundTrip(t, FPC{}, b, MaxBitsCOP4)
+		}
+	}
+}
+
+func TestFPCMetadataOverheadVsRLE(t *testing.T) {
+	// The paper's §3.2.2 point: a block whose only redundancy is a few
+	// short zero runs compresses under RLE but not FPC (48-bit metadata).
+	b := randomBlock(rand.New(rand.NewSource(17)))
+	// Make sure no word is FPC-compressible.
+	for i := 0; i < 16; i++ {
+		v := binary.BigEndian.Uint32(b[4*i:])
+		if _, n := fpcClassify(v); n != 32 {
+			binary.BigEndian.PutUint32(b[4*i:], 0x12345678+uint32(i)*0x01010101)
+		}
+	}
+	copy(b[0:3], []byte{0, 0, 0})
+	copy(b[8:11], []byte{0, 0, 0})
+	// Those planted zero runs make words 0 and 2 partially compressible
+	// under FPC (zero-padded pattern needs the *low* half zero — offset
+	// 0..2 zeros the high bytes, so pattern 100 does not fire).
+	if _, _, ok := (FPC{}).Compress(b, MaxBitsCOP4); ok {
+		t.Skip("data accidentally FPC-compressible; irrelevant layout")
+	}
+	if _, _, ok := (RLE{}).Compress(b, MaxBitsCOP4); !ok {
+		t.Fatal("RLE should compress the planted runs")
+	}
+}
+
+func TestFPCSmallInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 20; trial++ {
+		roundTrip(t, FPC{}, smallIntBlock(rng), MaxBitsCOP4)
+	}
+}
+
+func TestFPCCompressedBitsZeroBlock(t *testing.T) {
+	if got := (FPC{}).CompressedBits(zeroBlock()); got != 48 {
+		t.Fatalf("zero block FPC size = %d bits, want 48 (metadata only)", got)
+	}
+}
+
+// BDI ------------------------------------------------------------------------
+
+func TestBDIZeroAndRepeated(t *testing.T) {
+	roundTrip(t, BDI{}, zeroBlock(), MaxBitsCOP4)
+	b := make([]byte, BlockBytes)
+	for i := 0; i < 8; i++ {
+		binary.BigEndian.PutUint64(b[8*i:], 0xDEADBEEFCAFEF00D)
+	}
+	roundTrip(t, BDI{}, b, MaxBitsCOP4)
+}
+
+func TestBDIBaseDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		b := make([]byte, BlockBytes)
+		base := rng.Uint64()
+		for i := 0; i < 8; i++ {
+			binary.BigEndian.PutUint64(b[8*i:], base+uint64(int64(rng.Intn(255)-127)))
+		}
+		roundTrip(t, BDI{}, b, MaxBitsCOP4)
+	}
+}
+
+func TestBDINegativeDeltas(t *testing.T) {
+	b := make([]byte, BlockBytes)
+	base := uint64(0x1000)
+	deltas := []int64{0, -100, 100, -128, 127, -1, 1, 50}
+	for i, d := range deltas {
+		binary.BigEndian.PutUint64(b[8*i:], base+uint64(d))
+	}
+	payload, nbits, ok := BDI{}.Compress(b, MaxBitsCOP4)
+	if !ok {
+		t.Fatal("8-byte base 1-byte delta block rejected")
+	}
+	if want := 4 + 64 + 8*8; nbits != want {
+		t.Fatalf("BDI(8,1) size = %d, want %d", nbits, want)
+	}
+	got, err := BDI{}.Decompress(payload, nbits, MaxBitsCOP4)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestBDIIncompressibleRandom(t *testing.T) {
+	mustIncompressible(t, BDI{}, randomBlock(rand.New(rand.NewSource(20))), MaxBitsCOP4)
+}
+
+func TestBDIWraparoundDelta(t *testing.T) {
+	// Deltas that wrap modulo 2^16 in the (2,1) variant.
+	b := make([]byte, BlockBytes)
+	for i := 0; i < 32; i++ {
+		binary.BigEndian.PutUint16(b[2*i:], uint16(0xFFF0+uint16(i))) // crosses 0xFFFF
+	}
+	if _, _, ok := (BDI{}).Compress(b, MaxBitsCOP4); ok {
+		roundTrip(t, BDI{}, b, MaxBitsCOP4)
+	}
+}
+
+// Combined ---------------------------------------------------------------
+
+func TestCombinedSelectsEachScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := NewCombined()
+
+	pb := pointerBlock(rng)
+	payload, nbits, ok := c.Compress(pb, 480)
+	if !ok {
+		t.Fatal("pointer block should compress")
+	}
+	if payload[0]>>6 != 0 {
+		t.Fatalf("pointer block selector = %d, want 0 (MSB)", payload[0]>>6)
+	}
+	roundTripCombined(t, c, pb, 480)
+	_ = nbits
+
+	// RLE-only block: break MSB by varying the high bits, plant runs.
+	rb := randomBlock(rng)
+	binary.BigEndian.PutUint64(rb[0:], 0x0123456789ABCDEF)
+	binary.BigEndian.PutUint64(rb[8:], 0xFEDCBA9876543210)
+	copy(rb[16:19], []byte{0, 0, 0})
+	copy(rb[24:27], []byte{0, 0, 0})
+	payload, _, ok = c.Compress(rb, 480)
+	if !ok {
+		t.Fatal("run block should compress")
+	}
+	if payload[0]>>6 != 1 {
+		t.Fatalf("run block selector = %d, want 1 (RLE)", payload[0]>>6)
+	}
+	roundTripCombined(t, c, rb, 480)
+
+	// Text block with no runs and differing MSBs.
+	tb := textBlock(rng)
+	tb[0], tb[8], tb[16] = 'a', 'Z', '0' // vary 8-byte word MSBs? they are all ASCII
+	payload, _, ok = c.Compress(tb, 480)
+	if !ok {
+		t.Fatal("text block should compress")
+	}
+	roundTripCombined(t, c, tb, 480)
+}
+
+func roundTripCombined(t *testing.T, c *Combined, block []byte, maxBits int) {
+	t.Helper()
+	payload, nbits, ok := c.Compress(block, maxBits)
+	if !ok {
+		t.Fatal("combined: incompressible")
+	}
+	if nbits > maxBits {
+		t.Fatalf("combined: %d bits > budget %d", nbits, maxBits)
+	}
+	got, err := c.Decompress(payload, nbits, maxBits)
+	if err != nil {
+		t.Fatalf("combined decompress: %v", err)
+	}
+	if !bytes.Equal(got, block) {
+		t.Fatal("combined round trip mismatch")
+	}
+}
+
+func TestCombinedIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := NewCombined()
+	incompressible := 0
+	for trial := 0; trial < 50; trial++ {
+		if _, _, ok := c.Compress(randomBlock(rng), 480); !ok {
+			incompressible++
+		}
+	}
+	if incompressible < 40 {
+		t.Fatalf("only %d/50 random blocks incompressible; combined scheme too permissive", incompressible)
+	}
+}
+
+func TestCombinedCOP8ExcludesTXT(t *testing.T) {
+	// At the COP-8 budget the TXT sub-scheme can never fire.
+	c := NewCombined()
+	tb := textBlock(rand.New(rand.NewSource(23)))
+	// Remove other redundancy: vary MSBs per word and kill runs.
+	for i := 0; i < 8; i++ {
+		tb[8*i] = byte('A' + i*7) // 'A'..'~' vary top bits within ASCII
+	}
+	payload, _, ok := c.Compress(tb, 448)
+	if ok && payload[0]>>6 == 2 {
+		t.Fatal("TXT selected at a budget it cannot meet")
+	}
+}
+
+func TestNewCombinedOfValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty scheme list should panic")
+		}
+	}()
+	NewCombinedOf()
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"msb", "msb-unshifted", "rle", "txt", "fpc", "bdi", "cpack", "combined"} {
+		if Registry(name) == nil {
+			t.Errorf("Registry(%q) = nil", name)
+		}
+	}
+	if Registry("nope") != nil {
+		t.Error("Registry should return nil for unknown names")
+	}
+}
+
+// Cross-scheme property tests -------------------------------------------
+
+func TestAllSchemesRoundTripQuick(t *testing.T) {
+	schemes := []Scheme{MSB{Shifted: true}, MSB{Shifted: false}, RLE{}, TXT{}, FPC{}, BDI{}, NewCombined()}
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var block []byte
+		switch kind % 6 {
+		case 0:
+			block = zeroBlock()
+		case 1:
+			block = pointerBlock(rng)
+		case 2:
+			block = floatBlock(rng, true)
+		case 3:
+			block = textBlock(rng)
+		case 4:
+			block = smallIntBlock(rng)
+		default:
+			block = randomBlock(rng)
+		}
+		for _, s := range schemes {
+			for _, budget := range []int{MaxBitsCOP4, MaxBitsCOP8, 480, 448} {
+				payload, nbits, ok := s.Compress(block, budget)
+				if !ok {
+					continue
+				}
+				if nbits > budget {
+					return false
+				}
+				got, err := s.Decompress(payload, nbits, budget)
+				if err != nil || !bytes.Equal(got, block) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemesPanicOnBadBlockSize(t *testing.T) {
+	for _, s := range []Scheme{MSB{Shifted: true}, RLE{}, TXT{}, FPC{}, BDI{}, NewCombined()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on short block", s.Name())
+				}
+			}()
+			s.Compress(make([]byte, 32), MaxBitsCOP4)
+		}()
+	}
+}
+
+// Boundary and edge-case tests ------------------------------------------
+
+func TestRLERunsAtBlockEnd(t *testing.T) {
+	// A 3-byte run can start at offset 60 (bytes 60-62) but offset 62
+	// only fits a 2-byte run; the scanner must respect the boundary.
+	b := randomBlock(rand.New(rand.NewSource(70)))
+	for i := range b {
+		if b[i] == 0 || b[i] == 0xFF {
+			b[i] = 0x42
+		}
+	}
+	copy(b[60:63], []byte{0, 0, 0})
+	b[62], b[63] = 0, 0 // bytes 60..63 all zero: runs at 60 (3B)... and 62?
+	copy(b[0:3], []byte{0xFF, 0xFF, 0xFF})
+	payload, nbits, ok := RLE{}.Compress(b, MaxBitsCOP4)
+	if !ok {
+		t.Fatal("end-of-block runs not found")
+	}
+	got, err := RLE{}.Decompress(payload, nbits, MaxBitsCOP4)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestRLEDecompressRejectsOutOfRangeRun(t *testing.T) {
+	// Craft metadata describing a 3-byte run at word offset 31 (bytes
+	// 62-64): out of range, must be rejected.
+	w := []byte{0b01111110, 0}
+	if _, err := (RLE{}).Decompress(w, 478, MaxBitsCOP4); err == nil {
+		t.Fatal("out-of-range run accepted")
+	}
+}
+
+func TestRLEDecompressRejectsOverlappingRuns(t *testing.T) {
+	// Two 3-byte zero runs both at offset 0: overlap, must be rejected.
+	// Chunk = [value:1][len:1][off:5] = 0b0100000, twice, then data.
+	payload := make([]byte, 60)
+	payload[0] = 0b01000000 | 0b0100000>>6 // first chunk + start of second
+	payload[0] = 0x41                      // 0b0100000 1 -> chunk1=0100000, next bit 1
+	// Simpler: build with a writer.
+	wtr := newTestWriter()
+	wtr.bits(0b0100000, 7) // run A: zeros, 3 bytes, offset 0
+	wtr.bits(0b0100000, 7) // run B: identical -> overlap
+	for i := 0; i < 58; i++ {
+		wtr.bits(uint64(i), 8)
+	}
+	if _, err := (RLE{}).Decompress(wtr.bytes(), 478, MaxBitsCOP4); err == nil {
+		t.Fatal("overlapping runs accepted")
+	}
+}
+
+// minimal bit writer for crafting malformed payloads in tests.
+type testWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func newTestWriter() *testWriter { return &testWriter{} }
+
+func (w *testWriter) bits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v>>uint(i)&1 != 0 {
+			w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+		}
+		w.nbit++
+	}
+}
+
+func (w *testWriter) bytes() []byte { return w.buf }
+
+func TestMSBFullBudgetDegenerate(t *testing.T) {
+	// maxBits = 512 means nothing must be freed: every block trivially
+	// "compresses" with m=0 and round trips.
+	s := MSB{Shifted: true}
+	b := randomBlock(rand.New(rand.NewSource(71)))
+	payload, nbits, ok := s.Compress(b, BlockBits)
+	if !ok || nbits != BlockBits {
+		t.Fatalf("degenerate MSB: ok=%v nbits=%d", ok, nbits)
+	}
+	got, err := s.Decompress(payload, nbits, BlockBits)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("degenerate round trip: %v", err)
+	}
+}
+
+func TestMSBWidthClamped(t *testing.T) {
+	// An absurd budget cannot push the width past the word size.
+	s := MSB{Shifted: true}
+	if m := s.width(10); m > 63 {
+		t.Fatalf("shifted width %d exceeds 63", m)
+	}
+	u := MSB{Shifted: false}
+	if m := u.width(10); m > 64 {
+		t.Fatalf("unshifted width %d exceeds 64", m)
+	}
+}
+
+func TestCombinedSelectorOrderStable(t *testing.T) {
+	// The selector values are an on-DRAM format: scheme order must stay
+	// MSB=0, RLE=1, TXT=2 for NewCombined.
+	c := NewCombined()
+	names := []string{"msb", "rle", "txt"}
+	for i, s := range c.Schemes() {
+		if s.Name() != names[i] {
+			t.Fatalf("selector %d = %s, want %s", i, s.Name(), names[i])
+		}
+	}
+}
+
+func TestBDISizeOrdering(t *testing.T) {
+	// Variant sizes must be consistent with their parameters, and the
+	// compressor must pick the smallest feasible one.
+	b := make([]byte, BlockBytes)
+	for i := 0; i < 32; i++ {
+		binary.BigEndian.PutUint16(b[2*i:], uint16(1000+i)) // (2,1) fits
+	}
+	payload, nbits, ok := BDI{}.Compress(b, BlockBits)
+	if !ok {
+		t.Fatal("(2,1) data rejected")
+	}
+	if want := 4 + 16 + 32*8; nbits != want {
+		t.Fatalf("BDI picked %d bits, want (2,1)'s %d", nbits, want)
+	}
+	got, err := BDI{}.Decompress(payload, nbits, BlockBits)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestFPCAllWordsEveryPatternRoundTrip(t *testing.T) {
+	// One block containing every FPC pattern class exactly.
+	words := []uint32{
+		0,          // zero
+		0xFFFFFFF8, // 4-bit
+		0x0000007F, // 8-bit
+		0xFFFF8000, // 16-bit
+		0x12340000, // zero-padded halfword
+		0xFF80007F, // two sign-extended bytes
+		0xABABABAB, // repeated
+		0xDEADBEEF, // uncompressed
+	}
+	b := make([]byte, BlockBytes)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(b[4*i:], words[i%len(words)])
+	}
+	roundTrip(t, FPC{}, b, BlockBits)
+}
+
+func TestDecompressGarbagePayloadsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	schemes := []Scheme{MSB{Shifted: true}, RLE{}, TXT{}, FPC{}, BDI{}, NewCombined()}
+	for trial := 0; trial < 500; trial++ {
+		payload := make([]byte, rng.Intn(61))
+		rng.Read(payload)
+		nbits := rng.Intn(8*len(payload) + 1)
+		for _, s := range schemes {
+			b, err := s.Decompress(payload, nbits, MaxBitsCOP4)
+			if err == nil && len(b) != BlockBytes {
+				t.Fatalf("%s: accepted garbage with %d-byte result", s.Name(), len(b))
+			}
+		}
+	}
+}
+
+// C-PACK ------------------------------------------------------------------
+
+func TestCPACKZeroAndSmall(t *testing.T) {
+	roundTrip(t, CPACK{}, zeroBlock(), MaxBitsCOP4)
+	b := make([]byte, BlockBytes)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(i*15)) // all ≤ 0xFF
+	}
+	roundTrip(t, CPACK{}, b, MaxBitsCOP4)
+}
+
+func TestCPACKDictionaryMatches(t *testing.T) {
+	// Repeated and near-repeated words exercise full and partial matches.
+	b := make([]byte, BlockBytes)
+	words := []uint32{0xDEADBEEF, 0xDEADBE00, 0xDEAD1234, 0xDEADBEEF,
+		0xCAFEF00D, 0xCAFEF011, 0xDEADBEEF, 0xCAFE5678}
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint32(b[4*i:], words[i%len(words)])
+	}
+	roundTrip(t, CPACK{}, b, MaxBitsCOP4)
+}
+
+func TestCPACKPointerBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 30; trial++ {
+		b := pointerBlock(rng)
+		if _, _, ok := (CPACK{}).Compress(b, MaxBitsCOP4); ok {
+			roundTrip(t, CPACK{}, b, MaxBitsCOP4)
+		}
+	}
+}
+
+func TestCPACKIncompressibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	rejected := 0
+	for trial := 0; trial < 30; trial++ {
+		if _, _, ok := (CPACK{}).Compress(randomBlock(rng), MaxBitsCOP4); !ok {
+			rejected++
+		}
+	}
+	if rejected < 25 {
+		t.Fatalf("only %d/30 random blocks rejected", rejected)
+	}
+}
+
+func TestCPACKQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b []byte
+		switch kind % 4 {
+		case 0:
+			b = smallIntBlock(rng)
+		case 1:
+			b = pointerBlock(rng)
+		case 2:
+			b = zeroBlock()
+		default:
+			b = randomBlock(rng)
+		}
+		payload, nbits, ok := CPACK{}.Compress(b, MaxBitsCOP4)
+		if !ok {
+			return true
+		}
+		got, err := CPACK{}.Decompress(payload, nbits, MaxBitsCOP4)
+		return err == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPACKGarbageRejected(t *testing.T) {
+	// Dictionary index past the valid count must be rejected.
+	w := newTestWriter()
+	w.bits(0b10, 2)   // full match...
+	w.bits(0b1111, 4) // ...index 15 into an empty dictionary
+	if _, err := (CPACK{}).Decompress(w.bytes(), 478, MaxBitsCOP4); err == nil {
+		t.Fatal("empty-dictionary reference accepted")
+	}
+	w2 := newTestWriter()
+	w2.bits(0b1111, 4) // undefined code
+	if _, err := (CPACK{}).Decompress(w2.bytes(), 478, MaxBitsCOP4); err == nil {
+		t.Fatal("undefined code accepted")
+	}
+}
+
+// Throughput benchmarks: one per scheme on its favourable input.
+func benchScheme(b *testing.B, s Scheme, block []byte) {
+	b.Helper()
+	payload, nbits, ok := s.Compress(block, MaxBitsCOP4)
+	if !ok {
+		b.Fatal("bench block incompressible")
+	}
+	b.Run("compress", func(b *testing.B) {
+		b.SetBytes(BlockBytes)
+		for i := 0; i < b.N; i++ {
+			s.Compress(block, MaxBitsCOP4)
+		}
+	})
+	b.Run("decompress", func(b *testing.B) {
+		b.SetBytes(BlockBytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Decompress(payload, nbits, MaxBitsCOP4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMSB(b *testing.B) {
+	benchScheme(b, MSB{Shifted: true}, pointerBlock(rand.New(rand.NewSource(1))))
+}
+
+func BenchmarkRLE(b *testing.B) {
+	blk := randomBlock(rand.New(rand.NewSource(2)))
+	copy(blk[0:3], []byte{0, 0, 0})
+	copy(blk[8:11], []byte{0, 0, 0})
+	benchScheme(b, RLE{}, blk)
+}
+
+func BenchmarkTXT(b *testing.B) {
+	benchScheme(b, TXT{}, textBlock(rand.New(rand.NewSource(3))))
+}
+
+func BenchmarkFPC(b *testing.B) {
+	benchScheme(b, FPC{}, smallIntBlock(rand.New(rand.NewSource(4))))
+}
+
+func BenchmarkCPACKScheme(b *testing.B) {
+	benchScheme(b, CPACK{}, smallIntBlock(rand.New(rand.NewSource(5))))
+}
+
+func BenchmarkCombined(b *testing.B) {
+	benchScheme(b, NewCombined(), pointerBlock(rand.New(rand.NewSource(6))))
+}

@@ -1,0 +1,148 @@
+package compress
+
+import (
+	"encoding/binary"
+
+	"cop/internal/bitio"
+)
+
+// FPC implements frequent pattern compression (Alameldeen & Wood, ISCA
+// 2004) as the paper evaluates it (§3.2.2): a 3-bit prefix per 32-bit word
+// selecting one of eight patterns. The fixed 48 bits of per-block metadata
+// are exactly why FPC underperforms RLE at COP's low target ratios — to
+// free 4 bytes it must extract 80 bits of redundancy.
+//
+// Word patterns (prefix: meaning, payload bits):
+//
+//	000: zero word, 0
+//	001: 4-bit sign-extended, 4
+//	010: one-byte sign-extended, 8
+//	011: halfword sign-extended, 16
+//	100: halfword padded with a zero halfword (low half zero), 16
+//	101: two halfwords, each a sign-extended byte, 16
+//	110: word of repeated bytes, 8
+//	111: uncompressed word, 32
+//
+// This is the cache-block variant without cross-word zero-run coalescing;
+// the metadata cost the paper analyzes is identical.
+type FPC struct{}
+
+// Name implements Scheme.
+func (FPC) Name() string { return "fpc" }
+
+const fpcWords = BlockBytes / 4
+
+// signExtends reports whether v equals the sign extension of its low n
+// bits.
+func signExtends(v uint32, n int) bool {
+	shifted := int32(v) << uint(32-n) >> uint(32-n)
+	return uint32(shifted) == v
+}
+
+// signExtends16 reports whether the 16-bit value h equals the 16-bit sign
+// extension of its low byte.
+func signExtends16(h uint16) bool {
+	return uint16(int16(h)<<8>>8) == h
+}
+
+// classify returns the best (prefix, payload-bit-count) for one word.
+func fpcClassify(v uint32) (uint64, int) {
+	switch {
+	case v == 0:
+		return 0b000, 0
+	case signExtends(v, 4):
+		return 0b001, 4
+	case signExtends(v, 8):
+		return 0b010, 8
+	case signExtends(v, 16):
+		return 0b011, 16
+	case v&0xFFFF == 0:
+		return 0b100, 16
+	case signExtends16(uint16(v>>16)) && signExtends16(uint16(v)):
+		return 0b101, 16
+	case v&0xFF == (v>>8)&0xFF && v&0xFF == (v>>16)&0xFF && v&0xFF == v>>24:
+		return 0b110, 8
+	default:
+		return 0b111, 32
+	}
+}
+
+// CompressedBits returns the FPC-compressed size of a block in bits
+// (metadata included) regardless of any budget. Figure 1's sweep uses it.
+func (FPC) CompressedBits(block []byte) int {
+	checkBlock(block)
+	total := 3 * fpcWords
+	for i := 0; i < fpcWords; i++ {
+		_, n := fpcClassify(binary.BigEndian.Uint32(block[4*i:]))
+		total += n
+	}
+	return total
+}
+
+// Compress implements Scheme.
+func (f FPC) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	checkBlock(block)
+	if f.CompressedBits(block) > maxBits {
+		return nil, 0, false
+	}
+	w := bitio.NewWriter(maxBits)
+	for i := 0; i < fpcWords; i++ {
+		v := binary.BigEndian.Uint32(block[4*i:])
+		prefix, _ := fpcClassify(v)
+		w.WriteBits(prefix, 3)
+		switch prefix {
+		case 0b000:
+		case 0b001:
+			w.WriteBits(uint64(v&0xF), 4)
+		case 0b010:
+			w.WriteBits(uint64(v&0xFF), 8)
+		case 0b011:
+			w.WriteBits(uint64(v&0xFFFF), 16)
+		case 0b100:
+			w.WriteBits(uint64(v>>16), 16)
+		case 0b101:
+			w.WriteBits(uint64((v>>16)&0xFF), 8)
+			w.WriteBits(uint64(v&0xFF), 8)
+		case 0b110:
+			w.WriteBits(uint64(v&0xFF), 8)
+		case 0b111:
+			w.WriteBits(uint64(v), 32)
+		}
+	}
+	return w.Bytes(), w.Len(), true
+}
+
+// Decompress implements Scheme.
+func (FPC) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	r := bitio.NewReader(payload)
+	block := make([]byte, BlockBytes)
+	for i := 0; i < fpcWords; i++ {
+		var v uint32
+		switch r.ReadBits(3) {
+		case 0b000:
+			v = 0
+		case 0b001:
+			v = uint32(int32(r.ReadBits(4)) << 28 >> 28)
+		case 0b010:
+			v = uint32(int32(r.ReadBits(8)) << 24 >> 24)
+		case 0b011:
+			v = uint32(int32(r.ReadBits(16)) << 16 >> 16)
+		case 0b100:
+			v = uint32(r.ReadBits(16)) << 16
+		case 0b101:
+			hi := uint16(int16(r.ReadBits(8)) << 8 >> 8)
+			lo := uint16(int16(r.ReadBits(8)) << 8 >> 8)
+			v = uint32(hi)<<16 | uint32(lo)
+		case 0b110:
+			b := uint32(r.ReadBits(8))
+			v = b<<24 | b<<16 | b<<8 | b
+		case 0b111:
+			v = uint32(r.ReadBits(32))
+		}
+		binary.BigEndian.PutUint32(block[4*i:], v)
+	}
+	if r.Err() || r.Pos() > nbits {
+		return nil, ErrIncompressible
+	}
+	return block, nil
+}

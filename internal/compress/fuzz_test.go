@@ -1,0 +1,69 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: runnable continuously with `go test -fuzz=FuzzX`, and their
+// seed corpora execute on every ordinary `go test` run.
+
+// FuzzSchemesRoundTrip feeds arbitrary 64-byte blocks to every scheme:
+// whenever Compress accepts a block, Decompress must restore it exactly
+// and fit the budget.
+func FuzzSchemesRoundTrip(f *testing.F) {
+	f.Add(make([]byte, BlockBytes))
+	seed := make([]byte, BlockBytes)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	text := bytes.Repeat([]byte("Hello, COP! "), 6)[:BlockBytes]
+	f.Add(text)
+
+	schemes := []Scheme{MSB{Shifted: true}, MSB{Shifted: false}, RLE{}, TXT{}, FPC{}, BDI{}, CPACK{}, NewCombined()}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != BlockBytes {
+			return
+		}
+		for _, s := range schemes {
+			for _, budget := range []int{MaxBitsCOP4, MaxBitsCOP8, 480, 432} {
+				payload, nbits, ok := s.Compress(data, budget)
+				if !ok {
+					continue
+				}
+				if nbits > budget {
+					t.Fatalf("%s: %d bits over budget %d", s.Name(), nbits, budget)
+				}
+				got, err := s.Decompress(payload, nbits, budget)
+				if err != nil {
+					t.Fatalf("%s: decompress accepted block: %v", s.Name(), err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("%s: round trip mismatch", s.Name())
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecompressRobustness feeds arbitrary payloads to every decompressor:
+// no panics, and any accepted output must be a full block.
+func FuzzDecompressRobustness(f *testing.F) {
+	f.Add([]byte{0x00}, 8)
+	f.Add(bytes.Repeat([]byte{0xFF}, 60), 478)
+	f.Add([]byte{0b01000000, 0x12, 0x34}, 21)
+
+	schemes := []Scheme{MSB{Shifted: true}, RLE{}, TXT{}, FPC{}, BDI{}, CPACK{}, NewCombined()}
+	f.Fuzz(func(t *testing.T, payload []byte, nbits int) {
+		if nbits < 0 || nbits > 8*len(payload) || len(payload) > 128 {
+			return
+		}
+		for _, s := range schemes {
+			b, err := s.Decompress(payload, nbits, MaxBitsCOP4)
+			if err == nil && len(b) != BlockBytes {
+				t.Fatalf("%s: accepted payload yielding %d bytes", s.Name(), len(b))
+			}
+		}
+	})
+}

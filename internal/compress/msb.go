@@ -1,0 +1,135 @@
+package compress
+
+import (
+	"encoding/binary"
+
+	"cop/internal/bitio"
+)
+
+// MSB implements the paper's MSB compression (§3.2.1): if the same m most
+// significant bits appear in all eight 8-byte words of a block, those bits
+// are stored once (in the first word) and omitted from the other seven,
+// freeing 7m bits with no per-word metadata and no adders.
+//
+// With Shifted set (the paper's floating-point optimization, Figure 4) the
+// comparison window is moved right by one bit so that it skips the IEEE-754
+// sign bit and lands on the exponent: blocks of floats with mixed signs but
+// similar magnitudes still compress. Each word then keeps its own bit 0.
+type MSB struct {
+	// Shifted compares bits 1..m of each word instead of bits 0..m-1.
+	Shifted bool
+}
+
+// Name implements Scheme.
+func (s MSB) Name() string {
+	if s.Shifted {
+		return "msb"
+	}
+	return "msb-unshifted"
+}
+
+const msbWords = BlockBytes / 8
+
+// width returns the number of compared bits m needed to free need(maxBits)
+// bits by dropping m bits from 7 of the 8 words.
+func (s MSB) width(maxBits int) int {
+	n := need(maxBits)
+	m := (n + msbWords - 2) / (msbWords - 1) // ceil(n/7)
+	max := 63
+	if !s.Shifted {
+		max = 64
+	}
+	if m > max {
+		m = max
+	}
+	return m
+}
+
+func loadWords(block []byte) [msbWords]uint64 {
+	var w [msbWords]uint64
+	for i := range w {
+		w[i] = binary.BigEndian.Uint64(block[8*i:])
+	}
+	return w
+}
+
+// sharedMask returns the mask of compared bits for width m: the top m bits,
+// or bits 1..m when shifted.
+func (s MSB) sharedMask(m int) uint64 {
+	mask := ^uint64(0) << uint(64-m)
+	if s.Shifted {
+		mask >>= 1
+	}
+	return mask
+}
+
+// Compressible reports whether all eight words agree on the compared bits
+// at the width implied by maxBits.
+func (s MSB) Compressible(block []byte, maxBits int) bool {
+	checkBlock(block)
+	m := s.width(maxBits)
+	if 7*m < need(maxBits) {
+		return false
+	}
+	w := loadWords(block)
+	mask := s.sharedMask(m)
+	ref := w[0] & mask
+	for i := 1; i < msbWords; i++ {
+		if w[i]&mask != ref {
+			return false
+		}
+	}
+	return true
+}
+
+// Compress implements Scheme. Layout: word 0 in full (64 bits), then for
+// words 1..7 the surviving bits: bit 0 first when shifted, followed by the
+// low 64-m (shifted: 63-m) bits.
+func (s MSB) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	if !s.Compressible(block, maxBits) {
+		return nil, 0, false
+	}
+	m := s.width(maxBits)
+	w := loadWords(block)
+	out := bitio.NewWriter(BlockBits - 7*m)
+	out.WriteBits(w[0], 64)
+	for i := 1; i < msbWords; i++ {
+		if s.Shifted {
+			out.WriteBits(w[i]>>63, 1) // sign bit, kept per word
+			out.WriteBits(w[i]&((uint64(1)<<(63-uint(m)))-1), 63-m)
+		} else {
+			out.WriteBits(w[i]&((uint64(1)<<(64-uint(m)))-1), 64-m)
+		}
+	}
+	return out.Bytes(), out.Len(), true
+}
+
+// Decompress implements Scheme.
+func (s MSB) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	m := s.width(maxBits)
+	want := 64 + (msbWords-1)*(64-m)
+	if nbits < want {
+		return nil, ErrIncompressible
+	}
+	r := bitio.NewReader(payload)
+	var w [msbWords]uint64
+	w[0] = r.ReadBits(64)
+	shared := w[0] & s.sharedMask(m)
+	for i := 1; i < msbWords; i++ {
+		if s.Shifted {
+			sign := r.ReadBits(1)
+			low := r.ReadBits(63 - m)
+			w[i] = sign<<63 | shared | low
+		} else {
+			w[i] = shared | r.ReadBits(64-m)
+		}
+	}
+	if r.Err() {
+		return nil, ErrIncompressible
+	}
+	block := make([]byte, BlockBytes)
+	for i, v := range w {
+		binary.BigEndian.PutUint64(block[8*i:], v)
+	}
+	return block, nil
+}

@@ -1,0 +1,158 @@
+package compress
+
+import "cop/internal/bitio"
+
+// RLE implements the paper's simplified run-length encoding (§3.2.3). Runs
+// of 0x00 or 0xFF bytes, 2 or 3 bytes long and aligned to 16-bit word
+// offsets, are removed from the block. Each encoded run costs 7 bits of
+// metadata placed at the front of the payload:
+//
+//	bit 0:    run value (0 = zeros, 1 = ones)
+//	bit 1:    run length (0 = 2 bytes, 1 = 3 bytes)
+//	bits 2-6: 16-bit word offset of the run start (0..31)
+//
+// A 2-byte run nets 16-7 = 9 freed bits, a 3-byte run 24-7 = 17. Only the
+// minimum number of runs is encoded: the decompressor reads metadata chunks
+// until the accumulated net savings reach the target, which is how it knows
+// where metadata ends and data begins — no run count is stored.
+type RLE struct{}
+
+// Name implements Scheme.
+func (RLE) Name() string { return "rle" }
+
+type run struct {
+	off   int // byte offset (even)
+	len   int // 2 or 3
+	ones  bool
+	saved int // net freed bits: 8*len - 7
+}
+
+// findRuns scans the block for the disjoint candidate runs a sequential
+// hardware scanner would find: at each 16-bit-aligned offset, take a 3-byte
+// run if possible, else a 2-byte run, then continue past it at the next
+// aligned offset.
+func findRuns(block []byte) []run {
+	var runs []run
+	for b := 0; b < BlockBytes-1; {
+		if b%2 != 0 {
+			b++
+			continue
+		}
+		v := block[b]
+		if (v != 0x00 && v != 0xFF) || block[b+1] != v {
+			b += 2
+			continue
+		}
+		length := 2
+		if b+2 < BlockBytes && block[b+2] == v {
+			length = 3
+		}
+		runs = append(runs, run{off: b, len: length, ones: v == 0xFF, saved: 8*length - 7})
+		b += length
+		if b%2 != 0 {
+			b++
+		}
+	}
+	return runs
+}
+
+// selectRuns picks runs (3-byte first, preserving scan order within each
+// class) until the net savings reach needBits, returning them sorted by
+// offset, or nil if the target is unreachable.
+func selectRuns(runs []run, needBits int) []run {
+	var picked []run
+	total := 0
+	for pass := 0; pass < 2 && total < needBits; pass++ {
+		wantLen := 3 - pass
+		for _, r := range runs {
+			if r.len != wantLen {
+				continue
+			}
+			picked = append(picked, r)
+			total += r.saved
+			if total >= needBits {
+				break
+			}
+		}
+	}
+	if total < needBits {
+		return nil
+	}
+	// Metadata order must match the decoder's stopping rule: the decoder
+	// stops as soon as cumulative savings reach the target, so keep the
+	// greedy pick order (which satisfies exactly that prefix property)
+	// rather than re-sorting.
+	return picked
+}
+
+// Compress implements Scheme.
+func (RLE) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	checkBlock(block)
+	needBits := need(maxBits)
+	picked := selectRuns(findRuns(block), needBits)
+	if picked == nil {
+		return nil, 0, false
+	}
+	covered := make([]bool, BlockBytes)
+	w := bitio.NewWriter(maxBits)
+	for _, r := range picked {
+		v := 0
+		if r.ones {
+			v = 1
+		}
+		w.WriteBits(uint64(v), 1)
+		w.WriteBits(uint64(r.len-2), 1)
+		w.WriteBits(uint64(r.off/2), 5)
+		for i := 0; i < r.len; i++ {
+			covered[r.off+i] = true
+		}
+	}
+	for b := 0; b < BlockBytes; b++ {
+		if !covered[b] {
+			w.WriteBits(uint64(block[b]), 8)
+		}
+	}
+	return w.Bytes(), w.Len(), true
+}
+
+// Decompress implements Scheme.
+func (RLE) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	needBits := need(maxBits)
+	r := bitio.NewReader(payload)
+	var runs []run
+	freed := 0
+	for freed < needBits {
+		ones := r.ReadBit() == 1
+		length := 2 + r.ReadBit()
+		off := 2 * int(r.ReadBits(5))
+		if r.Err() || off+length > BlockBytes {
+			return nil, ErrIncompressible
+		}
+		runs = append(runs, run{off: off, len: length, ones: ones})
+		freed += 8*length - 7
+	}
+	block := make([]byte, BlockBytes)
+	covered := make([]bool, BlockBytes)
+	for _, rn := range runs {
+		v := byte(0x00)
+		if rn.ones {
+			v = 0xFF
+		}
+		for i := 0; i < rn.len; i++ {
+			if covered[rn.off+i] {
+				return nil, ErrIncompressible // overlapping runs are never emitted
+			}
+			covered[rn.off+i] = true
+			block[rn.off+i] = v
+		}
+	}
+	for b := 0; b < BlockBytes; b++ {
+		if !covered[b] {
+			block[b] = byte(r.ReadBits(8))
+		}
+	}
+	if r.Err() || r.Pos() > nbits {
+		return nil, ErrIncompressible
+	}
+	return block, nil
+}

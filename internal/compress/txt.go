@@ -1,0 +1,55 @@
+package compress
+
+import "cop/internal/bitio"
+
+// TXT implements the paper's text compression (§3.2.4). ASCII is a 7-bit
+// encoding stored one character per byte with a zero most significant bit,
+// and ASCII-range characters dominate UTF-8 and (via zero padding) UTF-16
+// text. If every byte of a block has a zero MSB the block compresses to
+// 64 x 7 = 448 bits, freeing 64 bits — enough for the 4-byte-ECC
+// configuration (34 bits needed) but, as the paper notes, not for the
+// 8-byte one (66 needed), so TXT only appears in the 4-byte evaluation.
+type TXT struct{}
+
+// Name implements Scheme.
+func (TXT) Name() string { return "txt" }
+
+const txtBits = BlockBytes * 7
+
+// Compressible reports whether every byte is in the ASCII range.
+func (TXT) Compressible(block []byte) bool {
+	var acc byte
+	for _, b := range block {
+		acc |= b
+	}
+	return acc < 0x80
+}
+
+// Compress implements Scheme.
+func (t TXT) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	checkBlock(block)
+	if txtBits > maxBits || !t.Compressible(block) {
+		return nil, 0, false
+	}
+	w := bitio.NewWriter(txtBits)
+	for _, b := range block {
+		w.WriteBits(uint64(b), 7)
+	}
+	return w.Bytes(), w.Len(), true
+}
+
+// Decompress implements Scheme.
+func (TXT) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	if nbits < txtBits || txtBits > maxBits {
+		return nil, ErrIncompressible
+	}
+	r := bitio.NewReader(payload)
+	block := make([]byte, BlockBytes)
+	for i := range block {
+		block[i] = byte(r.ReadBits(7))
+	}
+	if r.Err() {
+		return nil, ErrIncompressible
+	}
+	return block, nil
+}

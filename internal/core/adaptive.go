@@ -1,0 +1,97 @@
+package core
+
+// AdaptiveCodec implements an option §3.1 mentions and sets aside: "it is
+// theoretically possible to use stronger codes for more compressible data
+// blocks". Blocks that compress far enough for the 8-byte configuration
+// are stored as eight (64,56) code words — surviving up to three
+// scattered single-bit errors (5-of-8 threshold) instead of one; blocks
+// that only meet the 4-byte target fall back to four (128,120) words; the
+// rest behave as plain COP.
+//
+// Crucially the scheme stays metadata-free: the decoder first counts
+// (64,56) code words (≥5 ⇒ strong format), then (128,120) code words
+// (≥3 ⇒ standard format), then treats the block as raw. Cross-aliasing is
+// no worse than COP's own: a block in one format looks like random data
+// to the other format's checker, and the paper's probability analysis
+// applies unchanged to each test.
+type AdaptiveCodec struct {
+	strong   *Codec // COP-8 geometry
+	standard *Codec // COP-4 geometry
+}
+
+// AdaptiveFormat identifies how a block was stored.
+type AdaptiveFormat int
+
+// Formats, strongest first.
+const (
+	// FormatStrong: eight (64,56) words, threshold 5.
+	FormatStrong AdaptiveFormat = iota
+	// FormatStandard: four (128,120) words, threshold 3.
+	FormatStandard
+	// FormatRaw: incompressible, unprotected.
+	FormatRaw
+)
+
+// NewAdaptiveCodec builds the two-tier codec from the paper's two
+// configurations.
+func NewAdaptiveCodec() *AdaptiveCodec {
+	return &AdaptiveCodec{
+		strong:   NewCodec(NewConfig8()),
+		standard: NewCodec(NewConfig4()),
+	}
+}
+
+// Encode stores the block in the strongest format it fits.
+func (a *AdaptiveCodec) Encode(block []byte) (image []byte, format AdaptiveFormat, status StoreStatus) {
+	if img, st := a.strong.Encode(block); st == StoredCompressed {
+		// Guard against cross-format aliasing: the strong image must not
+		// read as a standard-format block (astronomically unlikely, but
+		// the check is cheap and makes the decode order sound).
+		if a.standard.CountValidCodewords(img) < a.standard.cfg.Threshold {
+			return img, FormatStrong, StoredCompressed
+		}
+	}
+	img, st := a.standard.Encode(block)
+	switch st {
+	case StoredCompressed:
+		if a.strong.CountValidCodewords(img) < a.strong.cfg.Threshold {
+			return img, FormatStandard, StoredCompressed
+		}
+		// The standard image aliases as strong-format: fall through to
+		// raw handling (equivalent to an incompressible block).
+		if a.standard.CountValidCodewords(block) >= a.standard.cfg.Threshold ||
+			a.strong.CountValidCodewords(block) >= a.strong.cfg.Threshold {
+			return nil, FormatRaw, RejectedAlias
+		}
+		image = make([]byte, BlockBytes)
+		copy(image, block)
+		return image, FormatRaw, StoredRaw
+	case StoredRaw:
+		// Raw blocks must not alias in either format.
+		if a.strong.CountValidCodewords(block) >= a.strong.cfg.Threshold {
+			return nil, FormatRaw, RejectedAlias
+		}
+		return img, FormatRaw, StoredRaw
+	default:
+		return nil, FormatRaw, RejectedAlias
+	}
+}
+
+// Decode detects the format (strong first) and recovers the block.
+func (a *AdaptiveCodec) Decode(image []byte) (block []byte, format AdaptiveFormat, info DecodeInfo, err error) {
+	if a.strong.CountValidCodewords(image) >= a.strong.cfg.Threshold {
+		b, inf, e := a.strong.Decode(image)
+		return b, FormatStrong, inf, e
+	}
+	b, inf, e := a.standard.Decode(image)
+	if inf.Compressed {
+		return b, FormatStandard, inf, e
+	}
+	return b, FormatRaw, inf, e
+}
+
+// Strong and Standard expose the underlying codecs (for analysis).
+func (a *AdaptiveCodec) Strong() *Codec { return a.strong }
+
+// Standard returns the COP-4 tier codec.
+func (a *AdaptiveCodec) Standard() *Codec { return a.standard }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cop/internal/bitio"
+)
+
+// structuredBlock produces a block compressible at the 4-byte target but
+// (usually) not the 8-byte one: a near-random block with planted 34-bit
+// RLE savings.
+func standardOnlyBlock(rng *rand.Rand) []byte {
+	a := NewAdaptiveCodec()
+	for {
+		b := make([]byte, BlockBytes)
+		rng.Read(b)
+		for i := 0; i < BlockBytes-1; i += 2 {
+			if (b[i] == 0x00 && b[i+1] == 0x00) || (b[i] == 0xFF && b[i+1] == 0xFF) {
+				b[i+1] ^= 0x5A
+			}
+		}
+		copy(b[0:3], []byte{0, 0, 0})
+		copy(b[8:11], []byte{0, 0, 0})
+		if _, _, ok := a.strong.cfg.Scheme.Compress(b, a.strong.cfg.DataCapacityBits()); ok {
+			continue
+		}
+		if _, _, ok := a.standard.cfg.Scheme.Compress(b, a.standard.cfg.DataCapacityBits()); !ok {
+			continue
+		}
+		return b
+	}
+}
+
+func TestAdaptiveFormatSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAdaptiveCodec()
+
+	// Highly compressible: strong format.
+	img, format, status := a.Encode(pointerBlock(rng))
+	if status != StoredCompressed || format != FormatStrong {
+		t.Fatalf("pointer block: format=%v status=%v", format, status)
+	}
+	if img == nil {
+		t.Fatal("no image")
+	}
+
+	// Marginally compressible: standard format.
+	_, format, status = a.Encode(standardOnlyBlock(rng))
+	if status != StoredCompressed || format != FormatStandard {
+		t.Fatalf("marginal block: format=%v status=%v", format, status)
+	}
+
+	// Incompressible: raw.
+	_, format, status = a.Encode(incompressibleBlock(rng, a.standard))
+	if status != StoredRaw || format != FormatRaw {
+		t.Fatalf("random block: format=%v status=%v", format, status)
+	}
+}
+
+func TestAdaptiveRoundTripAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewAdaptiveCodec()
+	blocks := [][]byte{
+		pointerBlock(rng),
+		standardOnlyBlock(rng),
+		incompressibleBlock(rng, a.standard),
+	}
+	for i, b := range blocks {
+		img, wantFormat, status := a.Encode(b)
+		if status == RejectedAlias {
+			continue
+		}
+		got, format, _, err := a.Decode(img)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if format != wantFormat {
+			t.Fatalf("block %d: decoded format %v, encoded %v", i, format, wantFormat)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("block %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestAdaptiveStrongSurvivesScatteredErrors(t *testing.T) {
+	// The payoff: strong-format blocks correct 3 scattered single-bit
+	// errors that would silently corrupt a COP-4 block.
+	rng := rand.New(rand.NewSource(3))
+	a := NewAdaptiveCodec()
+	b := pointerBlock(rng)
+	img, format, _ := a.Encode(b)
+	if format != FormatStrong {
+		t.Fatal("setup: expected strong format")
+	}
+	for trial := 0; trial < 100; trial++ {
+		corrupted := append([]byte(nil), img...)
+		// One flip in each of three distinct 64-bit segments.
+		segs := rng.Perm(8)[:3]
+		for _, s := range segs {
+			bitio.FlipBit(corrupted, 64*s+rng.Intn(64))
+		}
+		got, fmt2, info, err := a.Decode(corrupted)
+		if err != nil || fmt2 != FormatStrong {
+			t.Fatalf("trial %d: err=%v format=%v info=%+v", trial, err, fmt2, info)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("trial %d: corruption", trial)
+		}
+	}
+}
+
+func TestAdaptiveStandardSingleBitCorrection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAdaptiveCodec()
+	b := standardOnlyBlock(rng)
+	img, format, _ := a.Encode(b)
+	if format != FormatStandard {
+		t.Fatal("setup: expected standard format")
+	}
+	for bit := 0; bit < 8*BlockBytes; bit += 5 {
+		corrupted := append([]byte(nil), img...)
+		bitio.FlipBit(corrupted, bit)
+		got, fmt2, _, err := a.Decode(corrupted)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if fmt2 != FormatStandard {
+			// A flip could theoretically push the image over the strong
+			// threshold; it must still never return wrong data silently
+			// as strong — check data.
+			t.Fatalf("bit %d: format drifted to %v", bit, fmt2)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("bit %d: corruption", bit)
+		}
+	}
+}
+
+func TestAdaptiveRawNotMisdetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAdaptiveCodec()
+	for trial := 0; trial < 200; trial++ {
+		b := incompressibleBlock(rng, a.standard)
+		img, _, status := a.Encode(b)
+		if status != StoredRaw {
+			continue
+		}
+		got, format, _, err := a.Decode(img)
+		if err != nil || format != FormatRaw || !bytes.Equal(got, b) {
+			t.Fatalf("raw misdetected: format=%v err=%v", format, err)
+		}
+	}
+}
+
+func TestAdaptiveQuick(t *testing.T) {
+	a := NewAdaptiveCodec()
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b []byte
+		switch kind % 3 {
+		case 0:
+			b = pointerBlock(rng)
+		case 1:
+			b = textBlock(rng)
+		default:
+			b = randomBlock(rng)
+		}
+		img, _, status := a.Encode(b)
+		if status == RejectedAlias {
+			return true
+		}
+		got, _, _, err := a.Decode(img)
+		return err == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveAccessors(t *testing.T) {
+	a := NewAdaptiveCodec()
+	if a.Strong().Config().Segments != 8 || a.Standard().Config().Segments != 4 {
+		t.Fatal("tier geometry wrong")
+	}
+}
+
+func TestAdaptiveCoverageMatchesStandardTier(t *testing.T) {
+	// Regression for a subtle aliasing bug: zero-padded payload segments
+	// are all-zero code words in every linear code, so if both tiers
+	// shared a hash pad, short-payload COP-4 images would systematically
+	// alias as COP-8 images and the encoder would reject them to raw.
+	// With per-geometry pads, adaptive coverage must match plain COP-4.
+	a := NewAdaptiveCodec()
+	std := NewCodec(NewConfig4())
+	rng := rand.New(rand.NewSource(60))
+	mismatch := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		var b []byte
+		switch i % 3 {
+		case 0:
+			b = pointerBlock(rng)
+		case 1:
+			b = textBlock(rng)
+		default:
+			b = randomBlock(rng)
+		}
+		_, adaptiveStatus := func() ([]byte, StoreStatus) {
+			img, _, st := a.Encode(b)
+			return img, st
+		}()
+		if (std.Classify(b) == StoredCompressed) != (adaptiveStatus == StoredCompressed) {
+			mismatch++
+		}
+	}
+	if mismatch > n/100 {
+		t.Fatalf("adaptive coverage diverges from COP-4 on %d/%d blocks", mismatch, n)
+	}
+}

@@ -1,0 +1,333 @@
+// Package core implements the paper's primary contribution: the COP
+// encoder/decoder pair that stores each compressible 64-byte block in DRAM
+// as compressed data plus inline SECDED check bits, and — without any
+// compression-tracking metadata — recognizes protected blocks on the way
+// back by counting valid (zero-syndrome) code words.
+//
+// Two configurations from the paper are provided: COP-4 frees 4 bytes and
+// splits the block into four (128,120) code words with a 3-of-4 validity
+// threshold; COP-8 frees 8 bytes and uses eight (64,56) code words with a
+// 5-of-8 threshold. A static per-segment hash is XORed into protected
+// blocks so that blocks of repeated application data cannot masquerade as
+// a pile of identical valid code words (§3.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cop/internal/compress"
+	"cop/internal/ecc"
+)
+
+// BlockBytes is the DRAM block size COP operates on.
+const BlockBytes = compress.BlockBytes
+
+// Config describes one COP operating point.
+type Config struct {
+	// Code is the per-segment SECDED code.
+	Code *ecc.Code
+	// Segments is how many code words a protected block holds.
+	Segments int
+	// Threshold is the minimum count of valid code words for a block to
+	// be treated as compressed/protected.
+	Threshold int
+	// Scheme compresses blocks into the data capacity.
+	Scheme compress.Scheme
+	// DisableHash turns off the static hash (for the ablation that shows
+	// why it exists). Production COP always hashes.
+	DisableHash bool
+}
+
+// Validate checks the internal consistency of the configuration.
+func (c Config) Validate() error {
+	if c.Code == nil || c.Scheme == nil {
+		return errors.New("core: Config needs a Code and a Scheme")
+	}
+	if c.Segments*c.Code.N() != 8*BlockBytes {
+		return fmt.Errorf("core: %d segments of %d bits do not tile a %d-bit block",
+			c.Segments, c.Code.N(), 8*BlockBytes)
+	}
+	if c.Threshold < 1 || c.Threshold > c.Segments {
+		return fmt.Errorf("core: threshold %d out of range 1..%d", c.Threshold, c.Segments)
+	}
+	return nil
+}
+
+// DataCapacityBits is the number of compressed payload bits a protected
+// block can carry (Segments × data bits per code word).
+func (c Config) DataCapacityBits() int { return c.Segments * c.Code.K() }
+
+// NewConfig4 returns the paper's preferred configuration: 4 bytes of ECC,
+// four (128,120) code words, threshold 3, TXT+MSB+RLE combined compression.
+func NewConfig4() Config {
+	return Config{
+		Code:      ecc.SECDED128120,
+		Segments:  4,
+		Threshold: 3,
+		Scheme:    compress.NewCombined(),
+	}
+}
+
+// NewConfig8 returns the 8-byte-ECC configuration: eight (64,56) code
+// words, threshold 5, MSB+RLE combined compression (TXT cannot meet the
+// budget).
+func NewConfig8() Config {
+	return Config{
+		Code:      ecc.SECDED6456,
+		Segments:  8,
+		Threshold: 5,
+		Scheme:    compress.NewCombinedOf(compress.MSB{Shifted: true}, compress.RLE{}),
+	}
+}
+
+// StoreStatus reports how Encode disposed of a block.
+type StoreStatus int
+
+const (
+	// StoredCompressed: the block was compressed and written with inline ECC.
+	StoredCompressed StoreStatus = iota
+	// StoredRaw: the block was incompressible (and not an alias) and was
+	// written to DRAM unprotected, byte for byte.
+	StoredRaw
+	// RejectedAlias: the block is incompressible and its raw form would
+	// decode as ≥ threshold valid code words. It must not be written to
+	// DRAM; the LLC keeps it with the alias bit set (§3.1).
+	RejectedAlias
+)
+
+func (s StoreStatus) String() string {
+	switch s {
+	case StoredCompressed:
+		return "compressed"
+	case StoredRaw:
+		return "raw"
+	case RejectedAlias:
+		return "alias-rejected"
+	default:
+		return fmt.Sprintf("StoreStatus(%d)", int(s))
+	}
+}
+
+// DecodeInfo describes what the decoder saw and did for one block.
+type DecodeInfo struct {
+	// Compressed reports whether the block was treated as protected
+	// (≥ threshold valid code words).
+	Compressed bool
+	// ValidCodewords is the number of zero-syndrome code words observed.
+	ValidCodewords int
+	// CorrectedSegments lists segment indices where a single-bit error
+	// was corrected.
+	CorrectedSegments []int
+	// Uncorrectable is set when a protected block contained a code word
+	// with a detected-uncorrectable (double) error. The returned data is
+	// unreliable.
+	Uncorrectable bool
+}
+
+// ErrUncorrectable is returned by Decode when ECC detects an error it
+// cannot repair (a double-bit error within one code word).
+var ErrUncorrectable = errors.New("core: detected uncorrectable error in protected block")
+
+// ErrCorrupt is returned when a protected block decodes to an
+// ill-formed compressed payload — possible only after data corruption that
+// slipped past (or overwhelmed) the ECC.
+var ErrCorrupt = errors.New("core: protected block payload failed to decompress")
+
+// Codec encodes and decodes DRAM block images for one Config. It is
+// stateless apart from precomputed tables and safe for concurrent use.
+type Codec struct {
+	cfg    Config
+	hash   *ecc.HashMasks
+	cwLen  int // code word length in bytes
+	kBits  int // data bits per code word
+	segOff []int
+}
+
+// NewCodec builds a Codec, panicking on an invalid Config (configs are
+// compile-time constants in practice).
+func NewCodec(cfg Config) *Codec {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Codec{
+		cfg:   cfg,
+		hash:  ecc.NewHashMasks(cfg.Segments, cfg.Code.CodewordBytes()),
+		cwLen: cfg.Code.CodewordBytes(),
+		kBits: cfg.Code.K(),
+	}
+	c.segOff = make([]int, cfg.Segments)
+	for i := range c.segOff {
+		c.segOff[i] = i * c.cwLen
+	}
+	return c
+}
+
+// Config returns the codec's configuration.
+func (c *Codec) Config() Config { return c.cfg }
+
+// Encode converts a 64-byte plaintext block into its DRAM image.
+//
+// For compressible blocks the image holds Segments hash-masked code words
+// (compressed data + check bits) and status is StoredCompressed. For
+// incompressible, non-aliasing blocks the image is the plaintext itself
+// and status is StoredRaw. For incompressible aliases no image is produced
+// (status RejectedAlias): the caller must keep the block in the LLC.
+func (c *Codec) Encode(block []byte) (image []byte, status StoreStatus) {
+	if len(block) != BlockBytes {
+		panic("core: Encode: block must be 64 bytes")
+	}
+	payload, nbits, ok := c.cfg.Scheme.Compress(block, c.cfg.DataCapacityBits())
+	if !ok {
+		if c.CountValidCodewords(block) >= c.cfg.Threshold {
+			return nil, RejectedAlias
+		}
+		image = make([]byte, BlockBytes)
+		copy(image, block)
+		return image, StoredRaw
+	}
+
+	// Zero-pad the payload to the full data capacity and cut it into
+	// Segments chunks of K bits each.
+	padded := make([]byte, (c.cfg.DataCapacityBits()+7)/8)
+	copy(padded, payload[:(nbits+7)/8])
+	image = make([]byte, BlockBytes)
+	data := make([]byte, (c.kBits+7)/8)
+	for s := 0; s < c.cfg.Segments; s++ {
+		extractBitsInto(data, padded, s*c.kBits, c.kBits)
+		cw := image[c.segOff[s] : c.segOff[s]+c.cwLen]
+		c.cfg.Code.EncodeInto(cw, data)
+		if !c.cfg.DisableHash {
+			c.hash.Apply(s, cw)
+		}
+	}
+	return image, StoredCompressed
+}
+
+// Decode converts a DRAM image back into the plaintext block, applying the
+// paper's detection rule: hash, syndrome-check all segments, and treat the
+// block as protected when at least Threshold code words are valid.
+//
+// The returned error is non-nil only for protected blocks whose ECC
+// reported an uncorrectable error or whose payload failed to decompress;
+// info is always populated.
+func (c *Codec) Decode(image []byte) (block []byte, info DecodeInfo, err error) {
+	if len(image) != BlockBytes {
+		panic("core: Decode: image must be 64 bytes")
+	}
+	work := make([]byte, BlockBytes)
+	copy(work, image)
+
+	valid := 0
+	for s := 0; s < c.cfg.Segments; s++ {
+		cw := work[c.segOff[s] : c.segOff[s]+c.cwLen]
+		if !c.cfg.DisableHash {
+			c.hash.Apply(s, cw)
+		}
+		if c.cfg.Code.Valid(cw) {
+			valid++
+		}
+	}
+	info.ValidCodewords = valid
+	if valid < c.cfg.Threshold {
+		// Unprotected raw data: pass through unmodified (hash was only
+		// applied to the scratch copy).
+		block = make([]byte, BlockBytes)
+		copy(block, image)
+		return block, info, nil
+	}
+
+	info.Compressed = true
+	padded := make([]byte, (c.cfg.DataCapacityBits()+7)/8)
+	for s := 0; s < c.cfg.Segments; s++ {
+		cw := work[c.segOff[s] : c.segOff[s]+c.cwLen]
+		res, _ := c.cfg.Code.Decode(cw)
+		switch res {
+		case ecc.Corrected:
+			info.CorrectedSegments = append(info.CorrectedSegments, s)
+		case ecc.Uncorrectable:
+			info.Uncorrectable = true
+		}
+		depositBits(padded, s*c.kBits, cw, c.kBits)
+	}
+	if info.Uncorrectable {
+		return nil, info, ErrUncorrectable
+	}
+	block, derr := c.cfg.Scheme.Decompress(padded, c.cfg.DataCapacityBits(), c.cfg.DataCapacityBits())
+	if derr != nil {
+		return nil, info, ErrCorrupt
+	}
+	return block, info, nil
+}
+
+// Classify reports how Encode would dispose of a block without building
+// the DRAM image (the proactive LLC alias-bit check from §3.1).
+func (c *Codec) Classify(block []byte) StoreStatus {
+	if len(block) != BlockBytes {
+		panic("core: Classify: block must be 64 bytes")
+	}
+	if _, _, ok := c.cfg.Scheme.Compress(block, c.cfg.DataCapacityBits()); ok {
+		return StoredCompressed
+	}
+	if c.CountValidCodewords(block) >= c.cfg.Threshold {
+		return RejectedAlias
+	}
+	return StoredRaw
+}
+
+// CountValidCodewords counts how many of the block's segments would look
+// like valid code words to the decoder (hash applied first). A raw block
+// with at least Threshold valid code words is an alias (§3.1).
+func (c *Codec) CountValidCodewords(block []byte) int {
+	if len(block) != BlockBytes {
+		panic("core: CountValidCodewords: block must be 64 bytes")
+	}
+	valid := 0
+	cw := make([]byte, c.cwLen)
+	for s := 0; s < c.cfg.Segments; s++ {
+		copy(cw, block[c.segOff[s]:c.segOff[s]+c.cwLen])
+		if !c.cfg.DisableHash {
+			c.hash.Apply(s, cw)
+		}
+		if c.cfg.Code.Valid(cw) {
+			valid++
+		}
+	}
+	return valid
+}
+
+// IsAlias reports whether a block in its raw form would be mistaken for a
+// protected block.
+func (c *Codec) IsAlias(block []byte) bool {
+	return c.CountValidCodewords(block) >= c.cfg.Threshold
+}
+
+// extractBitsInto copies n bits of src starting at bit off into dst
+// (left-aligned), zeroing dst first. dst must hold ceil(n/8) bytes.
+func extractBitsInto(dst, src []byte, off, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if off%8 == 0 && n%8 == 0 {
+		copy(dst, src[off/8:off/8+n/8])
+		return
+	}
+	for i := 0; i < n; i++ {
+		if src[(off+i)>>3]>>(7-uint((off+i)&7))&1 != 0 {
+			dst[i>>3] |= 1 << (7 - uint(i&7))
+		}
+	}
+}
+
+// depositBits copies the first n bits of src into dst at bit offset off.
+func depositBits(dst []byte, off int, src []byte, n int) {
+	if off%8 == 0 && n%8 == 0 {
+		copy(dst[off/8:], src[:n/8])
+		return
+	}
+	for i := 0; i < n; i++ {
+		if src[i>>3]>>(7-uint(i&7))&1 != 0 {
+			dst[(off+i)>>3] |= 1 << (7 - uint((off+i)&7))
+		}
+	}
+}

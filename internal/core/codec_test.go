@@ -1,0 +1,569 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cop/internal/bitio"
+)
+
+func pointerBlock(rng *rand.Rand) []byte {
+	b := make([]byte, BlockBytes)
+	base := uint64(0x00007F3A_40000000)
+	for i := 0; i < 8; i++ {
+		binary.BigEndian.PutUint64(b[8*i:], base|uint64(rng.Intn(1<<26)))
+	}
+	return b
+}
+
+func textBlock(rng *rand.Rand) []byte {
+	const corpus = "It was the best of times, it was the worst of times. 42! "
+	b := make([]byte, BlockBytes)
+	off := rng.Intn(len(corpus))
+	for i := range b {
+		b[i] = corpus[(off+i)%len(corpus)]
+	}
+	return b
+}
+
+func randomBlock(rng *rand.Rand) []byte {
+	b := make([]byte, BlockBytes)
+	rng.Read(b)
+	return b
+}
+
+// incompressibleBlock returns a random block the codec cannot compress.
+func incompressibleBlock(rng *rand.Rand, c *Codec) []byte {
+	for {
+		b := randomBlock(rng)
+		if _, _, ok := c.Config().Scheme.Compress(b, c.Config().DataCapacityBits()); !ok {
+			return b
+		}
+	}
+}
+
+// aliasBlock constructs an incompressible block whose raw image contains
+// exactly nValid valid code words after hashing (a decoder alias when
+// nValid >= threshold).
+func aliasBlock(rng *rand.Rand, c *Codec, nValid int) []byte {
+	cfg := c.Config()
+	for attempt := 0; attempt < 1000; attempt++ {
+		b := make([]byte, BlockBytes)
+		cwLen := cfg.Code.CodewordBytes()
+		for s := 0; s < cfg.Segments; s++ {
+			cw := b[s*cwLen : (s+1)*cwLen]
+			if s < nValid {
+				data := make([]byte, (cfg.Code.K()+7)/8)
+				rng.Read(data)
+				cfg.Code.EncodeInto(cw, data)
+				c.hash.Apply(s, cw) // undo of decoder's hash: raw bytes must hash back to the code word
+			} else {
+				rng.Read(cw)
+			}
+		}
+		if c.CountValidCodewords(b) != nValid {
+			continue // a random tail segment accidentally became valid
+		}
+		if _, _, ok := cfg.Scheme.Compress(b, cfg.DataCapacityBits()); ok {
+			continue
+		}
+		return b
+	}
+	panic("aliasBlock: could not construct alias")
+}
+
+var testConfigs = []struct {
+	name string
+	cfg  Config
+}{
+	{"COP-4", NewConfig4()},
+	{"COP-8", NewConfig8()},
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range testConfigs {
+		if err := tc.cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+	bad := NewConfig4()
+	bad.Segments = 5
+	if bad.Validate() == nil {
+		t.Fatal("5 segments of 128 bits should not validate")
+	}
+	bad = NewConfig4()
+	bad.Threshold = 0
+	if bad.Validate() == nil {
+		t.Fatal("threshold 0 should not validate")
+	}
+}
+
+func TestDataCapacity(t *testing.T) {
+	if got := NewConfig4().DataCapacityBits(); got != 480 {
+		t.Fatalf("COP-4 capacity = %d, want 480 (60 bytes)", got)
+	}
+	if got := NewConfig8().DataCapacityBits(); got != 448 {
+		t.Fatalf("COP-8 capacity = %d, want 448 (56 bytes)", got)
+	}
+}
+
+func TestEncodeDecodeCompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range testConfigs {
+		codec := NewCodec(tc.cfg)
+		for trial := 0; trial < 100; trial++ {
+			var b []byte
+			if trial%2 == 0 {
+				b = pointerBlock(rng)
+			} else if tc.cfg.Segments == 4 {
+				b = textBlock(rng)
+			} else {
+				b = pointerBlock(rng)
+			}
+			image, status := codec.Encode(b)
+			if status != StoredCompressed {
+				t.Fatalf("%s: status = %v, want compressed", tc.name, status)
+			}
+			got, info, err := codec.Decode(image)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", tc.name, err)
+			}
+			if !info.Compressed || info.ValidCodewords != tc.cfg.Segments {
+				t.Fatalf("%s: info = %+v", tc.name, info)
+			}
+			if !bytes.Equal(got, b) {
+				t.Fatalf("%s: round trip mismatch", tc.name)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range testConfigs {
+		codec := NewCodec(tc.cfg)
+		for trial := 0; trial < 50; trial++ {
+			b := incompressibleBlock(rng, codec)
+			image, status := codec.Encode(b)
+			if status == RejectedAlias {
+				continue // astronomically rare, but legal
+			}
+			if status != StoredRaw {
+				t.Fatalf("%s: status = %v, want raw", tc.name, status)
+			}
+			if !bytes.Equal(image, b) {
+				t.Fatalf("%s: raw image must be the plaintext", tc.name)
+			}
+			got, info, err := codec.Decode(image)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", tc.name, err)
+			}
+			if info.Compressed {
+				t.Fatalf("%s: raw block misread as compressed (%d valid CWs)", tc.name, info.ValidCodewords)
+			}
+			if !bytes.Equal(got, b) {
+				t.Fatalf("%s: raw round trip mismatch", tc.name)
+			}
+		}
+	}
+}
+
+func TestSingleBitCorrectionEveryPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range testConfigs {
+		codec := NewCodec(tc.cfg)
+		b := pointerBlock(rng)
+		image, status := codec.Encode(b)
+		if status != StoredCompressed {
+			t.Fatal("setup: expected compressible block")
+		}
+		for bit := 0; bit < 8*BlockBytes; bit++ {
+			corrupted := append([]byte(nil), image...)
+			bitio.FlipBit(corrupted, bit)
+			got, info, err := codec.Decode(corrupted)
+			if err != nil {
+				t.Fatalf("%s: bit %d: %v", tc.name, bit, err)
+			}
+			if !info.Compressed {
+				t.Fatalf("%s: bit %d: lost protection detection", tc.name, bit)
+			}
+			if len(info.CorrectedSegments) != 1 {
+				t.Fatalf("%s: bit %d: corrected segments = %v", tc.name, bit, info.CorrectedSegments)
+			}
+			if !bytes.Equal(got, b) {
+				t.Fatalf("%s: bit %d: data corrupted after correction", tc.name, bit)
+			}
+		}
+	}
+}
+
+func TestDoubleErrorSameCodewordDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range testConfigs {
+		codec := NewCodec(tc.cfg)
+		b := pointerBlock(rng)
+		image, _ := codec.Encode(b)
+		cwBits := 8 * tc.cfg.Code.CodewordBytes()
+		for trial := 0; trial < 200; trial++ {
+			seg := rng.Intn(tc.cfg.Segments)
+			i := rng.Intn(cwBits)
+			j := rng.Intn(cwBits)
+			if i == j {
+				continue
+			}
+			corrupted := append([]byte(nil), image...)
+			bitio.FlipBit(corrupted, seg*cwBits+i)
+			bitio.FlipBit(corrupted, seg*cwBits+j)
+			_, info, err := codec.Decode(corrupted)
+			if err != ErrUncorrectable {
+				t.Fatalf("%s: double error in segment %d: err=%v info=%+v", tc.name, seg, err, info)
+			}
+		}
+	}
+}
+
+func TestTwoErrorsDifferentCodewordsSilentCorruption(t *testing.T) {
+	// The limitation §3.1 spells out: two single-bit errors in different
+	// code words leave only 2 valid words (< threshold 3), so the COP-4
+	// decoder passes the compressed block through as if raw — silent
+	// corruption. (COP-8's 5-of-8 threshold survives up to 3.)
+	rng := rand.New(rand.NewSource(5))
+	codec := NewCodec(NewConfig4())
+	b := pointerBlock(rng)
+	image, _ := codec.Encode(b)
+	corrupted := append([]byte(nil), image...)
+	bitio.FlipBit(corrupted, 3)     // segment 0
+	bitio.FlipBit(corrupted, 128+5) // segment 1
+	got, info, err := codec.Decode(corrupted)
+	if err != nil {
+		t.Fatalf("decoder must not error: %v", err)
+	}
+	if info.Compressed {
+		t.Fatalf("only 2 valid code words should read as raw, got %+v", info)
+	}
+	if bytes.Equal(got, b) {
+		t.Fatal("expected silent corruption, got correct data")
+	}
+}
+
+func TestCOP8SurvivesThreeScatteredErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	codec := NewCodec(NewConfig8())
+	b := pointerBlock(rng)
+	image, _ := codec.Encode(b)
+	corrupted := append([]byte(nil), image...)
+	// One bit in each of segments 0,1,2: 5 valid words remain == threshold.
+	for _, seg := range []int{0, 1, 2} {
+		bitio.FlipBit(corrupted, seg*64+rng.Intn(64))
+	}
+	got, info, err := codec.Decode(corrupted)
+	if err != nil {
+		t.Fatalf("decode: %v (info %+v)", err, info)
+	}
+	if !info.Compressed || len(info.CorrectedSegments) != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("COP-8 failed to correct 3 scattered single-bit errors")
+	}
+}
+
+func TestAliasDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range testConfigs {
+		codec := NewCodec(tc.cfg)
+		alias := aliasBlock(rng, codec, tc.cfg.Threshold)
+		if !codec.IsAlias(alias) {
+			t.Fatalf("%s: constructed alias not detected", tc.name)
+		}
+		image, status := codec.Encode(alias)
+		if status != RejectedAlias || image != nil {
+			t.Fatalf("%s: alias block must be rejected, got %v", tc.name, status)
+		}
+		// One fewer valid code word: not an alias, stored raw.
+		nearAlias := aliasBlock(rng, codec, tc.cfg.Threshold-1)
+		if codec.IsAlias(nearAlias) {
+			t.Fatalf("%s: %d valid code words should not alias", tc.name, tc.cfg.Threshold-1)
+		}
+		if _, status := codec.Encode(nearAlias); status != StoredRaw {
+			t.Fatalf("%s: near-alias status = %v", tc.name, status)
+		}
+	}
+}
+
+func TestAliasWouldConfuseDecoder(t *testing.T) {
+	// Demonstrate *why* aliases are rejected: decoding an alias's raw
+	// image treats it as compressed and returns garbage (or an error) —
+	// never the original bytes.
+	rng := rand.New(rand.NewSource(8))
+	codec := NewCodec(NewConfig4())
+	alias := aliasBlock(rng, codec, 3)
+	got, info, err := codec.Decode(alias)
+	if !info.Compressed {
+		t.Fatal("alias image should look compressed to the decoder")
+	}
+	if err == nil && bytes.Equal(got, alias) {
+		t.Fatal("alias decoded to itself — rejection would be unnecessary")
+	}
+}
+
+func TestStaticHashPreventsRepeatedValueAliasing(t *testing.T) {
+	// §3.1: a block holding the same valid code word four times would be
+	// an alias without the per-segment hash. Build such a block and
+	// check both codec variants.
+	cfgNoHash := NewConfig4()
+	cfgNoHash.DisableHash = true
+	noHash := NewCodec(cfgNoHash)
+	withHash := NewCodec(NewConfig4())
+
+	data := make([]byte, 15)
+	for i := range data {
+		data[i] = byte(0x11 * (i + 1))
+	}
+	cw := cfgNoHash.Code.Encode(data)
+	block := make([]byte, BlockBytes)
+	for s := 0; s < 4; s++ {
+		copy(block[16*s:], cw)
+	}
+	if got := noHash.CountValidCodewords(block); got != 4 {
+		t.Fatalf("without hash, repeated code word block has %d valid CWs, want 4", got)
+	}
+	if got := withHash.CountValidCodewords(block); got != 0 {
+		t.Fatalf("with hash, repeated code word block has %d valid CWs, want 0", got)
+	}
+}
+
+func TestZeroBlockNotAliasWithHash(t *testing.T) {
+	// All-zero is a valid code word of every linear code; the hash must
+	// keep the all-zero block from looking protected. (It is also
+	// trivially compressible, so this matters for CountValidCodewords
+	// accounting only.)
+	codec := NewCodec(NewConfig4())
+	zero := make([]byte, BlockBytes)
+	if got := codec.CountValidCodewords(zero); got != 0 {
+		t.Fatalf("zero block valid CWs = %d with hash enabled", got)
+	}
+	cfg := NewConfig4()
+	cfg.DisableHash = true
+	if got := NewCodec(cfg).CountValidCodewords(zero); got != 4 {
+		t.Fatalf("zero block valid CWs = %d without hash, want 4", got)
+	}
+}
+
+func TestRandomBlockCodewordDistribution(t *testing.T) {
+	// Per §3.1, a random 128-bit word is valid with p=1/256; blocks with
+	// >= 2 valid words should be very rare, >= 3 essentially absent.
+	rng := rand.New(rand.NewSource(9))
+	codec := NewCodec(NewConfig4())
+	counts := make([]int, 5)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		counts[codec.CountValidCodewords(randomBlock(rng))]++
+	}
+	if counts[3] > 1 || counts[4] > 0 {
+		t.Fatalf("alias rate too high: %v", counts)
+	}
+	p1 := float64(counts[1]) / trials
+	// E[P(exactly 1 valid)] = C(4,1)(1/256)(255/256)^3 ≈ 1.54%.
+	if p1 < 0.008 || p1 > 0.025 {
+		t.Fatalf("P(1 valid CW) = %f, expected ≈ 0.0154", p1)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	codec := NewCodec(NewConfig4())
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b []byte
+		switch kind % 4 {
+		case 0:
+			b = pointerBlock(rng)
+		case 1:
+			b = textBlock(rng)
+		case 2:
+			b = randomBlock(rng)
+		default:
+			b = make([]byte, BlockBytes)
+			for i := 0; i < 16; i++ {
+				binary.BigEndian.PutUint32(b[4*i:], uint32(int32(rng.Intn(512)-256)))
+			}
+		}
+		image, status := codec.Encode(b)
+		if status == RejectedAlias {
+			return true
+		}
+		got, _, err := codec.Decode(image)
+		return err == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreshold2Ablation(t *testing.T) {
+	// Lowering the threshold to 2 extends correction to scattered double
+	// errors (the §3.1 trade-off) at an orders-of-magnitude higher alias
+	// rate.
+	cfg := NewConfig4()
+	cfg.Threshold = 2
+	codec := NewCodec(cfg)
+	rng := rand.New(rand.NewSource(10))
+	b := pointerBlock(rng)
+	image, _ := codec.Encode(b)
+	corrupted := append([]byte(nil), image...)
+	bitio.FlipBit(corrupted, 3)
+	bitio.FlipBit(corrupted, 128+5)
+	got, info, err := codec.Decode(corrupted)
+	if err != nil || !info.Compressed {
+		t.Fatalf("threshold-2 decode: err=%v info=%+v", err, info)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("threshold-2 failed to correct scattered double error")
+	}
+}
+
+func TestDecodePanicsOnWrongSize(t *testing.T) {
+	codec := NewCodec(NewConfig4())
+	for _, f := range []func(){
+		func() { codec.Encode(make([]byte, 32)) },
+		func() { codec.Decode(make([]byte, 32)) },
+		func() { codec.CountValidCodewords(make([]byte, 32)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on wrong block size")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStoreStatusString(t *testing.T) {
+	if StoredCompressed.String() != "compressed" || StoredRaw.String() != "raw" ||
+		RejectedAlias.String() != "alias-rejected" {
+		t.Fatal("StoreStatus strings wrong")
+	}
+}
+
+func TestCompressedImageDiffersFromPlaintext(t *testing.T) {
+	// Sanity: protected images are hash-masked code words, not plaintext.
+	rng := rand.New(rand.NewSource(11))
+	codec := NewCodec(NewConfig4())
+	b := textBlock(rng)
+	image, status := codec.Encode(b)
+	if status != StoredCompressed {
+		t.Fatal("text should compress")
+	}
+	if bytes.Equal(image, b) {
+		t.Fatal("compressed image equals plaintext")
+	}
+}
+
+var sinkImage []byte
+
+func BenchmarkEncodeCompressible(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	codec := NewCodec(NewConfig4())
+	block := pointerBlock(rng)
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		sinkImage, _ = codec.Encode(block)
+	}
+}
+
+func BenchmarkDecodeCompressible(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	codec := NewCodec(NewConfig4())
+	image, _ := codec.Encode(pointerBlock(rng))
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		sinkImage, _, _ = codec.Decode(image)
+	}
+}
+
+func BenchmarkDecodeRaw(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	codec := NewCodec(NewConfig4())
+	image := incompressibleBlock(rng, codec)
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		sinkImage, _, _ = codec.Decode(image)
+	}
+}
+
+func TestClassifyMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	codec := NewCodec(NewConfig4())
+	for trial := 0; trial < 300; trial++ {
+		var b []byte
+		switch trial % 3 {
+		case 0:
+			b = pointerBlock(rng)
+		case 1:
+			b = randomBlock(rng)
+		default:
+			b = textBlock(rng)
+		}
+		_, status := codec.Encode(b)
+		if got := codec.Classify(b); got != status {
+			t.Fatalf("Classify=%v but Encode=%v", got, status)
+		}
+	}
+	alias := aliasBlock(rng, codec, 3)
+	if codec.Classify(alias) != RejectedAlias {
+		t.Fatal("Classify missed an alias")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Classify should panic on short blocks")
+		}
+	}()
+	codec.Classify(make([]byte, 8))
+}
+
+func TestBitHelpersUnaligned(t *testing.T) {
+	// extractBitsInto / depositBits slow paths (non-byte-aligned offsets
+	// happen with the (64,56) geometry: 56-bit chunks).
+	src := make([]byte, 64)
+	rng := rand.New(rand.NewSource(34))
+	rng.Read(src)
+	for _, off := range []int{0, 3, 56, 111} {
+		for _, n := range []int{5, 56, 120} {
+			if off+n > 8*len(src) {
+				continue
+			}
+			dst := make([]byte, (n+7)/8)
+			extractBitsInto(dst, src, off, n)
+			back := make([]byte, len(src))
+			depositBits(back, off, dst, n)
+			for i := 0; i < n; i++ {
+				if bitio.Bit(back, off+i) != bitio.Bit(src, off+i) {
+					t.Fatalf("off=%d n=%d bit %d mismatch", off, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCOP8SegmentsAreUnaligned(t *testing.T) {
+	// COP-8 has 56-bit data chunks: its round trips drive the unaligned
+	// extract/deposit paths end to end.
+	rng := rand.New(rand.NewSource(35))
+	codec := NewCodec(NewConfig8())
+	for trial := 0; trial < 200; trial++ {
+		b := pointerBlock(rng)
+		img, status := codec.Encode(b)
+		if status != StoredCompressed {
+			continue
+		}
+		got, _, err := codec.Decode(img)
+		if err != nil || !bytes.Equal(got, b) {
+			t.Fatalf("COP-8 round trip: %v", err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip: any block either round-trips exactly through
+// Encode/Decode or is rejected as an alias — never silently mangled.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(make([]byte, BlockBytes))
+	seed := make([]byte, BlockBytes)
+	for i := range seed {
+		seed[i] = byte(255 - i)
+	}
+	f.Add(seed)
+
+	codec4 := NewCodec(NewConfig4())
+	codec8 := NewCodec(NewConfig8())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != BlockBytes {
+			return
+		}
+		for _, codec := range []*Codec{codec4, codec8} {
+			image, status := codec.Encode(data)
+			if status == RejectedAlias {
+				if !codec.IsAlias(data) {
+					t.Fatal("rejection without alias")
+				}
+				continue
+			}
+			got, _, err := codec.Decode(image)
+			if err != nil {
+				t.Fatalf("decode of fresh image: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+	})
+}
+
+// FuzzDecodeArbitraryImages: decoding any 64-byte image never panics and
+// never returns a short block.
+func FuzzDecodeArbitraryImages(f *testing.F) {
+	f.Add(make([]byte, BlockBytes))
+	codec := NewCodec(NewConfig4())
+	er := NewERCodec(NewConfig4())
+	adaptive := NewAdaptiveCodec()
+	f.Fuzz(func(t *testing.T, image []byte) {
+		if len(image) != BlockBytes {
+			return
+		}
+		if b, _, err := codec.Decode(image); err == nil && len(b) != BlockBytes {
+			t.Fatal("codec returned short block")
+		}
+		if b, _, err := er.Read(image); err == nil && len(b) != BlockBytes {
+			t.Fatal("ER returned short block")
+		}
+		if b, _, _, err := adaptive.Decode(image); err == nil && len(b) != BlockBytes {
+			t.Fatal("adaptive returned short block")
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package dram is a DRAMSim2-inspired main-memory timing model: channels,
+// ranks, and banks with an open-row policy, ACT/PRE/RD/WR timing, and
+// FR-FCFS batch scheduling. It reproduces the paper's Table 1 memory
+// configuration (2 channels, 1 DIMM per channel, 2 ranks per DIMM, 8 chips
+// per rank, 1600 MT/s bus, 8 GB total) and supplies the latency
+// distributions the interval simulator needs.
+//
+// The model is cycle-approximate, not cycle-exact: refresh, tFAW, and
+// write-to-read turnaround are abstracted away, since only relative
+// latencies under contention matter for reproducing Figure 11.
+//
+// All times are in memory-bus clock cycles (800 MHz for a 1600 MT/s bus).
+// One memory cycle is CPUCyclesPerMemCycle CPU cycles at the paper's
+// 3.2 GHz core clock.
+package dram
+
+import "sort"
+
+// CPUCyclesPerMemCycle converts memory cycles to 3.2 GHz CPU cycles.
+const CPUCyclesPerMemCycle = 4
+
+// BlockBytes is the transfer granularity (one cache block).
+const BlockBytes = 64
+
+// Timing holds DRAM timing parameters in memory-bus cycles (DDR3-1600
+// defaults).
+type Timing struct {
+	CAS   uint64 // column access (read) latency
+	RCD   uint64 // activate to column command
+	RP    uint64 // precharge latency
+	RAS   uint64 // activate to precharge minimum
+	WR    uint64 // write recovery
+	Burst uint64 // data transfer time for one 64-byte block
+	// REFI/RFC model all-bank refresh: every REFI cycles the rank is
+	// unavailable for RFC cycles. REFI = 0 disables refresh (the
+	// default, matching the published experiment numbers; enable it for
+	// sensitivity studies).
+	REFI uint64
+	RFC  uint64
+}
+
+// DDR31600 is the default timing set (refresh disabled).
+func DDR31600() Timing {
+	return Timing{CAS: 11, RCD: 11, RP: 11, RAS: 28, WR: 12, Burst: 4}
+}
+
+// WithRefresh returns the timing set with DDR3-1600 refresh enabled
+// (tREFI 7.8 µs, tRFC for a 4 Gb device — 6240 and 208 bus cycles).
+func (t Timing) WithRefresh() Timing {
+	t.REFI, t.RFC = 6240, 208
+	return t
+}
+
+// refreshDelay pushes t past any refresh window it falls inside.
+func (tm Timing) refreshDelay(t uint64) uint64 {
+	if tm.REFI == 0 {
+		return t
+	}
+	if pos := t % tm.REFI; pos < tm.RFC {
+		return t + tm.RFC - pos
+	}
+	return t
+}
+
+// PagePolicy selects what happens to a row after a column access.
+type PagePolicy int
+
+// Page policies.
+const (
+	// OpenPage leaves rows open (the paper's configuration: embedded-ECC
+	// related work depends on open rows, and FR-FCFS exploits them).
+	OpenPage PagePolicy = iota
+	// ClosedPage auto-precharges after every access: no row hits, no
+	// conflicts — every access pays ACT+CAS.
+	ClosedPage
+)
+
+// SchedPolicy selects the batch scheduling discipline.
+type SchedPolicy int
+
+// Scheduling policies.
+const (
+	// FRFCFS services row hits first within a batch (first-ready).
+	FRFCFS SchedPolicy = iota
+	// FCFS services strictly in arrival order.
+	FCFS
+)
+
+// Config describes the memory system geometry (Table 1 defaults).
+type Config struct {
+	Channels      int
+	RanksPerChan  int // DIMMs per channel × ranks per DIMM
+	BanksPerRank  int
+	RowBytes      int // row-buffer size per bank
+	CapacityBytes uint64
+	Timing        Timing
+	Page          PagePolicy
+	Sched         SchedPolicy
+}
+
+// DefaultConfig returns the paper's Table 1 memory system.
+func DefaultConfig() Config {
+	return Config{
+		Channels:      2,
+		RanksPerChan:  2, // 1 DIMM per channel, 2 ranks per DIMM
+		BanksPerRank:  8,
+		RowBytes:      8192,
+		CapacityBytes: 8 << 30,
+		Timing:        DDR31600(),
+	}
+}
+
+// Stats counts accesses and row-buffer outcomes.
+type Stats struct {
+	Reads, Writes         uint64
+	RowHits, RowMisses    uint64
+	RowConflicts          uint64 // row miss that also required a precharge
+	TotalLatency          uint64 // sum of (finish - issue) in memory cycles
+	TotalQueueDelay       uint64 // sum of (start - issue)
+	MaxObservedConcurrent int
+}
+
+// Request is one block access.
+type Request struct {
+	Addr  uint64 // byte address
+	Write bool
+}
+
+type bank struct {
+	openRow int64 // -1 when closed
+	readyAt uint64
+}
+
+type channel struct {
+	busFreeAt uint64
+	banks     []bank // ranks × banksPerRank flattened
+}
+
+// System is the DRAM timing model. Not safe for concurrent use.
+type System struct {
+	cfg   Config
+	chans []channel
+	stats Stats
+
+	blocksPerRow uint64
+	banksPerChan uint64
+}
+
+// New builds a System; zero-value fields of cfg fall back to defaults.
+func New(cfg Config) *System {
+	def := DefaultConfig()
+	if cfg.Channels == 0 {
+		cfg = def
+	}
+	s := &System{
+		cfg:          cfg,
+		blocksPerRow: uint64(cfg.RowBytes / BlockBytes),
+		banksPerChan: uint64(cfg.RanksPerChan * cfg.BanksPerRank),
+	}
+	s.chans = make([]channel, cfg.Channels)
+	for i := range s.chans {
+		s.chans[i].banks = make([]bank, s.banksPerChan)
+		for b := range s.chans[i].banks {
+			s.chans[i].banks[b].openRow = -1
+		}
+	}
+	return s
+}
+
+// Config returns the system geometry.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a copy of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats clears the counters without disturbing bank state.
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// location decomposes a byte address into channel, bank (flattened
+// rank×bank), and row. Channel bits sit just above the block offset so
+// consecutive blocks stripe across channels; column bits come next so a
+// row's blocks stay together per channel (open-row friendly).
+func (s *System) location(addr uint64) (ch int, bankIdx uint64, row int64) {
+	blk := addr / BlockBytes
+	ch = int(blk % uint64(s.cfg.Channels))
+	t := blk / uint64(s.cfg.Channels)
+	t /= s.blocksPerRow // discard column
+	bankIdx = t % s.banksPerChan
+	t /= s.banksPerChan
+	return ch, bankIdx, int64(t)
+}
+
+// Access services one request issued at time now and returns its finish
+// time (data fully transferred), advancing bank and bus state.
+func (s *System) Access(now uint64, addr uint64, write bool) uint64 {
+	ch, bi, row := s.location(addr)
+	c := &s.chans[ch]
+	b := &c.banks[bi]
+	tm := s.cfg.Timing
+
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+	start = tm.refreshDelay(start)
+
+	var colReadyAt uint64
+	switch {
+	case b.openRow == row:
+		s.stats.RowHits++
+		colReadyAt = start
+	case b.openRow == -1:
+		s.stats.RowMisses++
+		colReadyAt = start + tm.RCD
+	default:
+		s.stats.RowMisses++
+		s.stats.RowConflicts++
+		colReadyAt = start + tm.RP + tm.RCD
+	}
+	if s.cfg.Page == ClosedPage {
+		// Auto-precharge: the next access to this bank sees it closed.
+		b.openRow = -1
+	} else {
+		b.openRow = row
+	}
+
+	// The column command needs the data bus; serialize on the channel.
+	dataStart := colReadyAt + tm.CAS
+	if c.busFreeAt > dataStart {
+		dataStart = c.busFreeAt
+	}
+	finish := dataStart + tm.Burst
+	c.busFreeAt = finish
+
+	// Bank occupancy: reads free the bank at data end; writes add
+	// recovery time before another column/precharge can follow.
+	b.readyAt = finish
+	if write {
+		b.readyAt = finish + tm.WR
+		s.stats.Writes++
+	} else {
+		s.stats.Reads++
+	}
+	// Respect tRAS loosely: the row stays busy at least RAS after the
+	// (implicit) activate on a miss.
+	if minReady := start + tm.RAS; minReady > b.readyAt {
+		b.readyAt = minReady
+	}
+
+	s.stats.TotalLatency += finish - now
+	s.stats.TotalQueueDelay += start - now
+	return finish
+}
+
+// ServiceBatch schedules a set of simultaneously issued, mutually
+// independent requests (one interval-simulation epoch) with per-channel
+// FR-FCFS: row hits first, then arrival order. It returns each request's
+// finish time, in input order.
+func (s *System) ServiceBatch(now uint64, reqs []Request) []uint64 {
+	finish := make([]uint64, len(reqs))
+	if len(reqs) > s.stats.MaxObservedConcurrent {
+		s.stats.MaxObservedConcurrent = len(reqs)
+	}
+	// Partition by channel, preserving arrival order.
+	type item struct{ idx int }
+	perChan := make([][]int, s.cfg.Channels)
+	for i, r := range reqs {
+		ch, _, _ := s.location(r.Addr)
+		perChan[ch] = append(perChan[ch], i)
+	}
+	for ch, idxs := range perChan {
+		// FR-FCFS: stable-sort row hits (against current open rows)
+		// ahead of misses. This is the first-ready approximation for a
+		// batch that arrives together.
+		c := &s.chans[ch]
+		if s.cfg.Sched == FRFCFS {
+			sort.SliceStable(idxs, func(a, b int) bool {
+				_, ba, ra := s.location(reqs[idxs[a]].Addr)
+				_, bb, rb := s.location(reqs[idxs[b]].Addr)
+				hitA := c.banks[ba].openRow == ra
+				hitB := c.banks[bb].openRow == rb
+				return hitA && !hitB
+			})
+		}
+		for _, i := range idxs {
+			finish[i] = s.Access(now, reqs[i].Addr, reqs[i].Write)
+		}
+	}
+	return finish
+}
+
+// UnloadedReadLatency returns the latency in memory cycles of an isolated
+// read that hits an open row — the model's best case.
+func (s *System) UnloadedReadLatency() uint64 {
+	tm := s.cfg.Timing
+	return tm.CAS + tm.Burst
+}

@@ -1,0 +1,63 @@
+package ecc
+
+// COP XORs a static hash into every compressed code word before writing it
+// to DRAM (and again before decoding). Application data often repeats the
+// same word across a block; if that word happened to be a valid code word,
+// an uncompressed block would contain several valid code words and alias as
+// compressed. Using a *different* fixed mask per 128-bit (or 64-bit)
+// segment breaks this correlation: repeated raw data XORed with distinct
+// masks yields distinct post-hash words, restoring the random-data aliasing
+// odds the paper computes (0.39% per word).
+
+// splitmix64 is the standard SplitMix64 step, used only to derive the
+// static masks deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// HashMasks holds one mask per code word segment of a block.
+type HashMasks struct {
+	masks [][]byte
+}
+
+// NewHashMasks derives segments fixed masks of cwBytes bytes each from a
+// constant seed. The masks are baked into the hardware in the paper; here
+// they are baked into this function.
+//
+// The geometry (segment count and code word size) is mixed into the seed
+// so different COP configurations get *unrelated* pads. This matters for
+// the adaptive two-tier codec: a zero-padded payload makes whole segments
+// all-zero code words, which are valid in every linear code — if both
+// tiers shared one pad byte-stream, a short-payload COP-4 image would
+// systematically alias as a COP-8 image (and vice versa). Distinct pads
+// reduce cross-format aliasing to the random-data odds.
+func NewHashMasks(segments, cwBytes int) *HashMasks {
+	h := &HashMasks{masks: make([][]byte, segments)}
+	state := uint64(0xC0DEC0DE5EC0DED5) ^ splitmix64(uint64(segments)<<32|uint64(cwBytes))
+	for s := range h.masks {
+		m := make([]byte, cwBytes)
+		for i := 0; i < cwBytes; i += 8 {
+			state = splitmix64(state)
+			v := state
+			for j := 0; j < 8 && i+j < cwBytes; j++ {
+				m[i+j] = byte(v >> uint(56-8*j))
+			}
+		}
+		h.masks[s] = m
+	}
+	return h
+}
+
+// Apply XORs segment seg's mask into cw in place. Apply is its own inverse.
+func (h *HashMasks) Apply(seg int, cw []byte) {
+	m := h.masks[seg]
+	for i := range cw {
+		cw[i] ^= m[i]
+	}
+}
+
+// Mask returns segment seg's mask (shared storage; callers must not mutate).
+func (h *HashMasks) Mask(seg int) []byte { return h.masks[seg] }

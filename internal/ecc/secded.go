@@ -1,0 +1,265 @@
+// Package ecc implements the error-correcting codes COP relies on: a
+// generic Hsiao odd-weight-column SECDED construction (used for the
+// (72,64), (128,120), (64,56) and (523,512) codes in the paper), a plain
+// Hamming SEC code (used for the 28-bit ECC-region pointers), and the
+// static hash masks COP XORs into code words to de-bias repeated values.
+//
+// A code word is laid out systematically: the k data bits occupy bit
+// positions 0..k-1 and the r = n-k check bits occupy positions k..n-1, all
+// in bitio's MSB-first order. A "valid code word" is one whose syndrome is
+// zero — the property COP's decoder counts to distinguish compressed
+// (protected) blocks from raw ones.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cop/internal/bitio"
+)
+
+// Kind selects the code construction.
+type Kind int
+
+const (
+	// Hsiao builds a single-error-correcting, double-error-detecting
+	// code from distinct odd-weight parity-check columns (Hsiao 1970).
+	Hsiao Kind = iota
+	// HammingSEC builds a single-error-correcting (only) code from
+	// distinct nonzero columns. Double errors may miscorrect.
+	HammingSEC
+)
+
+// Result classifies the outcome of decoding one code word.
+type Result int
+
+const (
+	// NoError means the syndrome was zero: a valid code word.
+	NoError Result = iota
+	// Corrected means a single-bit error was detected and repaired.
+	Corrected
+	// Uncorrectable means the syndrome indicates a multi-bit error (for
+	// Hsiao codes: an even-weight or unmapped syndrome).
+	Uncorrectable
+)
+
+func (r Result) String() string {
+	switch r {
+	case NoError:
+		return "no-error"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Code is an (n,k) systematic block code with bit-granularity encode,
+// syndrome, and decode operations. It is immutable and safe for concurrent
+// use after construction.
+type Code struct {
+	n, k, r int
+	kind    Kind
+
+	cols []uint16 // parity-check column per code word bit position
+	pos  map[uint16]int
+
+	// synTab[b][v] is the syndrome contribution of code word byte b
+	// holding value v; the encoder and decoder reduce to XORs of table
+	// lookups.
+	synTab [][256]uint16
+
+	nBytes    int  // ceil(n/8)
+	tailMask  byte // mask of valid bits in the final code word byte
+	dataBytes int  // ceil(k/8)
+}
+
+// New constructs an (n,k) code of the given kind. It panics if the
+// parameters are infeasible (callers pass compile-time constants).
+func New(n, k int, kind Kind) *Code {
+	r := n - k
+	if r < 2 || r > 16 || k <= 0 || n <= k {
+		panic(fmt.Sprintf("ecc: invalid code (%d,%d)", n, k))
+	}
+	var capacity int
+	if kind == Hsiao {
+		capacity = 1<<(r-1) - r // odd-weight columns minus the unit vectors
+	} else {
+		capacity = 1<<r - 1 - r // nonzero columns minus the unit vectors
+	}
+	if k > capacity {
+		panic(fmt.Sprintf("ecc: (%d,%d) infeasible: %d data columns available", n, k, capacity))
+	}
+
+	c := &Code{n: n, k: k, r: r, kind: kind}
+	c.cols = make([]uint16, n)
+	c.pos = make(map[uint16]int, n)
+
+	// Data bit columns: enumerate candidate columns in increasing weight
+	// then increasing value, skipping unit vectors. The order is fixed so
+	// that encoder and decoder (and any two builds) agree.
+	assigned := 0
+	for w := 2; w <= r && assigned < k; w++ {
+		if kind == Hsiao && w%2 == 0 {
+			continue
+		}
+		if kind == Hsiao && w == 1 {
+			continue
+		}
+		for v := uint16(0); int(v) < 1<<r && assigned < k; v++ {
+			if bits.OnesCount16(v) != w {
+				continue
+			}
+			c.cols[assigned] = v
+			assigned++
+		}
+	}
+	if assigned < k {
+		panic(fmt.Sprintf("ecc: column enumeration shortfall for (%d,%d)", n, k))
+	}
+	// Check bit columns: unit vectors.
+	for j := 0; j < r; j++ {
+		c.cols[k+j] = 1 << uint(j)
+	}
+	for i, col := range c.cols {
+		c.pos[col] = i
+	}
+
+	c.nBytes = (n + 7) / 8
+	c.dataBytes = (k + 7) / 8
+	if n%8 == 0 {
+		c.tailMask = 0xFF
+	} else {
+		c.tailMask = byte(0xFF) << uint(8-n%8)
+	}
+
+	c.synTab = make([][256]uint16, c.nBytes)
+	for b := 0; b < c.nBytes; b++ {
+		for v := 0; v < 256; v++ {
+			var s uint16
+			for j := 0; j < 8; j++ {
+				if v&(0x80>>uint(j)) == 0 {
+					continue
+				}
+				pos := 8*b + j
+				if pos < n {
+					s ^= c.cols[pos]
+				}
+			}
+			c.synTab[b][v] = s
+		}
+	}
+	return c
+}
+
+// N returns the code word length in bits.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data bits.
+func (c *Code) K() int { return c.k }
+
+// R returns the number of check bits.
+func (c *Code) R() int { return c.r }
+
+// CodewordBytes returns the code word size in bytes (n rounded up).
+func (c *Code) CodewordBytes() int { return c.nBytes }
+
+// Encode produces an n-bit code word (in a fresh ceil(n/8)-byte slice) for
+// the first k bits of data.
+func (c *Code) Encode(data []byte) []byte {
+	cw := make([]byte, c.nBytes)
+	c.EncodeInto(cw, data)
+	return cw
+}
+
+// EncodeInto writes the code word for the first k bits of data into cw,
+// which must be CodewordBytes() long. Bits beyond n in the final byte are
+// zeroed.
+func (c *Code) EncodeInto(cw, data []byte) {
+	if len(cw) != c.nBytes {
+		panic("ecc: EncodeInto: wrong code word size")
+	}
+	for i := range cw {
+		cw[i] = 0
+	}
+	if c.k%8 == 0 {
+		copy(cw, data[:c.k/8])
+	} else {
+		full := c.k / 8
+		copy(cw, data[:full])
+		cw[full] = data[full] & (byte(0xFF) << uint(8-c.k%8))
+	}
+	// Syndrome of the data portion equals the needed check bits (unit
+	// vector columns make each check bit independent).
+	var s uint16
+	for b := 0; b < c.nBytes; b++ {
+		s ^= c.synTab[b][cw[b]]
+	}
+	for j := 0; j < c.r; j++ {
+		if s&(1<<uint(j)) != 0 {
+			bitio.SetBit(cw, c.k+j, 1)
+		}
+	}
+}
+
+// Syndrome computes the r-bit syndrome of an n-bit code word.
+func (c *Code) Syndrome(cw []byte) uint16 {
+	var s uint16
+	for b := 0; b < c.nBytes; b++ {
+		s ^= c.synTab[b][cw[b]]
+	}
+	return s
+}
+
+// Valid reports whether cw is a valid code word (zero syndrome). This is
+// the check COP's decoder performs four (or eight) times per block.
+func (c *Code) Valid(cw []byte) bool { return c.Syndrome(cw) == 0 }
+
+// Decode checks cw and corrects an in-place single-bit error if one is
+// present. It returns the classification and, for Corrected, the bit
+// position that was flipped back (otherwise -1).
+func (c *Code) Decode(cw []byte) (Result, int) {
+	s := c.Syndrome(cw)
+	if s == 0 {
+		return NoError, -1
+	}
+	if p, ok := c.pos[s]; ok {
+		bitio.FlipBit(cw, p)
+		return Corrected, p
+	}
+	return Uncorrectable, -1
+}
+
+// Data extracts the k data bits of cw into a fresh ceil(k/8)-byte slice
+// (left-aligned; trailing pad bits zero).
+func (c *Code) Data(cw []byte) []byte {
+	out := make([]byte, c.dataBytes)
+	copy(out, cw[:c.dataBytes])
+	if c.k%8 != 0 {
+		out[c.dataBytes-1] &= byte(0xFF) << uint(8-c.k%8)
+	}
+	return out
+}
+
+// Standard code instances used throughout the reproduction. Construction
+// is cheap (a few tables) and happens once at package init.
+var (
+	// SECDED7264 is the (72,64) code of commodity ECC DIMMs: 8 check
+	// bits per 64-bit word. The paper notes it is a truncation of the
+	// full (128,120) code.
+	SECDED7264 = New(72, 64, Hsiao)
+	// SECDED128120 protects 120 data bits with 8 check bits; COP-4
+	// splits each compressed 64-byte block into four of these.
+	SECDED128120 = New(128, 120, Hsiao)
+	// SECDED6456 protects 56 data bits with 8 check bits; COP-8 splits
+	// each compressed block into eight of these.
+	SECDED6456 = New(64, 56, Hsiao)
+	// SECDED523512 protects a whole 512-bit block with 11 check bits;
+	// the ECC-region baseline and COP-ER entries use it.
+	SECDED523512 = New(523, 512, Hsiao)
+	// SEC3428 protects COP-ER's 28-bit ECC-region pointers with 6 check
+	// bits (single-error correction only).
+	SEC3428 = New(34, 28, HammingSEC)
+)

@@ -1,0 +1,338 @@
+package ecc
+
+import (
+	"bytes"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cop/internal/bitio"
+)
+
+var allCodes = []struct {
+	name string
+	c    *Code
+}{
+	{"(72,64)", SECDED7264},
+	{"(128,120)", SECDED128120},
+	{"(64,56)", SECDED6456},
+	{"(523,512)", SECDED523512},
+	{"(34,28)", SEC3428},
+}
+
+func randomData(rng *rand.Rand, c *Code) []byte {
+	data := make([]byte, (c.K()+7)/8)
+	rng.Read(data)
+	if c.K()%8 != 0 {
+		data[len(data)-1] &= byte(0xFF) << uint(8-c.K()%8)
+	}
+	return data
+}
+
+func TestCodeParameters(t *testing.T) {
+	for _, tc := range allCodes {
+		if tc.c.N()-tc.c.K() != tc.c.R() {
+			t.Errorf("%s: n-k != r", tc.name)
+		}
+		if tc.c.CodewordBytes() != (tc.c.N()+7)/8 {
+			t.Errorf("%s: CodewordBytes mismatch", tc.name)
+		}
+	}
+	if SECDED128120.R() != 8 || SECDED6456.R() != 8 || SECDED523512.R() != 11 || SEC3428.R() != 6 {
+		t.Fatal("check-bit counts disagree with the paper")
+	}
+}
+
+func TestColumnsDistinctAndOddWeight(t *testing.T) {
+	for _, tc := range allCodes {
+		seen := map[uint16]bool{}
+		for i, col := range tc.c.cols {
+			if col == 0 {
+				t.Fatalf("%s: zero column at %d", tc.name, i)
+			}
+			if seen[col] {
+				t.Fatalf("%s: duplicate column %#x", tc.name, col)
+			}
+			seen[col] = true
+			if tc.c.kind == Hsiao && bits.OnesCount16(col)%2 == 0 {
+				t.Fatalf("%s: even-weight column %#x in Hsiao code", tc.name, col)
+			}
+		}
+	}
+}
+
+func TestEncodeProducesValidCodeword(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range allCodes {
+		for trial := 0; trial < 200; trial++ {
+			cw := tc.c.Encode(randomData(rng, tc.c))
+			if !tc.c.Valid(cw) {
+				t.Fatalf("%s: encoded word has syndrome %#x", tc.name, tc.c.Syndrome(cw))
+			}
+			res, pos := tc.c.Decode(cw)
+			if res != NoError || pos != -1 {
+				t.Fatalf("%s: decode of clean word: %v %d", tc.name, res, pos)
+			}
+		}
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range allCodes {
+		for trial := 0; trial < 100; trial++ {
+			data := randomData(rng, tc.c)
+			cw := tc.c.Encode(data)
+			if got := tc.c.Data(cw); !bytes.Equal(got, data) {
+				t.Fatalf("%s: data round trip: got %x want %x", tc.name, got, data)
+			}
+		}
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, tc := range allCodes {
+		data := randomData(rng, tc.c)
+		ref := tc.c.Encode(data)
+		for bit := 0; bit < tc.c.N(); bit++ {
+			cw := append([]byte(nil), ref...)
+			bitio.FlipBit(cw, bit)
+			res, pos := tc.c.Decode(cw)
+			if res != Corrected {
+				t.Fatalf("%s: flip bit %d: result %v", tc.name, bit, res)
+			}
+			if pos != bit {
+				t.Fatalf("%s: flip bit %d corrected at %d", tc.name, bit, pos)
+			}
+			if !bytes.Equal(cw, ref) {
+				t.Fatalf("%s: correction of bit %d did not restore word", tc.name, bit)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	// Hsiao codes must flag every double error as uncorrectable (even
+	// syndrome weight), never miscorrect.
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range allCodes {
+		if tc.c.kind != Hsiao {
+			continue
+		}
+		data := randomData(rng, tc.c)
+		ref := tc.c.Encode(data)
+		for trial := 0; trial < 500; trial++ {
+			i := rng.Intn(tc.c.N())
+			j := rng.Intn(tc.c.N())
+			if i == j {
+				continue
+			}
+			cw := append([]byte(nil), ref...)
+			bitio.FlipBit(cw, i)
+			bitio.FlipBit(cw, j)
+			res, _ := tc.c.Decode(cw)
+			if res != Uncorrectable {
+				t.Fatalf("%s: double error (%d,%d) classified %v", tc.name, i, j, res)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetectionExhaustive6456(t *testing.T) {
+	// Small enough to sweep every (i,j) pair.
+	c := SECDED6456
+	ref := c.Encode([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45})
+	for i := 0; i < c.N(); i++ {
+		for j := i + 1; j < c.N(); j++ {
+			cw := append([]byte(nil), ref...)
+			bitio.FlipBit(cw, i)
+			bitio.FlipBit(cw, j)
+			if res, _ := c.Decode(cw); res != Uncorrectable {
+				t.Fatalf("double error (%d,%d) classified %v", i, j, res)
+			}
+		}
+	}
+}
+
+func TestRandomWordValidProbability(t *testing.T) {
+	// A uniformly random n-bit word is a valid code word with
+	// probability 2^-r: 1/256 for the 8-check-bit codes (the paper's
+	// 0.39% figure). Statistical test with generous tolerance.
+	rng := rand.New(rand.NewSource(2024))
+	c := SECDED128120
+	const trials = 200000
+	valid := 0
+	cw := make([]byte, c.CodewordBytes())
+	for i := 0; i < trials; i++ {
+		rng.Read(cw)
+		if c.Valid(cw) {
+			valid++
+		}
+	}
+	p := float64(valid) / trials
+	if p < 0.0025 || p > 0.0055 {
+		t.Fatalf("valid-word probability %f, expected near 1/256=0.0039", p)
+	}
+}
+
+func TestEncodeIntoRejectsWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong code word size")
+		}
+	}()
+	SECDED7264.EncodeInto(make([]byte, 3), make([]byte, 8))
+}
+
+func TestNonByteAlignedCode(t *testing.T) {
+	// (523,512): 523 bits = 65.375 bytes. Ensure tail handling is exact.
+	c := SECDED523512
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 64)
+	rng.Read(data)
+	cw := c.Encode(data)
+	if len(cw) != 66 {
+		t.Fatalf("codeword bytes = %d, want 66", len(cw))
+	}
+	// Bits beyond 523 must be zero.
+	for i := 523; i < 528; i++ {
+		if bitio.Bit(cw, i) != 0 {
+			t.Fatalf("pad bit %d set", i)
+		}
+	}
+	if !c.Valid(cw) {
+		t.Fatal("encoded (523,512) word invalid")
+	}
+	if !bytes.Equal(c.Data(cw), data) {
+		t.Fatal("(523,512) data round trip failed")
+	}
+}
+
+func TestSEC3428CorrectsPointerBits(t *testing.T) {
+	c := SEC3428
+	data := []byte{0x0A, 0xBC, 0xDE, 0xF0} // 28 data bits left-aligned
+	data[3] &= 0xF0
+	cw := c.Encode(data)
+	for bit := 0; bit < c.N(); bit++ {
+		w := append([]byte(nil), cw...)
+		bitio.FlipBit(w, bit)
+		res, pos := c.Decode(w)
+		if res != Corrected || pos != bit {
+			t.Fatalf("SEC(34,28): flip %d -> %v at %d", bit, res, pos)
+		}
+		if !bytes.Equal(w, cw) {
+			t.Fatalf("SEC(34,28): bit %d not restored", bit)
+		}
+	}
+}
+
+func TestNewPanicsOnInfeasible(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{130, 122}, // r=8 Hsiao supports at most 120 data bits
+		{8, 8},     // r=0
+		{4, 3},     // r too small
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", tc.n, tc.k)
+				}
+			}()
+			New(tc.n, tc.k, Hsiao)
+		}()
+	}
+}
+
+func TestEncodeQuickValid(t *testing.T) {
+	c := SECDED128120
+	f := func(raw [15]byte) bool {
+		cw := c.Encode(raw[:])
+		return c.Valid(cw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyndromeLinear(t *testing.T) {
+	// Syndrome is linear: syn(a XOR b) == syn(a) XOR syn(b).
+	c := SECDED128120
+	f := func(a, b [16]byte) bool {
+		var x [16]byte
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		return c.Syndrome(x[:]) == c.Syndrome(a[:])^c.Syndrome(b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMasksDistinctAndInvolutive(t *testing.T) {
+	h := NewHashMasks(8, 16)
+	seen := map[string]bool{}
+	for s := 0; s < 8; s++ {
+		m := string(h.Mask(s))
+		if seen[m] {
+			t.Fatalf("duplicate hash mask for segment %d", s)
+		}
+		seen[m] = true
+	}
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	orig := append([]byte(nil), buf...)
+	h.Apply(3, buf)
+	if bytes.Equal(buf, orig) {
+		t.Fatal("Apply changed nothing")
+	}
+	h.Apply(3, buf)
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("Apply is not an involution")
+	}
+}
+
+func TestHashMasksDeterministic(t *testing.T) {
+	a := NewHashMasks(4, 16)
+	b := NewHashMasks(4, 16)
+	for s := 0; s < 4; s++ {
+		if !bytes.Equal(a.Mask(s), b.Mask(s)) {
+			t.Fatal("hash masks are not deterministic")
+		}
+	}
+}
+
+func BenchmarkEncode128120(b *testing.B) {
+	data := make([]byte, 15)
+	for i := range data {
+		data[i] = byte(i * 17)
+	}
+	cw := make([]byte, SECDED128120.CodewordBytes())
+	b.SetBytes(15)
+	for i := 0; i < b.N; i++ {
+		SECDED128120.EncodeInto(cw, data)
+	}
+}
+
+func BenchmarkSyndrome128120(b *testing.B) {
+	cw := SECDED128120.Encode([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		SECDED128120.Syndrome(cw)
+	}
+}
+
+func BenchmarkDecodeCorrect128120(b *testing.B) {
+	ref := SECDED128120.Encode([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	cw := make([]byte, len(ref))
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		copy(cw, ref)
+		bitio.FlipBit(cw, i%128)
+		if res, _ := SECDED128120.Decode(cw); res != Corrected {
+			b.Fatal("correction failed")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cop/internal/core"
+	"cop/internal/workload"
+)
+
+func init() {
+	register("census", census)
+}
+
+// census breaks each benchmark's accessed blocks down by content category
+// and COP disposition — the bridge between the workload models
+// (docs/WORKLOADS.md) and the compressibility figures built on them.
+func census(o Options) (*Report, error) {
+	categories := []string{"zero", "int", "ptr", "fp=exp", "fp~exp", "text", "near-rnd", "struct", "random"}
+	codec := core.NewCodec(core.NewConfig4())
+	benches := workload.MemoryIntensiveSet()
+	r := &Report{
+		ID:     "census",
+		Title:  "Accessed-block content census and COP disposition per benchmark",
+		Header: append(append([]string{"benchmark"}, categories...), "compressed", "raw"),
+		Notes: []string{
+			"categories are the workload model's content classes (docs/WORKLOADS.md)",
+			"compressed/raw is the COP-4 write-path classification of the same samples",
+		},
+	}
+
+	type row struct {
+		cats            [9]int
+		compressed, raw int
+		total           int
+	}
+	rows := make([]row, len(benches))
+	if err := forEach(len(benches), func(bi int) error {
+		p := benches[bi]
+		tr := p.NewTrace(0xCE2505)
+		for rows[bi].total < o.Samples {
+			ep := tr.Next()
+			for _, m := range ep.Misses {
+				rows[bi].total++
+				cat := p.Category(m.Addr)
+				if cat >= 0 && cat < len(rows[bi].cats) {
+					rows[bi].cats[cat]++
+				}
+				if codec.Classify(p.Block(m.Addr, m.Version)) == core.StoredCompressed {
+					rows[bi].compressed++
+				} else {
+					rows[bi].raw++
+				}
+				if rows[bi].total == o.Samples {
+					break
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for bi, p := range benches {
+		out := []string{p.Name}
+		for _, c := range rows[bi].cats {
+			out = append(out, fmt.Sprintf("%.0f%%", 100*float64(c)/float64(rows[bi].total)))
+		}
+		out = append(out,
+			pct(float64(rows[bi].compressed)/float64(rows[bi].total)),
+			pct(float64(rows[bi].raw)/float64(rows[bi].total)))
+		r.Rows = append(r.Rows, out)
+	}
+	return r, nil
+}

@@ -1,0 +1,222 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§4): compressibility sweeps (Figures 1, 4, 8, 9), the
+// code-word/alias census (Table 3 and the §3.1 analytics), the reliability
+// model (Figure 10 and the ECC-DIMM comparison), the 4-core performance
+// comparison (Figure 11), and the ECC-storage comparison (Figure 12), plus
+// the configuration tables. Each experiment produces a Report whose rows
+// mirror what the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one experiment's regenerated table.
+type Report struct {
+	// ID is the experiment key (e.g. "fig9", "table3").
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Header names the columns; Rows hold the data, stringified.
+	Header []string
+	Rows   [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// Format renders the report as aligned text.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the report as RFC-4180 CSV (header row first); notes are
+// omitted — CSV is for machines.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Options tune experiment cost; zero values mean full-fidelity defaults.
+type Options struct {
+	// Samples is the number of accessed blocks sampled per benchmark in
+	// compressibility experiments (default 20000).
+	Samples int
+	// AliasSamples is the Monte-Carlo size for Table 3 (default 2e6).
+	AliasSamples int
+	// Epochs is the per-core epoch count for performance/reliability
+	// runs (default 3000).
+	Epochs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples == 0 {
+		o.Samples = 20000
+	}
+	if o.AliasSamples == 0 {
+		o.AliasSamples = 2_000_000
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 3000
+	}
+	return o
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Report, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(opts.withDefaults())
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// pctPrec formats with more digits for tiny probabilities.
+func pctPrec(f float64, digits int) string {
+	return fmt.Sprintf("%.*f%%", digits, 100*f)
+}
+
+// Chart renders one numeric column as a horizontal ASCII bar chart —
+// the closest a terminal gets to the paper's figures. col indexes the
+// column (negative: from the end). Non-numeric cells are skipped; values
+// may carry % or x suffixes.
+func (r *Report) Chart(col, width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	if col < 0 {
+		col += len(r.Header)
+	}
+	if col <= 0 || col >= len(r.Header) {
+		return fmt.Sprintf("chart: column out of range (have %d)\n", len(r.Header))
+	}
+	type bar struct {
+		label string
+		val   float64
+	}
+	var bars []bar
+	maxVal, labelW := 0.0, 0
+	for _, row := range r.Rows {
+		if col >= len(row) {
+			continue
+		}
+		v, ok := parseNumeric(row[col])
+		if !ok {
+			continue
+		}
+		bars = append(bars, bar{row[0], v})
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	if len(bars) == 0 || maxVal <= 0 {
+		return "chart: no numeric data in column " + r.Header[col] + "\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", r.ID, r.Title, r.Header[col])
+	for _, bar := range bars {
+		n := int(bar.val / maxVal * float64(width))
+		fmt.Fprintf(&b, "%-*s %s%s %s\n", labelW, bar.label,
+			strings.Repeat("█", n), strings.Repeat("·", width-n),
+			strings.TrimSpace(fmt.Sprintf("%g", round2(bar.val))))
+	}
+	return b.String()
+}
+
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	if s == "" {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func round2(v float64) float64 {
+	if v < 0 {
+		return -round2(-v)
+	}
+	return float64(int(v*100+0.5)) / 100
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cop/internal/sim"
+	"cop/internal/workload"
+)
+
+func init() {
+	register("fig11", fig11)
+}
+
+// fig11 reproduces Figure 11: IPC of COP, COP-ER, and the ECC-region
+// baseline, normalized to the unprotected system, on 4-core runs (4 copies
+// for SPEC, the 4-thread trace for PARSEC).
+func fig11(o Options) (*Report, error) {
+	r := &Report{
+		ID:     "fig11",
+		Title:  "Normalized IPC, 4-core runs (unprotected = 1.0)",
+		Header: []string{"benchmark", "Unprot.", "COP", "COP-ER", "ECC Reg."},
+		Notes: []string{
+			"paper: COP within ~1% of unprotected; COP-ER slightly lower; COP-ER ≈8% better than the ECC region baseline",
+		},
+	}
+	schemes := []sim.Scheme{sim.Unprotected, sim.COP, sim.COPER, sim.ECCRegion}
+	benches := workload.MemoryIntensiveSet()
+
+	type accum struct {
+		logSum [4]float64
+		sum    [4]float64
+		n      int
+	}
+	var all accum
+	suites := map[workload.Suite]*accum{}
+
+	// Every (benchmark, scheme) simulation is independent: run the
+	// benchmarks in parallel, then aggregate in order.
+	norms := make([][4]float64, len(benches))
+	if err := forEach(len(benches), func(bi int) error {
+		var base float64
+		for i, s := range schemes {
+			cfg := sim.DefaultConfig(s)
+			cfg.EpochsPerCore = o.Epochs
+			res, err := sim.Run(cfg, benches[bi].Name)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				base = res.IPC
+			}
+			norms[bi][i] = res.IPC / base
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for bi, p := range benches {
+		row := []string{p.Name}
+		for _, v := range norms[bi] {
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		r.Rows = append(r.Rows, row)
+		if suites[p.Suite] == nil {
+			suites[p.Suite] = &accum{}
+		}
+		for i, v := range norms[bi] {
+			all.sum[i] += v
+			all.logSum[i] += ln(v)
+			suites[p.Suite].sum[i] += v
+		}
+		all.n++
+		suites[p.Suite].n++
+	}
+
+	geo := []string{"Geomean"}
+	for i := range schemes {
+		geo = append(geo, fmt.Sprintf("%.3f", exp(all.logSum[i]/float64(all.n))))
+	}
+	r.Rows = append(r.Rows, geo)
+	specN := float64(suites[workload.SPECint].n + suites[workload.SPECfp].n)
+	spec := []string{"SPEC2006"}
+	for i := range schemes {
+		spec = append(spec, fmt.Sprintf("%.3f",
+			(suites[workload.SPECint].sum[i]+suites[workload.SPECfp].sum[i])/specN))
+	}
+	r.Rows = append(r.Rows, spec)
+	parsec := []string{"PARSEC"}
+	for i := range schemes {
+		parsec = append(parsec, fmt.Sprintf("%.3f",
+			suites[workload.PARSEC].sum[i]/float64(suites[workload.PARSEC].n)))
+	}
+	r.Rows = append(r.Rows, parsec)
+	return r, nil
+}
+
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cop/internal/core"
+	"cop/internal/reliability"
+	"cop/internal/workload"
+)
+
+func init() {
+	register("fig10", fig10)
+	register("dimmcmp", dimmCompare)
+}
+
+// protClass classifies how one block version would be resident in DRAM
+// under a COP configuration.
+func protClass(codec *core.Codec, p *workload.Profile, addr uint64, version uint32) reliability.Protection {
+	if codec.Classify(p.Block(addr, version)) == core.StoredCompressed {
+		return reliability.SECDED
+	}
+	return reliability.Unprotected
+}
+
+// runVulnerability replays a benchmark's trace through the vulnerability
+// tracker for one protection policy. policy returns the protection of a
+// block version; nil means everything protected (COP-ER).
+func runVulnerability(p *workload.Profile, epochs int,
+	policy func(addr uint64, version uint32) reliability.Protection) *reliability.Tracker {
+
+	tr := p.NewTrace(0xF17)
+	tracker := reliability.NewTracker()
+	// Time advances by the epoch's instruction count (absolute scale
+	// cancels in the reduction ratio).
+	now := uint64(0)
+	prot := func(addr uint64, version uint32) reliability.Protection {
+		if policy == nil {
+			return reliability.SECDED
+		}
+		return policy(addr, version)
+	}
+	for e := 0; e < epochs; e++ {
+		ep := tr.Next()
+		now += ep.Instructions
+		for _, m := range ep.Misses {
+			// First-touch blocks are classified lazily at their current
+			// version (cold data has been resident since load time).
+			tracker.SetProtection(m.Addr, prot(m.Addr, m.Version))
+			tracker.Read(m.Addr, now)
+		}
+		for _, w := range ep.Writebacks {
+			tracker.Write(w.Addr, now, prot(w.Addr, w.Version))
+		}
+	}
+	return tracker
+}
+
+// fig10 reproduces Figure 10: reduction in (silent) error rate for COP
+// with 8-byte ECC, COP with 4-byte ECC, and COP-ER.
+func fig10(o Options) (*Report, error) {
+	codec8 := core.NewCodec(core.NewConfig8())
+	codec4 := core.NewCodec(core.NewConfig4())
+	r := &Report{
+		ID:     "fig10",
+		Title:  "Error rate reduction (5000 FIT/Mbit raw rate, vulnerability-clock model)",
+		Header: []string{"benchmark", "COP 8-byte ECC", "COP 4-byte ECC", "COP-ER 4-byte ECC"},
+		Notes: []string{
+			"paper: 4-byte COP averages 93%; COP-ER is ~100% everywhere",
+		},
+	}
+	var sums [3]float64
+	suiteSums := map[workload.Suite][3]float64{}
+	suiteN := map[workload.Suite]int{}
+	benches := workload.MemoryIntensiveSet()
+	results := make([][3]float64, len(benches))
+	if err := forEach(len(benches), func(bi int) error {
+		p := benches[bi]
+		t8 := runVulnerability(p, o.Epochs, func(a uint64, v uint32) reliability.Protection {
+			return protClass(codec8, p, a, v)
+		})
+		t4 := runVulnerability(p, o.Epochs, func(a uint64, v uint32) reliability.Protection {
+			return protClass(codec4, p, a, v)
+		})
+		ter := runVulnerability(p, o.Epochs, nil)
+		results[bi] = [3]float64{t8.ErrorRateReduction(), t4.ErrorRateReduction(), ter.ErrorRateReduction()}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for bi, p := range benches {
+		vals := results[bi]
+		r.Rows = append(r.Rows, []string{p.Name, pct(vals[0]), pct(vals[1]), pct(vals[2])})
+		for i, v := range vals {
+			sums[i] += v
+		}
+		ss := suiteSums[p.Suite]
+		for i, v := range vals {
+			ss[i] += v
+		}
+		suiteSums[p.Suite] = ss
+		suiteN[p.Suite]++
+	}
+	specN := float64(suiteN[workload.SPECint] + suiteN[workload.SPECfp])
+	specRow := []string{"SPEC2006"}
+	for i := 0; i < 3; i++ {
+		specRow = append(specRow, pct((suiteSums[workload.SPECint][i]+suiteSums[workload.SPECfp][i])/specN))
+	}
+	r.Rows = append(r.Rows, specRow)
+	parsecRow := []string{"PARSEC"}
+	for i := 0; i < 3; i++ {
+		parsecRow = append(parsecRow, pct(suiteSums[workload.PARSEC][i]/float64(suiteN[workload.PARSEC])))
+	}
+	r.Rows = append(r.Rows, parsecRow)
+	avgRow := []string{"Average"}
+	for i := 0; i < 3; i++ {
+		avgRow = append(avgRow, pct(sums[i]/float64(len(benches))))
+	}
+	r.Rows = append(r.Rows, avgRow)
+	return r, nil
+}
+
+// dimmCompare reproduces the §4 COP-ER vs ECC-DIMM observation: with only
+// multi-bit same-word errors uncorrectable, COP-ER's wide (523,512) code is
+// ~6x more exposed than the DIMM's (72,64) words — both tiny versus
+// unprotected.
+func dimmCompare(o Options) (*Report, error) {
+	ratio := reliability.DoubleErrorExposureRatio(523, 512, 72, 64)
+	cop4 := reliability.DoubleErrorExposureRatio(128, 120, 72, 64)
+	r := &Report{
+		ID:     "dimmcmp",
+		Title:  "COP-ER vs ECC DIMM: double-error exposure of wide vs narrow code words",
+		Header: []string{"comparison", "exposure ratio"},
+		Rows: [][]string{
+			{"COP-ER (523,512) vs ECC DIMM (72,64)", fmt.Sprintf("%.1fx", ratio)},
+			{"COP-4 word (128,120) vs ECC DIMM (72,64)", fmt.Sprintf("%.1fx", cop4)},
+		},
+		Notes: []string{
+			"paper: COP-ER's error rate is ~6x an ECC DIMM's; both provide high coverage vs unprotected",
+			"COP-ER also holds fewer vulnerable bits than a DIMM (no 8 check bits per 64), which the paper notes favors COP-ER under proportional multi-bit models",
+		},
+	}
+	return r, nil
+}

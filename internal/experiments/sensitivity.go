@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cop/internal/sim"
+)
+
+func init() {
+	register("sensitivity", sensitivity)
+}
+
+// sensitivity sweeps the two modeling assumptions a reviewer would poke
+// at: the decoder latency COP adds to compressed reads (the paper assumes
+// 4 cycles) and the slice of L3 capacity holding ECC metadata for the
+// region-based schemes.
+func sensitivity(o Options) (*Report, error) {
+	r := &Report{
+		ID:    "sensitivity",
+		Title: "Sensitivity of the performance results to modeling assumptions",
+		Notes: []string{
+			"normalized IPC on mcf (4-core); unprotected = 1.0",
+			"decoder latency barely matters until it rivals DRAM latency — the paper's 4-cycle assumption is not load-bearing",
+		},
+		Header: []string{"knob", "setting", "COP", "COP-ER", "ECC Reg."},
+	}
+
+	baseIPC := func(cfg sim.Config) (float64, error) {
+		cfg.Scheme = sim.Unprotected
+		res, err := sim.Run(cfg, "mcf")
+		return res.IPC, err
+	}
+
+	type setting struct {
+		knob  string
+		label string
+		mod   func(*sim.Config)
+	}
+	settings := []setting{
+		{"decode latency", "1 cycle", func(c *sim.Config) { c.DecompressLatency = 1 }},
+		{"decode latency", "4 cycles (paper)", func(c *sim.Config) { c.DecompressLatency = 4 }},
+		{"decode latency", "16 cycles", func(c *sim.Config) { c.DecompressLatency = 16 }},
+		{"decode latency", "64 cycles", func(c *sim.Config) { c.DecompressLatency = 64 }},
+		{"metadata cache", "256 blocks (16 KB)", func(c *sim.Config) { c.MetaCacheBlocks = 256 }},
+		{"metadata cache", "16384 blocks (1 MB, default)", func(c *sim.Config) { c.MetaCacheBlocks = 16384 }},
+		{"metadata cache", "65536 blocks (4 MB)", func(c *sim.Config) { c.MetaCacheBlocks = 65536 }},
+	}
+
+	rows := make([][]string, len(settings))
+	if err := forEach(len(settings), func(si int) error {
+		st := settings[si]
+		row := []string{st.knob, st.label}
+		mk := func() sim.Config {
+			cfg := sim.DefaultConfig(sim.COP)
+			cfg.EpochsPerCore = o.Epochs
+			st.mod(&cfg)
+			return cfg
+		}
+		base, err := baseIPC(mk())
+		if err != nil {
+			return err
+		}
+		for _, s := range []sim.Scheme{sim.COP, sim.COPER, sim.ECCRegion} {
+			cfg := mk()
+			cfg.Scheme = s
+			res, err := sim.Run(cfg, "mcf")
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.3f", res.IPC/base))
+		}
+		rows[si] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	r.Rows = rows
+	return r, nil
+}

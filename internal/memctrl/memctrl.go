@@ -1,0 +1,682 @@
+// Package memctrl assembles the paper's systems into a functional memory
+// hierarchy: a last-level cache in front of a DRAM image store, with the
+// write path encoding blocks (COP / COP-ER / ECC-region baseline / ECC
+// DIMM / unprotected) and the read path decoding and correcting them. It
+// is the substrate for the fault-injection experiments and examples — data
+// really round-trips through the encoded DRAM images, and injected bit
+// flips really exercise the correction machinery.
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"cop/internal/bitio"
+	"cop/internal/cache"
+	"cop/internal/chipkill"
+	"cop/internal/core"
+	"cop/internal/ecc"
+)
+
+// BlockBytes is the access granularity.
+const BlockBytes = core.BlockBytes
+
+// Mode selects the protection scheme.
+type Mode int
+
+// Protection modes, mirroring the paper's evaluated configurations.
+const (
+	// Unprotected stores raw blocks (the paper's baseline non-ECC DIMM).
+	Unprotected Mode = iota
+	// COP compresses blocks to fit inline ECC; incompressible blocks are
+	// stored raw (unprotected) and incompressible aliases stay in the LLC.
+	COP
+	// COPER is COP plus the ECC region protecting incompressible blocks.
+	COPER
+	// ECCRegion is the Virtualized-ECC-like baseline: every block raw in
+	// DRAM, an 11-bit (523,512) code word per block in a dedicated
+	// region with a 2-byte entry per block.
+	ECCRegion
+	// ECCDIMM models a conventional ECC DIMM: (72,64) SECDED per 8-byte
+	// word in a ninth chip.
+	ECCDIMM
+	// COPAdaptive uses the two-tier adaptive codec (§3.1's stronger-
+	// codes-for-more-compressible-blocks option): 8-byte ECC when the
+	// block frees 8 bytes, 4-byte ECC when it frees 4, raw otherwise.
+	COPAdaptive
+	// COPChipkill uses COP-CK-ER (the §5 future-work extension): every
+	// block — compressible or not — survives a whole-chip failure.
+	COPChipkill
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unprotected:
+		return "unprotected"
+	case COP:
+		return "cop"
+	case COPER:
+		return "cop-er"
+	case ECCRegion:
+		return "ecc-region"
+	case ECCDIMM:
+		return "ecc-dimm"
+	case COPAdaptive:
+		return "cop-adaptive"
+	case COPChipkill:
+		return "cop-chipkill"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Stats counts controller events.
+type Stats struct {
+	Loads, Stores         uint64
+	Fills, Writebacks     uint64
+	StoredCompressed      uint64
+	StoredRaw             uint64
+	AliasRetained         uint64 // writebacks rejected, line pinned in LLC
+	CorrectedErrors       uint64
+	UncorrectableErrors   uint64
+	RegionReads           uint64 // COP-ER / ECC-region metadata accesses
+	Scrubs                uint64 // corrected images rewritten to DRAM
+	EverIncompressible    uint64 // distinct blocks ever written raw (Fig 12)
+	DIMMCheckBytesWritten uint64
+}
+
+// ErrUncorrectable is surfaced when ECC detects an unrepairable error.
+var ErrUncorrectable = errors.New("memctrl: uncorrectable memory error")
+
+// Controller is a functional protected-memory model. Not safe for
+// concurrent use.
+type Controller struct {
+	mode     Mode
+	scrub    bool
+	codec    *core.Codec
+	er       *core.ERCodec
+	adaptive *core.AdaptiveCodec
+	ck       *chipkill.ERCodec
+	llc      *cache.Cache
+
+	store   map[uint64][]byte // DRAM images, block-aligned address → 64B
+	dimmECC map[uint64][]byte // ECCDIMM: 8 check bytes per block
+	regECC  map[uint64]uint16 // ECCRegion: 11-bit parity per block (2-byte entry)
+
+	everRaw    map[uint64]bool // blocks ever stored uncompressed (Fig 12)
+	aliasSpill []cache.Line    // alias lines parked during Flush
+	stats      Stats
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	Mode Mode
+	// COPConfig is the codec configuration for COP/COP-ER modes; zero
+	// value means core.NewConfig4().
+	COPConfig core.Config
+	// LLCBytes/LLCWays describe the last-level cache (defaults: 4 MB,
+	// 16-way — Table 1).
+	LLCBytes, LLCWays int
+	// ScrubOnCorrect makes the controller rewrite a block's DRAM image
+	// after correcting an error on a fill, so latent single-bit faults
+	// do not accumulate into uncorrectable doubles. Real memory
+	// controllers implement this as demand scrubbing; the paper does
+	// not model it, so it defaults off.
+	ScrubOnCorrect bool
+}
+
+// New builds a controller.
+func New(cfg Config) *Controller {
+	if cfg.LLCBytes == 0 {
+		cfg.LLCBytes = 4 << 20
+	}
+	if cfg.LLCWays == 0 {
+		cfg.LLCWays = 16
+	}
+	c := &Controller{
+		mode:    cfg.Mode,
+		scrub:   cfg.ScrubOnCorrect,
+		llc:     cache.New(cfg.LLCBytes, cfg.LLCWays, BlockBytes),
+		store:   map[uint64][]byte{},
+		everRaw: map[uint64]bool{},
+	}
+	copCfg := cfg.COPConfig
+	if copCfg.Code == nil {
+		copCfg = core.NewConfig4()
+	}
+	switch cfg.Mode {
+	case COP:
+		c.codec = core.NewCodec(copCfg)
+	case COPER:
+		c.er = core.NewERCodec(copCfg)
+		c.codec = c.er.Codec()
+	case ECCDIMM:
+		c.dimmECC = map[uint64][]byte{}
+	case ECCRegion:
+		c.regECC = map[uint64]uint16{}
+	case COPAdaptive:
+		c.adaptive = core.NewAdaptiveCodec()
+	case COPChipkill:
+		c.ck = chipkill.NewER()
+	}
+	return c
+}
+
+// Mode returns the protection mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// LLC exposes the cache (diagnostics and tests).
+func (c *Controller) LLC() *cache.Cache { return c.llc }
+
+// ER exposes the COP-ER codec in COPER mode (nil otherwise).
+func (c *Controller) ER() *core.ERCodec { return c.er }
+
+func align(addr uint64) uint64 { return addr &^ (BlockBytes - 1) }
+
+// Write stores a full 64-byte block at addr (allocating in the LLC; DRAM
+// is updated when the line is eventually evicted or flushed).
+func (c *Controller) Write(addr uint64, data []byte) error {
+	if len(data) != BlockBytes {
+		return fmt.Errorf("memctrl: Write needs %d bytes", BlockBytes)
+	}
+	addr = align(addr)
+	c.stats.Stores++
+	buf := make([]byte, BlockBytes)
+	copy(buf, data)
+
+	if line, hit := c.llc.Lookup(addr); hit {
+		line.Data = buf
+		line.Dirty = true
+		c.setAliasBit(line)
+		return nil
+	}
+	line := cache.Line{Addr: addr, Dirty: true, Data: buf}
+	// Preserve an existing COP-ER entry association across the miss: the
+	// "was uncompressed" state would have been captured at fill time; a
+	// full-block store that misses starts clean.
+	c.setAliasBit(&line)
+	return c.insert(line)
+}
+
+// setAliasBit implements the proactive LLC alias check (§3.1): dirty lines
+// that are incompressible aliases are pinned.
+func (c *Controller) setAliasBit(line *cache.Line) {
+	switch {
+	case c.mode == COP:
+		line.Alias = c.codec.Classify(line.Data) == core.RejectedAlias
+	case c.mode == COPAdaptive:
+		_, _, status := c.adaptive.Encode(line.Data)
+		line.Alias = status == core.RejectedAlias
+	default:
+		// COP-ER de-aliases every block via the region pointer; the
+		// remaining modes have no alias concept.
+		line.Alias = false
+	}
+}
+
+// insert places a line in the LLC and performs any resulting writeback.
+func (c *Controller) insert(line cache.Line) error {
+	victim, wb := c.llc.Insert(line)
+	if !wb {
+		return nil
+	}
+	return c.writeback(victim)
+}
+
+// writeback encodes a dirty victim into its DRAM image.
+func (c *Controller) writeback(victim cache.Line) error {
+	c.stats.Writebacks++
+	addr := victim.Addr
+	switch c.mode {
+	case Unprotected:
+		c.store[addr] = victim.Data
+		c.stats.StoredRaw++
+	case COP:
+		image, status := c.codec.Encode(victim.Data)
+		switch status {
+		case core.StoredCompressed:
+			c.store[addr] = image
+			c.stats.StoredCompressed++
+		case core.StoredRaw:
+			c.store[addr] = image
+			c.stats.StoredRaw++
+			if !c.everRaw[addr] {
+				c.everRaw[addr] = true
+				c.stats.EverIncompressible++
+			}
+		case core.RejectedAlias:
+			// Must stay in the LLC: re-insert with the alias bit set.
+			// cache.Insert pins alias lines, so this cannot recurse into
+			// another rejected writeback of the same line.
+			c.stats.AliasRetained++
+			victim.Alias = true
+			return c.insert(victim)
+		}
+	case COPER:
+		prev := core.NoPointer
+		if victim.WasUncompressed {
+			prev = victim.Ptr
+		}
+		image, ptr, compressed, err := c.er.Write(victim.Data, prev)
+		if err != nil {
+			return err
+		}
+		c.store[addr] = image
+		if compressed {
+			c.stats.StoredCompressed++
+		} else {
+			c.stats.StoredRaw++
+			c.stats.RegionReads++ // entry write
+			if !c.everRaw[addr] {
+				c.everRaw[addr] = true
+				c.stats.EverIncompressible++
+			}
+		}
+		_ = ptr
+	case COPChipkill:
+		prev := chipkill.NoPointer
+		if victim.WasUncompressed {
+			prev = victim.Ptr
+		}
+		image, ptr, inline, err := c.ck.Write(victim.Data, prev)
+		if err != nil {
+			return err
+		}
+		c.store[addr] = image
+		if inline {
+			c.stats.StoredCompressed++
+		} else {
+			c.stats.StoredRaw++
+			c.stats.RegionReads++
+			if !c.everRaw[addr] {
+				c.everRaw[addr] = true
+				c.stats.EverIncompressible++
+			}
+		}
+		_ = ptr
+	case COPAdaptive:
+		image, _, status := c.adaptive.Encode(victim.Data)
+		switch status {
+		case core.StoredCompressed:
+			c.store[addr] = image
+			c.stats.StoredCompressed++
+		case core.StoredRaw:
+			c.store[addr] = image
+			c.stats.StoredRaw++
+			if !c.everRaw[addr] {
+				c.everRaw[addr] = true
+				c.stats.EverIncompressible++
+			}
+		case core.RejectedAlias:
+			c.stats.AliasRetained++
+			victim.Alias = true
+			return c.insert(victim)
+		}
+	case ECCRegion:
+		c.store[addr] = victim.Data
+		c.regECC[addr] = blockParity523(victim.Data)
+		c.stats.StoredRaw++
+		c.stats.RegionReads++
+	case ECCDIMM:
+		c.store[addr] = victim.Data
+		c.dimmECC[addr] = dimmCheckBytes(victim.Data)
+		c.stats.StoredCompressed++ // protected, inline — closest bucket
+		c.stats.DIMMCheckBytesWritten += 8
+	}
+	return nil
+}
+
+// Read loads the 64-byte block at addr.
+func (c *Controller) Read(addr uint64) ([]byte, error) {
+	addr = align(addr)
+	c.stats.Loads++
+	if line, hit := c.llc.Lookup(addr); hit {
+		out := make([]byte, BlockBytes)
+		copy(out, line.Data)
+		return out, nil
+	}
+	c.stats.Fills++
+	correctedBefore := c.stats.CorrectedErrors
+	line, err := c.fill(addr)
+	if err != nil {
+		return nil, err
+	}
+	if c.scrub && c.stats.CorrectedErrors > correctedBefore {
+		if serr := c.scrubBlock(addr, line.Data); serr != nil {
+			return nil, serr
+		}
+		c.stats.Scrubs++
+	}
+	out := make([]byte, BlockBytes)
+	copy(out, line.Data)
+	if ierr := c.insert(line); ierr != nil {
+		return nil, ierr
+	}
+	return out, nil
+}
+
+// fill decodes the DRAM image at addr into a cache line.
+func (c *Controller) fill(addr uint64) (cache.Line, error) {
+	image, present := c.store[addr]
+	if !present {
+		// Untouched memory reads as zeros (fresh pages).
+		return cache.Line{Addr: addr, Data: make([]byte, BlockBytes)}, nil
+	}
+	line := cache.Line{Addr: addr}
+	switch c.mode {
+	case Unprotected:
+		line.Data = copyBlock(image)
+	case COP:
+		block, info, err := c.codec.Decode(image)
+		if err != nil {
+			c.stats.UncorrectableErrors++
+			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+		}
+		if len(info.CorrectedSegments) > 0 {
+			c.stats.CorrectedErrors++
+		}
+		line.Data = block
+	case COPER:
+		block, info, err := c.er.Read(image)
+		if err != nil {
+			c.stats.UncorrectableErrors++
+			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+		}
+		if info.CorrectedBlock || info.CorrectedPointer {
+			c.stats.CorrectedErrors++
+		}
+		if info.RegionAccess {
+			c.stats.RegionReads++
+			line.WasUncompressed = true
+			line.Ptr = c.pointerOf(image)
+		}
+		line.Data = block
+	case COPChipkill:
+		block, info, err := c.ck.Read(image)
+		if err != nil {
+			c.stats.UncorrectableErrors++
+			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+		}
+		if info.FailedChip >= 0 || info.CorrectedEntry {
+			c.stats.CorrectedErrors++
+		}
+		if info.RegionAccess {
+			c.stats.RegionReads++
+			// The hardware latches the pointer during the fill; recover
+			// it from the (already validated) image copies.
+			if ptr, ok := c.ck.PointerOf(image); ok {
+				line.WasUncompressed = true
+				line.Ptr = ptr
+			}
+		}
+		line.Data = block
+	case COPAdaptive:
+		block, _, info, err := c.adaptive.Decode(image)
+		if err != nil {
+			c.stats.UncorrectableErrors++
+			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+		}
+		if len(info.CorrectedSegments) > 0 {
+			c.stats.CorrectedErrors++
+		}
+		line.Data = block
+	case ECCRegion:
+		c.stats.RegionReads++
+		block, corrected, err := check523(image, c.regECC[addr])
+		if err != nil {
+			c.stats.UncorrectableErrors++
+			return cache.Line{}, err
+		}
+		if corrected {
+			c.stats.CorrectedErrors++
+		}
+		line.Data = block
+	case ECCDIMM:
+		block, corrected, err := dimmDecode(image, c.dimmECC[addr])
+		if err != nil {
+			c.stats.UncorrectableErrors++
+			return cache.Line{}, err
+		}
+		if corrected > 0 {
+			c.stats.CorrectedErrors++
+		}
+		line.Data = block
+	}
+	c.setAliasBit(&line)
+	return line, nil
+}
+
+// pointerOf re-derives the region pointer embedded in a raw COP-ER image
+// (the hardware latches it during the fill; errors were already corrected).
+func (c *Controller) pointerOf(image []byte) uint32 {
+	ptr, _ := c.er.PointerOf(image)
+	return ptr
+}
+
+// Flush drains every dirty LLC line to DRAM (used by experiments to settle
+// state before fault injection).
+func (c *Controller) Flush() error {
+	var ferr error
+	c.llc.FlushAll(func(l cache.Line) {
+		if l.Dirty && ferr == nil {
+			if l.Alias && c.mode == COP {
+				// Alias lines cannot leave the cache+overflow structure
+				// in real hardware; a flush API must either spill them
+				// via the overflow region or fall back (§3.1). The model
+				// keeps them in a side map: re-inserting would fight the
+				// flush, so record as retained.
+				c.stats.AliasRetained++
+				c.aliasSpill = append(c.aliasSpill, l)
+				return
+			}
+			ferr = c.writeback(l)
+		}
+	})
+	// Re-seat spilled alias lines.
+	for _, l := range c.aliasSpill {
+		if ferr == nil {
+			ferr = c.insert(l)
+		}
+	}
+	c.aliasSpill = nil
+	return ferr
+}
+
+// InjectBitFlip flips one bit of the DRAM image holding addr, returning
+// false when the block is not resident in DRAM (e.g. still dirty in the
+// LLC or never written). bit is 0..511.
+func (c *Controller) InjectBitFlip(addr uint64, bit int) bool {
+	image, ok := c.store[align(addr)]
+	if !ok || bit < 0 || bit >= 8*BlockBytes {
+		return false
+	}
+	bitio.FlipBit(image, bit)
+	return true
+}
+
+// InDRAM reports whether addr has a DRAM image.
+func (c *Controller) InDRAM(addr uint64) bool {
+	_, ok := c.store[align(addr)]
+	return ok
+}
+
+// EverIncompressibleBlocks returns how many distinct blocks were ever
+// written to DRAM uncompressed — the quantity Figure 12's storage
+// comparison charges COP-ER for.
+func (c *Controller) EverIncompressibleBlocks() uint64 { return c.stats.EverIncompressible }
+
+// --- helpers -----------------------------------------------------------
+
+func copyBlock(b []byte) []byte {
+	out := make([]byte, BlockBytes)
+	copy(out, b)
+	return out
+}
+
+// blockParity523 computes the ECC-region baseline's per-block check bits.
+func blockParity523(block []byte) uint16 {
+	cw := ecc.SECDED523512.Encode(block)
+	pb := bitio.ExtractBits(cw, 512, 11)
+	return uint16(pb[0])<<3 | uint16(pb[1])>>5
+}
+
+// check523 verifies/corrects a raw block against its 11-bit parity.
+func check523(block []byte, parity uint16) ([]byte, bool, error) {
+	cw := make([]byte, ecc.SECDED523512.CodewordBytes())
+	copy(cw, block)
+	var pb [2]byte
+	pb[0] = byte(parity >> 3)
+	pb[1] = byte(parity << 5)
+	bitio.DepositBits(cw, 512, pb[:], 11)
+	res, _ := ecc.SECDED523512.Decode(cw)
+	switch res {
+	case ecc.Corrected:
+		return ecc.SECDED523512.Data(cw), true, nil
+	case ecc.Uncorrectable:
+		return nil, false, ErrUncorrectable
+	default:
+		return copyBlock(block), false, nil
+	}
+}
+
+// dimmCheckBytes computes the ninth-chip contents for one block: one
+// (72,64) check byte per 8-byte word.
+func dimmCheckBytes(block []byte) []byte {
+	out := make([]byte, 8)
+	for w := 0; w < 8; w++ {
+		cw := ecc.SECDED7264.Encode(block[8*w : 8*w+8])
+		out[w] = cw[8]
+	}
+	return out
+}
+
+// dimmDecode verifies/corrects each word of a block.
+func dimmDecode(block, check []byte) ([]byte, int, error) {
+	out := make([]byte, BlockBytes)
+	corrected := 0
+	cw := make([]byte, 9)
+	for w := 0; w < 8; w++ {
+		copy(cw, block[8*w:8*w+8])
+		cw[8] = check[w]
+		res, _ := ecc.SECDED7264.Decode(cw)
+		switch res {
+		case ecc.Corrected:
+			corrected++
+		case ecc.Uncorrectable:
+			return nil, corrected, ErrUncorrectable
+		}
+		copy(out[8*w:], cw[:8])
+	}
+	return out, corrected, nil
+}
+
+// scrubBlock rewrites the clean, just-corrected image for addr so the
+// latent fault is cleared from DRAM.
+func (c *Controller) scrubBlock(addr uint64, data []byte) error {
+	switch c.mode {
+	case Unprotected:
+		return nil // nothing corrects in this mode anyway
+	case COPER:
+		// Re-encode in place, reusing any live entry pointer (Write
+		// frees or updates it as needed). Pointers exist only in raw
+		// images — extracting one from a compressed image would yield
+		// garbage that could collide with another block's live entry.
+		prev := core.NoPointer
+		if old := c.store[addr]; c.codec.CountValidCodewords(old) < c.codec.Config().Threshold {
+			if ptr, ok := c.er.PointerOf(old); ok && c.er.Region().Valid(ptr) {
+				prev = ptr
+			}
+		}
+		image, _, _, err := c.er.Write(data, prev)
+		if err != nil {
+			return err
+		}
+		c.store[addr] = image
+		return nil
+	case COPChipkill:
+		prev := chipkill.NoPointer
+		if ptr, ok := c.ck.PointerOf(c.store[addr]); ok && c.ck.Store().Valid(ptr) {
+			prev = ptr
+		}
+		image, _, _, err := c.ck.Write(data, prev)
+		if err != nil {
+			return err
+		}
+		c.store[addr] = image
+		return nil
+	default:
+		return c.writeback(cache.Line{Addr: addr, Data: data, Dirty: true})
+	}
+}
+
+// ReadBytes reads an arbitrary byte range (crossing block boundaries as
+// needed) through the protected hierarchy.
+func (c *Controller) ReadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		base := align(addr)
+		off := int(addr - base)
+		take := BlockBytes - off
+		if take > n {
+			take = n
+		}
+		block, err := c.Read(base)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block[off:off+take]...)
+		addr += uint64(take)
+		n -= take
+	}
+	return out, nil
+}
+
+// WriteBytes writes an arbitrary byte range, performing read-modify-write
+// on partially covered blocks.
+func (c *Controller) WriteBytes(addr uint64, data []byte) error {
+	for len(data) > 0 {
+		base := align(addr)
+		off := int(addr - base)
+		take := BlockBytes - off
+		if take > len(data) {
+			take = len(data)
+		}
+		var block []byte
+		if off == 0 && take == BlockBytes {
+			block = data[:BlockBytes]
+		} else {
+			old, err := c.Read(base)
+			if err != nil {
+				return err
+			}
+			block = old
+			copy(block[off:], data[:take])
+		}
+		if err := c.Write(base, block[:BlockBytes]); err != nil {
+			return err
+		}
+		addr += uint64(take)
+		data = data[take:]
+	}
+	return nil
+}
+
+// InjectChipFailure corrupts every byte chip contributes to the DRAM image
+// holding addr (a whole-chip failure on a ×8 rank), returning false when
+// the block is not resident in DRAM. Only COPChipkill mode can recover
+// from it; the other modes demonstrate why chipkill needs more than
+// SECDED.
+func (c *Controller) InjectChipFailure(addr uint64, chip int, pattern byte) bool {
+	image, ok := c.store[align(addr)]
+	if !ok || chip < 0 || chip >= chipkill.Chips {
+		return false
+	}
+	chipkill.FailChip(image, chip, pattern)
+	return true
+}
+
+// CK exposes the chipkill codec in COPChipkill mode (nil otherwise).
+func (c *Controller) CK() *chipkill.ERCodec { return c.ck }

@@ -1,0 +1,123 @@
+package reliability
+
+// Field failure-mode model: the paper grounds its single-bit methodology
+// in Sridharan & Liberty's field study ("A study of DRAM failures in the
+// field", SC 2012): 49.7% of DRAM failures are single-bit, 2.5% are
+// multi-bit within one word, 12.7% are multi-bit within one row, and the
+// remainder hit columns, banks, or larger structures. §4 argues COP and a
+// conventional SECDED DIMM have the *same* correction boundary across
+// these modes — this model makes that argument executable.
+
+// FailureMode is one of the field-study categories.
+type FailureMode int
+
+// Failure modes with field rates from Sridharan & Liberty.
+const (
+	SingleBit FailureMode = iota
+	SingleWordMultiBit
+	SingleRowMultiBit
+	SingleColumn
+	SingleBank
+	MultiBank
+	MultiRank
+)
+
+// FieldRate returns the fraction of observed field failures in this mode
+// (Sridharan & Liberty, Table (DDR3); the paper quotes the first three).
+func (m FailureMode) FieldRate() float64 {
+	switch m {
+	case SingleBit:
+		return 0.497
+	case SingleWordMultiBit:
+		return 0.025
+	case SingleRowMultiBit:
+		return 0.127
+	case SingleColumn:
+		return 0.081
+	case SingleBank:
+		return 0.166
+	case MultiBank:
+		return 0.027
+	case MultiRank:
+		return 0.077
+	default:
+		return 0
+	}
+}
+
+func (m FailureMode) String() string {
+	switch m {
+	case SingleBit:
+		return "single-bit"
+	case SingleWordMultiBit:
+		return "single-word multi-bit"
+	case SingleRowMultiBit:
+		return "single-row multi-bit"
+	case SingleColumn:
+		return "single-column"
+	case SingleBank:
+		return "single-bank"
+	case MultiBank:
+		return "multi-bank"
+	case MultiRank:
+		return "multi-rank"
+	default:
+		return "unknown"
+	}
+}
+
+// AllFailureModes lists the modes in field-rate order of the study.
+func AllFailureModes() []FailureMode {
+	return []FailureMode{SingleBit, SingleWordMultiBit, SingleRowMultiBit,
+		SingleColumn, SingleBank, MultiBank, MultiRank}
+}
+
+// SchemeModel abstracts a protection scheme's correction boundary for the
+// composite-coverage calculation.
+type SchemeModel struct {
+	Name string
+	// CorrectsSingleBit is the fraction of single-bit failures corrected
+	// (1.0 for ECC DIMM / COP-ER; the per-workload compressible fraction
+	// for COP; 0 for no protection).
+	CorrectsSingleBit float64
+	// CorrectsColumn: single-column failures generally corrupt one bit
+	// per block, so SECDED-class schemes correct them (§4).
+	CorrectsColumn float64
+}
+
+// Correctable returns the fraction of failures in mode m the scheme
+// corrects. Per §4: nothing SECDED-class repairs same-word multi-bit
+// errors, row failures (failing peripheral circuitry), or larger modes.
+func (s SchemeModel) Correctable(m FailureMode) float64 {
+	switch m {
+	case SingleBit:
+		return s.CorrectsSingleBit
+	case SingleColumn:
+		return s.CorrectsColumn
+	default:
+		return 0
+	}
+}
+
+// CompositeCoverage returns the overall fraction of field failures the
+// scheme corrects, weighting each mode by its field rate.
+func (s SchemeModel) CompositeCoverage() float64 {
+	num, den := 0.0, 0.0
+	for _, m := range AllFailureModes() {
+		num += m.FieldRate() * s.Correctable(m)
+		den += m.FieldRate()
+	}
+	return num / den
+}
+
+// StandardSchemes returns the §4 comparison set. copCoverage is the
+// workload's compressible fraction (COP corrects single-bit/column errors
+// only in protected blocks).
+func StandardSchemes(copCoverage float64) []SchemeModel {
+	return []SchemeModel{
+		{Name: "Unprotected", CorrectsSingleBit: 0, CorrectsColumn: 0},
+		{Name: "COP", CorrectsSingleBit: copCoverage, CorrectsColumn: copCoverage},
+		{Name: "COP-ER", CorrectsSingleBit: 1, CorrectsColumn: 1},
+		{Name: "ECC DIMM", CorrectsSingleBit: 1, CorrectsColumn: 1},
+	}
+}

@@ -1,0 +1,143 @@
+// Package reliability implements the paper's PARMA-inspired soft-error
+// model (§4): a per-block "vulnerability clock" accumulates the time data
+// sits in DRAM between being written (or first loaded) and being read back
+// into the LLC. With a raw per-bit error rate, the accumulated
+// vulnerable bit-time converts to an expected silent-corruption rate;
+// blocks resident in protected (compressed+ECC, or COP-ER) form have their
+// single-bit errors corrected and drop out of the sum.
+//
+// The paper uses a single-bit failure model (49.7% of field failures per
+// Sridharan & Liberty; double-bit errors modeled as two independent
+// singles) and a raw rate of 5000 FIT/Mbit.
+package reliability
+
+// DefaultFITPerMbit is the paper's raw soft-error rate assumption.
+const DefaultFITPerMbit = 5000.0
+
+// BlockBits is the vulnerable payload per DRAM block.
+const BlockBits = 512
+
+// Protection classifies how a block was resident in DRAM.
+type Protection int
+
+const (
+	// Unprotected: raw data; any bit flip is silent corruption.
+	Unprotected Protection = iota
+	// SECDED: single-bit errors corrected (COP compressed blocks,
+	// COP-ER blocks, ECC-DIMM words, ECC-region baseline).
+	SECDED
+)
+
+// Tracker accumulates vulnerability clocks. Time is in arbitrary but
+// consistent units (the simulators use CPU cycles).
+type Tracker struct {
+	blocks map[uint64]*residency
+
+	coveredBitTime   float64 // bit-time resident under SECDED
+	uncoveredBitTime float64 // bit-time resident unprotected
+	reads            uint64
+}
+
+type residency struct {
+	lastTouch uint64
+	prot      Protection
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{blocks: map[uint64]*residency{}}
+}
+
+// Write records that the block at addr was (re)written to DRAM at time now
+// with the given protection. Any previously accumulated window ends: data
+// overwritten before being read was never consumed, so (per PARMA) its
+// vulnerable time does not count.
+func (t *Tracker) Write(addr, now uint64, prot Protection) {
+	r, ok := t.blocks[addr]
+	if !ok {
+		t.blocks[addr] = &residency{lastTouch: now, prot: prot}
+		return
+	}
+	r.lastTouch = now
+	r.prot = prot
+}
+
+// Read records a demand read of the block at addr at time now: the window
+// since the last touch was vulnerable, charged to the block's protection
+// class. The clock restarts (the DRAM copy stays resident and will be
+// consumed again on the next read).
+func (t *Tracker) Read(addr, now uint64) {
+	r, ok := t.blocks[addr]
+	if !ok {
+		// First sight of this block: it has been resident since time 0
+		// (cold data loaded at program start).
+		r = &residency{lastTouch: 0, prot: Unprotected}
+		t.blocks[addr] = r
+	}
+	if now > r.lastTouch {
+		dt := float64(now-r.lastTouch) * BlockBits
+		if r.prot == SECDED {
+			t.coveredBitTime += dt
+		} else {
+			t.uncoveredBitTime += dt
+		}
+	}
+	r.lastTouch = now
+	t.reads++
+}
+
+// SetProtection reclassifies a resident block without restarting its clock
+// (used when the protection of first-touch blocks is known only lazily).
+func (t *Tracker) SetProtection(addr uint64, prot Protection) {
+	if r, ok := t.blocks[addr]; ok {
+		r.prot = prot
+	} else {
+		t.blocks[addr] = &residency{lastTouch: 0, prot: prot}
+	}
+}
+
+// CoveredBitTime returns the accumulated SECDED-protected bit-time.
+func (t *Tracker) CoveredBitTime() float64 { return t.coveredBitTime }
+
+// UncoveredBitTime returns the accumulated unprotected bit-time.
+func (t *Tracker) UncoveredBitTime() float64 { return t.uncoveredBitTime }
+
+// Reads returns the number of demand reads recorded.
+func (t *Tracker) Reads() uint64 { return t.reads }
+
+// ErrorRateReduction is the headline metric of Figure 10: the fraction of
+// expected silent corruptions removed relative to a fully unprotected
+// memory. Under the single-bit model this is exactly the covered share of
+// vulnerable bit-time.
+func (t *Tracker) ErrorRateReduction() float64 {
+	total := t.coveredBitTime + t.uncoveredBitTime
+	if total == 0 {
+		return 0
+	}
+	return t.coveredBitTime / total
+}
+
+// ExpectedFailures converts vulnerable bit-time into an expected failure
+// count: fitPerMbit failures per 1e9 device-hours per 2^20 bits, with time
+// units converted via unitsPerHour.
+func (t *Tracker) ExpectedFailures(fitPerMbit, unitsPerHour float64) float64 {
+	bitHours := t.uncoveredBitTime / unitsPerHour
+	return fitPerMbit / 1e9 / (1 << 20) * bitHours
+}
+
+// DoubleErrorExposureRatio compares two SECDED protection granularities by
+// their susceptibility to uncorrectable double-bit errors, assuming two
+// independent single-bit events land uniformly in a 512-bit data block.
+// For a code word of n total bits covering k data bits, the block's data
+// is split into 512/k words; a double error is uncorrectable when both
+// hits land in the same word. The returned value is
+// exposure(wide)/exposure(narrow) — ≈6.7 for (523,512) vs (72,64),
+// reproducing the paper's "6x" observation about COP-ER vs an ECC DIMM.
+func DoubleErrorExposureRatio(nWide, kWide, nNarrow, kNarrow int) float64 {
+	exposure := func(n, k int) float64 {
+		words := float64(512) / float64(k)
+		pairsPerWord := float64(n) * float64(n-1) / 2
+		return words * pairsPerWord
+	}
+	return exposure(nWide, kWide) / exposure(nNarrow, kNarrow)
+}

@@ -1,0 +1,180 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVulnerabilityWindows(t *testing.T) {
+	tr := NewTracker()
+	tr.Write(0, 100, SECDED)
+	tr.Read(0, 300) // 200 time units × 512 bits, covered
+	if got := tr.CoveredBitTime(); got != 200*512 {
+		t.Fatalf("covered = %f", got)
+	}
+	tr.Write(64, 100, Unprotected)
+	tr.Read(64, 200)
+	if got := tr.UncoveredBitTime(); got != 100*512 {
+		t.Fatalf("uncovered = %f", got)
+	}
+}
+
+func TestReadRestartsClock(t *testing.T) {
+	tr := NewTracker()
+	tr.Write(0, 0, SECDED)
+	tr.Read(0, 100)
+	tr.Read(0, 250)
+	if got := tr.CoveredBitTime(); got != 250*512 {
+		t.Fatalf("covered = %f, want %d", got, 250*512)
+	}
+}
+
+func TestOverwriteDiscardsWindow(t *testing.T) {
+	// Data overwritten before being read was never consumed: no charge.
+	tr := NewTracker()
+	tr.Write(0, 0, Unprotected)
+	tr.Write(0, 1000, SECDED) // overwrite, nothing read
+	tr.Read(0, 1500)
+	if tr.UncoveredBitTime() != 0 {
+		t.Fatalf("uncovered = %f, want 0", tr.UncoveredBitTime())
+	}
+	if tr.CoveredBitTime() != 500*512 {
+		t.Fatalf("covered = %f", tr.CoveredBitTime())
+	}
+}
+
+func TestColdReadChargesFromTimeZero(t *testing.T) {
+	tr := NewTracker()
+	tr.Read(0, 400) // never written: resident since program start, raw
+	if tr.UncoveredBitTime() != 400*512 {
+		t.Fatalf("uncovered = %f", tr.UncoveredBitTime())
+	}
+}
+
+func TestSetProtection(t *testing.T) {
+	tr := NewTracker()
+	tr.SetProtection(0, SECDED)
+	tr.Read(0, 100)
+	if tr.CoveredBitTime() != 100*512 || tr.UncoveredBitTime() != 0 {
+		t.Fatalf("covered=%f uncovered=%f", tr.CoveredBitTime(), tr.UncoveredBitTime())
+	}
+}
+
+func TestErrorRateReduction(t *testing.T) {
+	tr := NewTracker()
+	if tr.ErrorRateReduction() != 0 {
+		t.Fatal("empty tracker should report 0")
+	}
+	tr.Write(0, 0, SECDED)
+	tr.Write(64, 0, Unprotected)
+	tr.Read(0, 930)
+	tr.Read(64, 70)
+	got := tr.ErrorRateReduction()
+	if math.Abs(got-0.93) > 1e-9 {
+		t.Fatalf("reduction = %f, want 0.93", got)
+	}
+}
+
+func TestExpectedFailures(t *testing.T) {
+	tr := NewTracker()
+	tr.Write(0, 0, Unprotected)
+	tr.Read(0, 1<<20) // 2^20 time units × 512 bits
+	// With unitsPerHour = 2^20: bitHours = 512; failures = 5000/1e9/2^20*512.
+	want := 5000.0 / 1e9 / (1 << 20) * 512
+	if got := tr.ExpectedFailures(5000, 1<<20); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("failures = %g, want %g", got, want)
+	}
+}
+
+func TestDoubleErrorExposureRatio(t *testing.T) {
+	// (523,512) whole-block code vs (72,64) ECC-DIMM words: the paper
+	// reports COP-ER's error rate is ~6x the DIMM's.
+	r := DoubleErrorExposureRatio(523, 512, 72, 64)
+	if r < 5.5 || r > 7.5 {
+		t.Fatalf("exposure ratio = %f, want ≈ 6.7", r)
+	}
+	// And the (128,120) COP word vs the (72,64) DIMM word is < 2x.
+	r2 := DoubleErrorExposureRatio(128, 120, 72, 64)
+	if r2 < 1 || r2 > 2 {
+		t.Fatalf("COP-4 exposure ratio = %f", r2)
+	}
+}
+
+func TestReadsCounted(t *testing.T) {
+	tr := NewTracker()
+	tr.Read(0, 1)
+	tr.Read(0, 2)
+	if tr.Reads() != 2 {
+		t.Fatalf("reads = %d", tr.Reads())
+	}
+}
+
+func TestNonMonotonicReadIgnored(t *testing.T) {
+	tr := NewTracker()
+	tr.Write(0, 100, SECDED)
+	tr.Read(0, 100) // zero-length window
+	tr.Read(0, 50)  // out of order: must not underflow
+	if tr.CoveredBitTime() != 0 {
+		t.Fatalf("covered = %f", tr.CoveredBitTime())
+	}
+}
+
+func TestFieldRatesSumBelowOne(t *testing.T) {
+	sum := 0.0
+	for _, m := range AllFailureModes() {
+		r := m.FieldRate()
+		if r <= 0 || r >= 1 {
+			t.Fatalf("%v: rate %f out of range", m, r)
+		}
+		sum += r
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("field rates sum to %f, want ≈1", sum)
+	}
+	if FailureMode(99).FieldRate() != 0 || FailureMode(99).String() != "unknown" {
+		t.Fatal("unknown mode handling")
+	}
+}
+
+func TestCompositeCoverageBounds(t *testing.T) {
+	schemes := StandardSchemes(0.92)
+	var unprot, cop, coper, dimm float64
+	for _, s := range schemes {
+		c := s.CompositeCoverage()
+		switch s.Name {
+		case "Unprotected":
+			unprot = c
+		case "COP":
+			cop = c
+		case "COP-ER":
+			coper = c
+		case "ECC DIMM":
+			dimm = c
+		}
+	}
+	if unprot != 0 {
+		t.Fatalf("unprotected composite = %f", unprot)
+	}
+	if coper != dimm {
+		t.Fatalf("COP-ER (%f) and ECC DIMM (%f) must share the ceiling", coper, dimm)
+	}
+	// Ceiling = single-bit + column share ≈ 57.8% of field failures.
+	if coper < 0.55 || coper > 0.62 {
+		t.Fatalf("ceiling = %f, want ≈0.58", coper)
+	}
+	if cop >= coper || cop < 0.9*coper {
+		t.Fatalf("COP composite %f vs ceiling %f", cop, coper)
+	}
+}
+
+func TestCorrectableByMode(t *testing.T) {
+	s := SchemeModel{Name: "x", CorrectsSingleBit: 0.9, CorrectsColumn: 0.8}
+	if s.Correctable(SingleBit) != 0.9 || s.Correctable(SingleColumn) != 0.8 {
+		t.Fatal("mode dispatch wrong")
+	}
+	for _, m := range []FailureMode{SingleWordMultiBit, SingleRowMultiBit, SingleBank, MultiBank, MultiRank} {
+		if s.Correctable(m) != 0 {
+			t.Fatalf("%v should be uncorrectable", m)
+		}
+	}
+}

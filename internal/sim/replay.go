@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cop/internal/workload"
+)
+
+// Trace replay: the simulator normally generates each core's epoch stream
+// live; these entry points run it from archived traces instead
+// (`coptrace -o bench.copt`), so a study can pin its exact inputs.
+
+// epochSource abstracts live generation vs archive replay.
+type epochSource interface {
+	Next() workload.Epoch
+}
+
+// replaySource feeds archived epochs, then empty epochs if the simulation
+// asks for more than were archived (the caller should size EpochsPerCore
+// to the archive).
+type replaySource struct {
+	epochs []workload.Epoch
+	pos    int
+}
+
+func (r *replaySource) Next() workload.Epoch {
+	if r.pos >= len(r.epochs) {
+		return workload.Epoch{Instructions: 1}
+	}
+	ep := r.epochs[r.pos]
+	r.pos++
+	return ep
+}
+
+// RunArchives simulates one archived trace per core. Each archive carries
+// its benchmark name, which must resolve in the workload registry (the
+// content models drive compressibility classification). If
+// cfg.EpochsPerCore is zero it is set to the shortest archive.
+func RunArchives(cfg Config, readers ...io.Reader) (Result, error) {
+	cfg = mergeDefaults(cfg)
+	if len(readers) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: %d archives for %d cores", len(readers), cfg.Cores)
+	}
+	sources := make([]epochSource, cfg.Cores)
+	profiles := make([]*workload.Profile, cfg.Cores)
+	minEpochs := 0
+	for i, rd := range readers {
+		name, epochs, err := workload.ReadTrace(rd)
+		if err != nil {
+			return Result{}, err
+		}
+		p, err := workload.Get(name)
+		if err != nil {
+			return Result{}, err
+		}
+		sources[i] = &replaySource{epochs: epochs}
+		profiles[i] = p
+		if minEpochs == 0 || len(epochs) < minEpochs {
+			minEpochs = len(epochs)
+		}
+	}
+	if cfg.EpochsPerCore == 0 || cfg.EpochsPerCore > minEpochs {
+		cfg.EpochsPerCore = minEpochs
+	}
+	return runWith(cfg, sources, profiles)
+}
+
+// RunArchiveFiles is RunArchives over file paths.
+func RunArchiveFiles(cfg Config, paths ...string) (Result, error) {
+	readers := make([]io.Reader, len(paths))
+	closers := make([]*os.File, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return Result{}, err
+		}
+		closers[i] = f
+		readers[i] = f
+	}
+	defer func() {
+		for _, f := range closers {
+			f.Close()
+		}
+	}()
+	return RunArchives(cfg, readers...)
+}

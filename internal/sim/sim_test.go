@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cop/internal/workload"
+)
+
+func runQuick(t *testing.T, s Scheme, bench string) Result {
+	t.Helper()
+	cfg := DefaultConfig(s)
+	cfg.EpochsPerCore = 600
+	res, err := Run(cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []Scheme{Unprotected, COP, COPER, ECCRegion, ECCDIMM} {
+		if s.String() == "" {
+			t.Fatal("empty scheme name")
+		}
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res := runQuick(t, Unprotected, "mcf")
+	if res.IPC <= 0 || res.IPC > 4 {
+		t.Fatalf("IPC = %f out of range", res.IPC)
+	}
+	if res.Instructions == 0 || res.Cycles == 0 || res.Misses == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if len(res.PerCoreIPC) != 4 {
+		t.Fatalf("per-core IPCs: %v", res.PerCoreIPC)
+	}
+	if res.DRAM.Reads == 0 {
+		t.Fatal("no DRAM reads recorded")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runQuick(t, COP, "gcc")
+	b := runQuick(t, COP, "gcc")
+	if a.IPC != b.IPC || a.Cycles != b.Cycles || a.Misses != b.Misses {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSchemeOrdering(t *testing.T) {
+	// The Figure 11 ordering: Unprot >= COP >= COP-ER >= ECC Reg.
+	for _, bench := range []string{"mcf", "lbm", "omnetpp"} {
+		unprot := runQuick(t, Unprotected, bench)
+		cop := runQuick(t, COP, bench)
+		coper := runQuick(t, COPER, bench)
+		eccreg := runQuick(t, ECCRegion, bench)
+		// Short runs leave ~1% contention-interleaving noise between
+		// configurations, so adjacent comparisons carry a tolerance;
+		// the Unprot-vs-ECC-Reg gap must be decisive.
+		if cop.IPC > unprot.IPC*1.01 {
+			t.Errorf("%s: COP (%f) beats unprotected (%f)", bench, cop.IPC, unprot.IPC)
+		}
+		if coper.IPC > cop.IPC*1.01 {
+			t.Errorf("%s: COP-ER (%f) beats COP (%f)", bench, coper.IPC, cop.IPC)
+		}
+		if eccreg.IPC > coper.IPC*1.01 {
+			t.Errorf("%s: ECC Reg (%f) beats COP-ER (%f)", bench, eccreg.IPC, coper.IPC)
+		}
+		if eccreg.IPC > unprot.IPC*0.95 {
+			t.Errorf("%s: ECC Reg (%f) not clearly below unprotected (%f)", bench, eccreg.IPC, unprot.IPC)
+		}
+		// And the gaps are sane: COP within a few percent of unprotected.
+		if cop.IPC < unprot.IPC*0.90 {
+			t.Errorf("%s: COP degradation too large: %f vs %f", bench, cop.IPC, unprot.IPC)
+		}
+	}
+}
+
+func TestECCDIMMMatchesUnprotectedTiming(t *testing.T) {
+	a := runQuick(t, Unprotected, "milc")
+	b := runQuick(t, ECCDIMM, "milc")
+	if a.IPC != b.IPC {
+		t.Fatalf("ECC DIMM should have identical timing: %f vs %f", a.IPC, b.IPC)
+	}
+}
+
+func TestExtraAccessesOnlyForRegionSchemes(t *testing.T) {
+	for _, s := range []Scheme{Unprotected, COP, ECCDIMM} {
+		if res := runQuick(t, s, "mcf"); res.ExtraAccesses != 0 {
+			t.Errorf("%v: unexpected metadata accesses: %d", s, res.ExtraAccesses)
+		}
+	}
+	if res := runQuick(t, ECCRegion, "mcf"); res.ExtraAccesses == 0 {
+		t.Error("ECC Reg: expected metadata accesses")
+	}
+}
+
+func TestCOPERFewerExtraAccessesThanBaseline(t *testing.T) {
+	// The whole point of COP-ER vs the baseline: metadata traffic only
+	// for incompressible blocks.
+	for _, bench := range []string{"mcf", "gcc", "lbm"} {
+		coper := runQuick(t, COPER, bench)
+		eccreg := runQuick(t, ECCRegion, bench)
+		if coper.ExtraAccesses >= eccreg.ExtraAccesses {
+			t.Errorf("%s: COP-ER extra=%d >= baseline extra=%d", bench, coper.ExtraAccesses, eccreg.ExtraAccesses)
+		}
+	}
+}
+
+func TestCompressedReadFractionTracksWorkload(t *testing.T) {
+	// lbm is float-heavy and highly compressible; sjeng much less so.
+	lbm := runQuick(t, COP, "lbm")
+	fracLBM := float64(lbm.CompressedReads) / float64(lbm.CompressedReads+lbm.RawReads)
+	sjeng := runQuick(t, COP, "sjeng")
+	fracSjeng := float64(sjeng.CompressedReads) / float64(sjeng.CompressedReads+sjeng.RawReads)
+	if fracLBM < 0.85 {
+		t.Errorf("lbm compressed-read fraction %f too low", fracLBM)
+	}
+	if fracSjeng >= fracLBM {
+		t.Errorf("sjeng (%f) should be less compressible than lbm (%f)", fracSjeng, fracLBM)
+	}
+}
+
+func TestHeterogeneousCores(t *testing.T) {
+	cfg := DefaultConfig(COP)
+	cfg.EpochsPerCore = 300
+	res, err := Run(cfg, "mcf", "gcc", "lbm", "perlbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-core IPCs should differ (different benchmarks).
+	same := true
+	for i := 1; i < len(res.PerCoreIPC); i++ {
+		if math.Abs(res.PerCoreIPC[i]-res.PerCoreIPC[0]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("heterogeneous cores produced identical IPCs")
+	}
+}
+
+func TestBenchmarkCountValidation(t *testing.T) {
+	cfg := DefaultConfig(COP)
+	if _, err := Run(cfg, "mcf", "gcc"); err == nil {
+		t.Fatal("expected error for 2 benchmarks on 4 cores")
+	}
+	if _, err := Run(cfg, "doom"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestDecompressLatencySensitivity(t *testing.T) {
+	// omnetpp is latency-bound, so decoder latency shows directly.
+	// (Bandwidth-bound workloads like lbm absorb core-side latency in
+	// memory queueing — also the reason the paper's 4 cycles are cheap.)
+	cfg := DefaultConfig(COP)
+	cfg.EpochsPerCore = 400
+	base, err := Run(cfg, "omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DecompressLatency = 100 // absurd decoder
+	slow, err := Run(cfg, "omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.IPC >= base.IPC*0.98 {
+		t.Fatalf("100-cycle decompress should hurt: %f vs %f", slow.IPC, base.IPC)
+	}
+}
+
+func TestMetaCache(t *testing.T) {
+	m := newMetaCache(4)
+	if m.access(0) {
+		t.Fatal("cold hit")
+	}
+	if !m.access(0) {
+		t.Fatal("warm miss")
+	}
+	// Conflicting tag evicts.
+	m.access(4 * 64)
+	m.access(0)
+	if !m.access(0) {
+		t.Fatal("refill failed")
+	}
+}
+
+func TestVECCSlowerThanOffsetBaseline(t *testing.T) {
+	// Full Virtualized ECC adds translation walks on top of the offset
+	// baseline's metadata traffic; the paper's simplified baseline is
+	// intentionally the *stronger* comparator.
+	for _, bench := range []string{"mcf", "omnetpp"} {
+		eccreg := runQuick(t, ECCRegion, bench)
+		vecc := runQuick(t, VECC, bench)
+		if vecc.IPC > eccreg.IPC*1.01 {
+			t.Errorf("%s: VECC (%f) should not beat the offset baseline (%f)", bench, vecc.IPC, eccreg.IPC)
+		}
+		if vecc.ExtraAccesses <= eccreg.ExtraAccesses {
+			t.Errorf("%s: VECC extra=%d <= baseline extra=%d", bench, vecc.ExtraAccesses, eccreg.ExtraAccesses)
+		}
+	}
+}
+
+func TestMemZipBetweenCOPERAndBaseline(t *testing.T) {
+	// MemZip pays metadata accesses only for incompressible blocks (like
+	// COP-ER) with offset addressing (like the baseline): its IPC should
+	// land at or above the ECC-region baseline and its extra accesses
+	// should be comparable to COP-ER's, not the baseline's.
+	for _, bench := range []string{"mcf", "gcc"} {
+		coper := runQuick(t, COPER, bench)
+		memzip := runQuick(t, MemZip, bench)
+		eccreg := runQuick(t, ECCRegion, bench)
+		if memzip.IPC < eccreg.IPC*0.99 {
+			t.Errorf("%s: MemZip (%f) below the baseline (%f)", bench, memzip.IPC, eccreg.IPC)
+		}
+		if memzip.ExtraAccesses >= eccreg.ExtraAccesses {
+			t.Errorf("%s: MemZip extra=%d not below baseline extra=%d", bench, memzip.ExtraAccesses, eccreg.ExtraAccesses)
+		}
+		_ = coper
+	}
+}
+
+func TestReplayMatchesLiveRun(t *testing.T) {
+	// Archives written with the same per-core seeds the live runner uses
+	// must replay to identical results.
+	cfg := DefaultConfig(COP)
+	cfg.Cores = 2
+	cfg.EpochsPerCore = 300
+	live, err := Run(cfg, "mcf", "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.MustGet("mcf")
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		if err := workload.WriteTrace(&bufs[i], p, 300, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay, err := RunArchives(cfg, &bufs[0], &bufs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.IPC != replay.IPC || live.Misses != replay.Misses || live.Cycles != replay.Cycles {
+		t.Fatalf("replay diverged: live=%+v replay=%+v", live, replay)
+	}
+}
+
+func TestReplayEpochCapDefaultsToArchive(t *testing.T) {
+	p := workload.MustGet("gcc")
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, p, 120, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(COP)
+	cfg.Cores = 1
+	cfg.EpochsPerCore = 0 // derive from the archive
+	res, err := RunArchives(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("nothing simulated")
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	cfg := DefaultConfig(COP)
+	cfg.Cores = 2
+	if _, err := RunArchives(cfg, bytes.NewReader(nil)); err == nil {
+		t.Fatal("archive count mismatch should error")
+	}
+	cfg.Cores = 1
+	if _, err := RunArchives(cfg, bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage archive should error")
+	}
+	if _, err := RunArchiveFiles(cfg, "/nonexistent.copt"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestResultAccountingConsistent(t *testing.T) {
+	res := runQuick(t, COP, "gcc")
+	if res.CompressedReads+res.RawReads != res.Misses {
+		t.Fatalf("compressed(%d)+raw(%d) != misses(%d)",
+			res.CompressedReads, res.RawReads, res.Misses)
+	}
+	if res.DRAM.Reads < res.Misses {
+		t.Fatalf("DRAM reads (%d) below demand misses (%d)", res.DRAM.Reads, res.Misses)
+	}
+	if res.DRAM.Writes == 0 {
+		t.Fatal("writebacks never reached DRAM")
+	}
+}
+
+func TestMergeDefaultsPreservesOverrides(t *testing.T) {
+	cfg := Config{Scheme: COPER, Cores: 2, EpochsPerCore: 123,
+		DecompressLatency: 9, MetaCacheBlocks: 32}
+	got := mergeDefaults(cfg)
+	if got.Cores != 2 || got.EpochsPerCore != 123 ||
+		got.DecompressLatency != 9 || got.MetaCacheBlocks != 32 {
+		t.Fatalf("overrides clobbered: %+v", got)
+	}
+	zero := mergeDefaults(Config{Scheme: COP})
+	d := DefaultConfig(COP)
+	if zero.Cores != d.Cores || zero.EpochsPerCore != d.EpochsPerCore ||
+		zero.MetaCacheBlocks != d.MetaCacheBlocks {
+		t.Fatalf("defaults not applied: %+v", zero)
+	}
+}
+
+func TestAllSchemeStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Unprotected; s <= MemZip; s++ {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Fatalf("scheme %d name %q empty or duplicate", s, name)
+		}
+		seen[name] = true
+	}
+	if Scheme(99).String() == "" {
+		t.Fatal("unknown scheme should still render")
+	}
+}

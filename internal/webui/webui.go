@@ -1,0 +1,210 @@
+// Package webui serves the experiment suite over HTTP: an index of every
+// reproducible table/figure, rendered reports (HTML, text, or CSV), and a
+// block-inspector endpoint that classifies posted data exactly as the COP
+// write path would. Reports are memoized per (experiment, options) — they
+// are deterministic, so caching is sound.
+package webui
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cop/internal/core"
+	"cop/internal/experiments"
+)
+
+// Server is the HTTP handler set. Create with NewServer and mount via
+// Handler().
+type Server struct {
+	mu    sync.Mutex
+	cache map[string]*experiments.Report
+
+	defaults experiments.Options
+}
+
+// NewServer builds a Server; opts sets the default experiment fidelity
+// (zero value: the package defaults).
+func NewServer(opts experiments.Options) *Server {
+	return &Server{cache: map[string]*experiments.Report{}, defaults: opts}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/experiment/", s.handleExperiment)
+	mux.HandleFunc("/inspect", s.handleInspect)
+	return mux
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>COP experiment explorer</title>{{template "style" .}}</head><body>
+<h1>COP: To Compress and Protect Main Memory</h1>
+<p>Reproduction of the ISCA 2015 evaluation. Every link regenerates the
+artifact live (first hit computes, later hits are cached).</p>
+<table>
+<tr><th>experiment</th><th>formats</th></tr>
+{{range .IDs}}<tr>
+  <td><a href="/experiment/{{.}}">{{.}}</a></td>
+  <td><a href="/experiment/{{.}}?format=text">text</a> ·
+      <a href="/experiment/{{.}}?format=csv">csv</a> ·
+      <a href="/experiment/{{.}}?format=chart">chart</a></td>
+</tr>{{end}}
+</table>
+<h2>Inspector</h2>
+<p>POST raw bytes to <code>/inspect</code> to classify each 64-byte block
+(compressed / raw / alias) the way the memory controller would:</p>
+<pre>curl --data-binary @file http://localhost:8344/inspect</pre>
+</body></html>`))
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Report.ID}} — COP</title>{{template "style" .}}</head><body>
+<p><a href="/">&larr; all experiments</a></p>
+<h1>{{.Report.ID}}</h1>
+<p>{{.Report.Title}}</p>
+<table>
+<tr>{{range .Report.Header}}<th>{{.}}</th>{{end}}</tr>
+{{range .Report.Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{range .Report.Notes}}<p class="note">note: {{.}}</p>{{end}}
+</body></html>`))
+
+func init() {
+	const style = `{{define "style"}}<style>
+body{font-family:sans-serif;max-width:72em;margin:2em auto;padding:0 1em}
+table{border-collapse:collapse}
+td,th{border:1px solid #bbb;padding:.25em .6em;text-align:left;font-variant-numeric:tabular-nums}
+th{background:#eee}
+.note{color:#555;font-size:.9em}
+</style>{{end}}`
+	template.Must(indexTmpl.Parse(style))
+	template.Must(reportTmpl.Parse(style))
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	ids := experiments.IDs()
+	sort.Strings(ids)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, struct{ IDs []string }{ids}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// options parses fidelity overrides from the query string.
+func (s *Server) options(r *http.Request) experiments.Options {
+	o := s.defaults
+	get := func(key string, dst *int) {
+		if v := r.URL.Query().Get(key); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				*dst = n
+			}
+		}
+	}
+	get("samples", &o.Samples)
+	get("epochs", &o.Epochs)
+	get("alias-samples", &o.AliasSamples)
+	return o
+}
+
+func (s *Server) report(id string, o experiments.Options) (*experiments.Report, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", id, o.Samples, o.Epochs, o.AliasSamples)
+	s.mu.Lock()
+	if rep, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return rep, nil
+	}
+	s.mu.Unlock()
+	rep, err := experiments.Run(id, o)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[key] = rep
+	s.mu.Unlock()
+	return rep, nil
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/experiment/")
+	if id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	rep, err := s.report(id, s.options(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, rep.CSV())
+	case "chart":
+		col := -1
+		if v := r.URL.Query().Get("col"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				col = n
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Chart(col, 48))
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Format())
+	default:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := reportTmpl.Execute(w, struct{ Report *experiments.Report }{rep}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// handleInspect classifies each 64-byte block of the request body.
+func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST raw bytes", http.StatusMethodNotAllowed)
+		return
+	}
+	const maxBody = 16 << 20
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	data := make([]byte, 0, 1<<16)
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := body.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if len(data) < core.BlockBytes {
+		http.Error(w, "need at least one 64-byte block", http.StatusBadRequest)
+		return
+	}
+	codec := core.NewCodec(core.NewConfig4())
+	var compressed, raw, alias int
+	blocks := 0
+	for off := 0; off+core.BlockBytes <= len(data); off += core.BlockBytes {
+		blocks++
+		switch codec.Classify(data[off : off+core.BlockBytes]) {
+		case core.StoredCompressed:
+			compressed++
+		case core.StoredRaw:
+			raw++
+		default:
+			alias++
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "blocks: %d\nprotected (compressed+ECC): %d (%.1f%%)\nraw (unprotected): %d (%.1f%%)\nincompressible aliases: %d\n",
+		blocks, compressed, 100*float64(compressed)/float64(blocks),
+		raw, 100*float64(raw)/float64(blocks), alias)
+}

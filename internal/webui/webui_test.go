@@ -1,0 +1,181 @@
+package webui
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cop/internal/experiments"
+)
+
+func testServer() *httptest.Server {
+	s := NewServer(experiments.Options{Samples: 500, AliasSamples: 20000, Epochs: 100})
+	return httptest.NewServer(s.Handler())
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestIndexListsExperiments(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(body, "/experiment/"+id) {
+			t.Errorf("index missing %s", id)
+		}
+	}
+}
+
+func TestIndexNotFoundForOtherPaths(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("status %d", code)
+	}
+}
+
+func TestExperimentHTML(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/experiment/dimmcmp")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "<table>") || !strings.Contains(body, "6.7x") {
+		t.Fatalf("unexpected body: %.200s", body)
+	}
+}
+
+func TestExperimentTextAndCSV(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/experiment/alias?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "P(random 128-bit word valid)") {
+		t.Fatalf("text: %d %.100s", code, body)
+	}
+	code, body = get(t, ts.URL+"/experiment/alias?format=csv")
+	if code != http.StatusOK || !strings.HasPrefix(body, "quantity,analytic,measured") {
+		t.Fatalf("csv: %d %.100s", code, body)
+	}
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/experiment/fig99"); code != http.StatusNotFound {
+		t.Fatalf("status %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/experiment/a/b"); code != http.StatusNotFound {
+		t.Fatalf("nested path: status %d", code)
+	}
+}
+
+func TestExperimentCaching(t *testing.T) {
+	s := NewServer(experiments.Options{Samples: 300, AliasSamples: 5000, Epochs: 50})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	get(t, ts.URL+"/experiment/alias?format=text")
+	s.mu.Lock()
+	n := len(s.cache)
+	s.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("cache entries = %d", n)
+	}
+	get(t, ts.URL+"/experiment/alias?format=csv") // same options: cached
+	s.mu.Lock()
+	n = len(s.cache)
+	s.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("cache entries after second hit = %d", n)
+	}
+	get(t, ts.URL+"/experiment/alias?format=csv&alias-samples=6000")
+	s.mu.Lock()
+	n = len(s.cache)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("different options should add a cache entry: %d", n)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	// Two compressible (pointer) blocks + pad.
+	data := make([]byte, 128)
+	for i := 0; i < 16; i++ {
+		binary.BigEndian.PutUint64(data[8*i:], 0x00007F00_10000000|uint64(i))
+	}
+	resp, err := http.Post(ts.URL+"/inspect", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	body := sb.String()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "blocks: 2") || !strings.Contains(body, "protected (compressed+ECC): 2") {
+		t.Fatalf("inspect output: %s", body)
+	}
+}
+
+func TestInspectRejectsGETAndShortBodies(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/inspect"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/inspect", "application/octet-stream", bytes.NewReader([]byte("short")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short body status %d", resp.StatusCode)
+	}
+}
+
+func TestExperimentChart(t *testing.T) {
+	ts := testServer()
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/experiment/dimmcmp?format=chart")
+	if code != http.StatusOK || !strings.Contains(body, "█") {
+		t.Fatalf("chart: %d %.120s", code, body)
+	}
+	code, body = get(t, ts.URL+"/experiment/dimmcmp?format=chart&col=1")
+	if code != http.StatusOK || !strings.Contains(body, "exposure ratio") {
+		t.Fatalf("chart col=1: %d %.120s", code, body)
+	}
+}

@@ -1,0 +1,206 @@
+package workload
+
+import "encoding/binary"
+
+// Content categories. Each benchmark profile is a mixture over these; each
+// category is designed to exercise a distinct compressibility signature so
+// the paper's per-scheme results (Figures 1, 4, 8, 9) reproduce:
+//
+//	zero:         trivially compressible by everything
+//	smallInt:     32-bit integers near zero — FPC/RLE-friendly (leading
+//	              0x00/0xFF bytes at aligned offsets)
+//	pointer:      64-bit pointers sharing high bits — MSB-friendly (and
+//	              RLE/FPC via the zero upper bytes)
+//	floatSameExp: float64s with close exponents and mixed signs —
+//	              compressible by *shifted* MSB only (the Figure 4 effect)
+//	floatVaried:  float64s with widely varying exponents — compressible
+//	              at the 4-byte budget (5-bit window) far more often than
+//	              at the 8-byte one (10-bit window)
+//	text:         ASCII — TXT-only territory
+//	nearRandom:   random data with two short zero runs — RLE at the
+//	              4-byte budget only (libquantum's "compressible by a
+//	              small amount")
+//	random:       incompressible
+type category int
+
+const (
+	catZero category = iota
+	catSmallInt
+	catPointer
+	catFloatSameExp
+	catFloatVaried
+	catText
+	catNearRandom
+	catStructRecord
+	catRandom
+	numCategories
+)
+
+// ContentMix is a weight per category; weights need not sum to 1 (they are
+// normalized).
+type ContentMix struct {
+	Zero, SmallInt, Pointer, FloatSameExp, FloatVaried, Text, NearRandom, StructRecord, Random float64
+}
+
+func (m ContentMix) weights() [numCategories]float64 {
+	return [numCategories]float64{
+		m.Zero, m.SmallInt, m.Pointer, m.FloatSameExp, m.FloatVaried, m.Text, m.NearRandom, m.StructRecord, m.Random,
+	}
+}
+
+// pick selects a category from the mix using u in [0,1).
+func (m ContentMix) pick(u float64) category {
+	w := m.weights()
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return catRandom
+	}
+	acc := 0.0
+	for c, x := range w {
+		acc += x / total
+		if u < acc {
+			return category(c)
+		}
+	}
+	return catRandom
+}
+
+const blockBytes = 64
+
+const textCorpus = "<p>In the beginning the Universe was created. This has made " +
+	"a lot of people very angry and been widely regarded as a bad move.</p>\n" +
+	"SELECT name, value FROM config WHERE id = 42; /* per-row comment */ "
+
+// genBlock synthesizes one 64-byte block of the given category from a
+// deterministic stream.
+func genBlock(cat category, r *rng) []byte {
+	b := make([]byte, blockBytes)
+	switch cat {
+	case catZero:
+		// leave zero
+	case catSmallInt:
+		// Counters and indices; the per-block magnitude class spreads
+		// FPC's compressed sizes (4/8/16-bit sign-extended patterns)
+		// across the Figure 1 ratio axis. Mostly positive, with some
+		// negatives so RLE sees 0xFF runs too.
+		limit := []int{8, 128, 4096}[r.intn(3)]
+		for i := 0; i < 16; i++ {
+			v := int32(r.intn(2*limit) - limit/8)
+			binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+		}
+	case catPointer:
+		base := (uint64(0x00005500)<<32 | uint64(r.next()&0x3FC0000000)) &^ 0x3FFFFFF
+		for i := 0; i < 8; i++ {
+			binary.BigEndian.PutUint64(b[8*i:], base|uint64(r.next()&0x3FFFFFF))
+		}
+	case catFloatSameExp:
+		// Shared 11-bit exponent, random mantissas. Roughly a quarter
+		// of blocks mix signs (the Figure 4 regime where only the
+		// shifted comparison works); the rest are sign-uniform, which
+		// both MSB variants handle.
+		exp := uint64(1023 + r.intn(16) - 8)
+		mixedSigns := r.intn(4) == 0
+		blockSign := r.next() & 1 << 63
+		for i := 0; i < 8; i++ {
+			sign := blockSign
+			if mixedSigns {
+				sign = r.next() & 1 << 63
+			}
+			mant := r.next() & ((1 << 52) - 1)
+			binary.BigEndian.PutUint64(b[8*i:], sign|exp<<52|mant)
+		}
+	case catFloatVaried:
+		// Exponents spread over a small range around a per-block
+		// center: the top 5 exponent bits (bits 1..5 of the word)
+		// usually agree, the top 10 (bits 1..10) usually do not. Same
+		// sign regime as catFloatSameExp.
+		center := 896 + r.intn(256)
+		mixedSigns := r.intn(4) == 0
+		blockSign := r.next() & 1 << 63
+		for i := 0; i < 8; i++ {
+			sign := blockSign
+			if mixedSigns {
+				sign = r.next() & 1 << 63
+			}
+			exp := uint64(center + r.intn(15) - 7)
+			mant := r.next() & ((1 << 52) - 1)
+			binary.BigEndian.PutUint64(b[8*i:], sign|exp<<52|mant)
+		}
+	case catText:
+		off := r.intn(len(textCorpus))
+		for i := range b {
+			b[i] = textCorpus[(off+i)%len(textCorpus)]
+		}
+	case catNearRandom:
+		r.fill(b)
+		// Two 3-byte zero runs at distinct 16-bit-aligned offsets: frees
+		// exactly the 34 bits the 4-byte configuration needs.
+		o1 := 2 * r.intn(15)
+		o2 := 32 + 2*r.intn(15)
+		for i := 0; i < 3; i++ {
+			b[o1+i], b[o2+i] = 0, 0
+		}
+		// Keep the rest run-free so the block stays marginal: break any
+		// accidental 0x00/0xFF pairs outside the planted runs.
+		for i := 0; i < blockBytes-1; i += 2 {
+			if i == o1 || i == o1+2 || i == o2 || i == o2+2 {
+				continue
+			}
+			if (b[i] == 0x00 && b[i+1] == 0x00) || (b[i] == 0xFF && b[i+1] == 0xFF) {
+				b[i+1] ^= 0x5A
+			}
+		}
+	case catStructRecord:
+		// Array-of-structs records: three random doubles followed by a
+		// small 64-bit integer per 32 bytes (libquantum's amplitude +
+		// state layout). FPC extracts the zero-padded integer words,
+		// freeing ~12% — compressible "by a small amount" but nowhere
+		// near half, the Figure 1 signature — and RLE reaches COP's
+		// low targets via the integers' leading zero bytes.
+		for rec := 0; rec < 2; rec++ {
+			base := 32 * rec
+			for f := 0; f < 3; f++ {
+				binary.BigEndian.PutUint64(b[base+8*f:], r.next())
+			}
+			binary.BigEndian.PutUint64(b[base+24:], uint64(r.intn(1<<6)))
+		}
+	case catRandom:
+		r.fill(b)
+	}
+	return b
+}
+
+// Block deterministically synthesizes the contents of the block at addr
+// for this profile. version distinguishes successive writes to the same
+// block (a CPU store produces new data of the same category). The category
+// is a pure function of the address, so a block's compressibility class is
+// stable across the run — which is what lets Figure 12 count "ever
+// incompressible" blocks meaningfully.
+func (p *Profile) Block(addr uint64, version uint32) []byte {
+	h := hash64(p.seed, addr)
+	cat := p.Mix.pick(float64(h>>11) / (1 << 53))
+	r := newRNG(hash64(h, uint64(version)+0xBEEF))
+	return genBlock(cat, r)
+}
+
+// Category exposes the content category of a block address (testing and
+// diagnostics).
+func (p *Profile) Category(addr uint64) int {
+	h := hash64(p.seed, addr)
+	return int(p.Mix.pick(float64(h>>11) / (1 << 53)))
+}
+
+// SampleBlocks returns n deterministic content samples drawn as the
+// compressibility experiments do: uniformly over the profile's footprint.
+func (p *Profile) SampleBlocks(n int, seed uint64) [][]byte {
+	r := newRNG(hash64(p.seed, seed))
+	out := make([][]byte, n)
+	for i := range out {
+		addr := uint64(r.intn(p.FootprintBlocks)) * blockBytes
+		out[i] = p.Block(addr, 0)
+	}
+	return out
+}

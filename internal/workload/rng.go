@@ -1,0 +1,55 @@
+package workload
+
+// rng is a SplitMix64-based deterministic generator. Workload content and
+// traces must be bit-for-bit reproducible across runs and platforms, so the
+// package avoids math/rand (whose stream is version-dependent for some
+// helpers) in favour of this fixed algorithm.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9E3779B97F4A7C15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("workload: intn on non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// fill writes pseudo-random bytes.
+func (r *rng) fill(p []byte) {
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		v := r.next()
+		for j := 0; j < 8; j++ {
+			p[i+j] = byte(v >> uint(56-8*j))
+		}
+	}
+	if i < len(p) {
+		v := r.next()
+		for j := 0; i+j < len(p); j++ {
+			p[i+j] = byte(v >> uint(56-8*j))
+		}
+	}
+}
+
+// hash64 mixes two words into one (for address→content derivation).
+func hash64(a, b uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ b
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,168 @@
+package workload
+
+// Trace serialization: a compact binary format so generated traces can be
+// archived and replayed (the role SimPoint checkpoint traces play for the
+// paper's methodology). The format is self-describing and versioned:
+//
+//	magic "COPT", format version (uvarint)
+//	benchmark-name length + bytes
+//	epoch count (uvarint)
+//	per epoch: instructions, miss count, writeback count, then each
+//	access as (block-index delta zig-zag uvarint, version uvarint);
+//	misses first, then writebacks.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var traceMagic = [4]byte{'C', 'O', 'P', 'T'}
+
+const traceVersion = 1
+
+// ErrBadTrace reports a malformed or truncated serialized trace.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// WriteTrace generates epochs from the profile and streams them to w.
+func WriteTrace(w io.Writer, p *Profile, epochs int, seed uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(traceVersion); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(p.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(p.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(epochs)); err != nil {
+		return err
+	}
+
+	tr := p.NewTrace(seed)
+	prevBlk := int64(0)
+	writeAccess := func(a Access) error {
+		blk := int64(a.Addr / blockBytes)
+		delta := blk - prevBlk
+		prevBlk = blk
+		// Zig-zag encode the delta.
+		if err := putUvarint(uint64(delta<<1) ^ uint64(delta>>63)); err != nil {
+			return err
+		}
+		return putUvarint(uint64(a.Version))
+	}
+	for e := 0; e < epochs; e++ {
+		ep := tr.Next()
+		if err := putUvarint(ep.Instructions); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(ep.Misses))); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(ep.Writebacks))); err != nil {
+			return err
+		}
+		for _, m := range ep.Misses {
+			if err := writeAccess(m); err != nil {
+				return err
+			}
+		}
+		for _, wb := range ep.Writebacks {
+			if err := writeAccess(wb); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a serialized trace, returning the benchmark name and
+// the epochs.
+func ReadTrace(r io.Reader) (string, []Epoch, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil || version != traceVersion {
+		return "", nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, version)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen > 256 {
+		return "", nil, fmt.Errorf("%w: name length", ErrBadTrace)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	epochCount, err := binary.ReadUvarint(br)
+	if err != nil || epochCount > 1<<32 {
+		return "", nil, fmt.Errorf("%w: epoch count", ErrBadTrace)
+	}
+
+	prevBlk := int64(0)
+	readAccess := func(write bool) (Access, error) {
+		zz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Access{}, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		delta := int64(zz>>1) ^ -int64(zz&1)
+		prevBlk += delta
+		if prevBlk < 0 {
+			return Access{}, fmt.Errorf("%w: negative block index", ErrBadTrace)
+		}
+		version, err := binary.ReadUvarint(br)
+		if err != nil || version > 1<<31 {
+			return Access{}, fmt.Errorf("%w: version", ErrBadTrace)
+		}
+		return Access{Addr: uint64(prevBlk) * blockBytes, Write: write, Version: uint32(version)}, nil
+	}
+
+	epochs := make([]Epoch, 0, epochCount)
+	for e := uint64(0); e < epochCount; e++ {
+		var ep Epoch
+		if ep.Instructions, err = binary.ReadUvarint(br); err != nil {
+			return "", nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		nm, err := binary.ReadUvarint(br)
+		if err != nil || nm > 1<<20 {
+			return "", nil, fmt.Errorf("%w: miss count", ErrBadTrace)
+		}
+		nw, err := binary.ReadUvarint(br)
+		if err != nil || nw > 1<<20 {
+			return "", nil, fmt.Errorf("%w: writeback count", ErrBadTrace)
+		}
+		for i := uint64(0); i < nm; i++ {
+			a, err := readAccess(false)
+			if err != nil {
+				return "", nil, err
+			}
+			ep.Misses = append(ep.Misses, a)
+		}
+		for i := uint64(0); i < nw; i++ {
+			a, err := readAccess(true)
+			if err != nil {
+				return "", nil, err
+			}
+			ep.Writebacks = append(ep.Writebacks, a)
+		}
+		epochs = append(epochs, ep)
+	}
+	return string(nameBuf), epochs, nil
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceSerializeRoundTrip(t *testing.T) {
+	p := MustGet("mcf")
+	var buf bytes.Buffer
+	const epochs = 200
+	if err := WriteTrace(&buf, p, epochs, 7); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mcf" {
+		t.Fatalf("name = %q", name)
+	}
+	want := p.GenerateEpochs(epochs, 7)
+	if len(got) != len(want) {
+		t.Fatalf("epochs: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Instructions != want[i].Instructions {
+			t.Fatalf("epoch %d instructions differ", i)
+		}
+		if len(got[i].Misses) != len(want[i].Misses) || len(got[i].Writebacks) != len(want[i].Writebacks) {
+			t.Fatalf("epoch %d access counts differ", i)
+		}
+		for j := range want[i].Misses {
+			w := want[i].Misses[j]
+			g := got[i].Misses[j]
+			if g.Addr != w.Addr || g.Version != w.Version || g.Write {
+				t.Fatalf("epoch %d miss %d: %+v vs %+v", i, j, g, w)
+			}
+		}
+		for j := range want[i].Writebacks {
+			w := want[i].Writebacks[j]
+			g := got[i].Writebacks[j]
+			if g.Addr != w.Addr || g.Version != w.Version || !g.Write {
+				t.Fatalf("epoch %d writeback %d: %+v vs %+v", i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Delta+varint encoding should average well under 8 bytes/access.
+	p := MustGet("lbm") // highly sequential: small deltas
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, p, 500, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, eps, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := 0
+	for _, e := range eps {
+		accesses += len(e.Misses) + len(e.Writebacks)
+	}
+	perAccess := float64(buf.Len()) / float64(accesses)
+	if perAccess > 8 {
+		t.Fatalf("%.1f bytes/access — delta encoding ineffective", perAccess)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("COP"),
+		[]byte("NOPE____________"),
+		append([]byte("COPT"), 0xFF), // absurd version varint start then EOF
+	}
+	for i, c := range cases {
+		if _, _, err := ReadTrace(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsTruncation(t *testing.T) {
+	p := MustGet("gcc")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, p, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, len(full) / 2, len(full) - 1} {
+		if _, _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+// Trace generation: the interval-simulation methodology (§4) divides
+// execution into epochs of independent, overlappable L3 misses between
+// stretches of perfect-L3 execution. Sniper+Pin captured those epochs for
+// the paper; this generator synthesizes them from the profile's access
+// model.
+
+// Access is one L3↔memory transaction.
+type Access struct {
+	// Addr is the block-aligned byte address (within the benchmark's
+	// footprint, before any per-core offsetting by the simulator).
+	Addr uint64
+	// Write marks a dirty writeback from the LLC; otherwise a demand
+	// fill read.
+	Write bool
+	// Version tracks how many times the block has been rewritten, so
+	// content generation changes across writes.
+	Version uint32
+}
+
+// Epoch is one interval: Instructions of perfect-L3 progress, then a batch
+// of independent misses (plus the writebacks their fills evicted).
+type Epoch struct {
+	Instructions uint64
+	Misses       []Access
+	Writebacks   []Access
+}
+
+// Trace deterministically generates a benchmark's epoch stream.
+type Trace struct {
+	p              *Profile
+	r              *rng
+	versions       map[uint64]uint32
+	epochLen       uint64 // instructions per epoch
+	missesPerEpoch float64
+	streamBlk      int // last block touched (sequential continuation)
+}
+
+// NewTrace builds a trace generator. Seed 0 gives the canonical trace;
+// other seeds give statistically identical variants (for multi-core runs).
+func (p *Profile) NewTrace(seed uint64) *Trace {
+	mpe := p.MPKI / 1000 // misses per instruction
+	// Pick the epoch length so each epoch carries about MLP misses.
+	epochLen := uint64(1)
+	if mpe > 0 {
+		epochLen = uint64(p.MLP / mpe)
+	}
+	if epochLen == 0 {
+		epochLen = 1
+	}
+	return &Trace{
+		p:              p,
+		r:              newRNG(hash64(p.seed, 0x7ACE+seed)),
+		versions:       map[uint64]uint32{},
+		epochLen:       epochLen,
+		missesPerEpoch: p.MLP,
+	}
+}
+
+// EpochInstructions returns the fixed instruction count per epoch.
+func (t *Trace) EpochInstructions() uint64 { return t.epochLen }
+
+// nextAddr draws a block address from the locality model. With probability
+// SeqProb the access continues sequentially from the previous one (spatial
+// locality: shared DRAM rows, shared ECC-metadata blocks); otherwise it
+// jumps, landing in the hot HotFrac of the footprint with probability
+// HotProb.
+func (t *Trace) nextAddr() uint64 {
+	fp := t.p.FootprintBlocks
+	if t.r.float() < t.p.SeqProb {
+		t.streamBlk = (t.streamBlk + 1) % fp
+		return uint64(t.streamBlk) * blockBytes
+	}
+	hot := int(t.p.HotFrac * float64(fp))
+	if hot < 1 {
+		hot = 1
+	}
+	var blk int
+	if t.r.float() < t.p.HotProb {
+		blk = t.r.intn(hot)
+	} else {
+		blk = hot + t.r.intn(fp-hot)
+		if blk >= fp {
+			blk = fp - 1
+		}
+	}
+	t.streamBlk = blk
+	return uint64(blk) * blockBytes
+}
+
+// Next produces the next epoch. The miss count is drawn so the long-run
+// MPKI matches the profile; each miss may carry a writeback per DirtyFrac.
+func (t *Trace) Next() Epoch {
+	e := Epoch{Instructions: t.epochLen}
+	// Miss count: MLP on average, geometric-ish dispersion.
+	n := 1
+	mean := t.missesPerEpoch
+	for float64(n) < mean {
+		n++
+	}
+	// Randomize around the mean: n-1, n, or n+1 with mean preserved
+	// approximately (cheap and deterministic).
+	switch t.r.intn(3) {
+	case 0:
+		if n > 1 {
+			n--
+		}
+	case 2:
+		n++
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		addr := t.nextAddr()
+		if seen[addr] {
+			continue // same-epoch duplicate would not be an independent miss
+		}
+		seen[addr] = true
+		e.Misses = append(e.Misses, Access{Addr: addr, Version: t.versions[addr]})
+		if t.r.float() < t.p.DirtyFrac {
+			// A fill evicts some other dirty block: it gets rewritten
+			// with fresh (same-category) content.
+			victim := t.nextAddr()
+			v := t.versions[victim] + 1
+			t.versions[victim] = v
+			e.Writebacks = append(e.Writebacks, Access{Addr: victim, Write: true, Version: v})
+		}
+	}
+	return e
+}
+
+// GenerateEpochs returns the first n epochs of a fresh trace (convenience
+// for experiments).
+func (p *Profile) GenerateEpochs(n int, seed uint64) []Epoch {
+	t := p.NewTrace(seed)
+	out := make([]Epoch, n)
+	for i := range out {
+		out[i] = t.Next()
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+// Package workload provides synthetic reproductions of the SPEC CPU2006
+// and PARSEC workloads the paper evaluates. The originals require Pin,
+// Sniper, SimPoint, and reference inputs; this package substitutes
+// per-benchmark models with two ingredients the COP experiments actually
+// consume:
+//
+//  1. a content model — a mixture over data categories (pointers, small
+//     integers, floats with shared/varied exponents, ASCII text, marginal
+//     and pure random data) tuned so each benchmark's per-scheme
+//     compressibility signature matches the paper's Figures 1/4/8/9 shape;
+//  2. an access model — footprint, L3 misses per kilo-instruction,
+//     memory-level parallelism, dirty fraction, and perfect-L3 IPC, which
+//     drive the interval simulator (Figure 11) and the vulnerability-clock
+//     reliability model (Figure 10).
+//
+// Everything is deterministic given the benchmark name.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suite labels a benchmark's origin.
+type Suite string
+
+// Benchmark suites from the paper's evaluation.
+const (
+	SPECint Suite = "SPECint 2006"
+	SPECfp  Suite = "SPECfp 2006"
+	PARSEC  Suite = "PARSEC"
+)
+
+// Profile models one benchmark.
+type Profile struct {
+	Name  string
+	Suite Suite
+	// MemoryIntensive marks the Table 2 subset used in the main results.
+	MemoryIntensive bool
+
+	// Mix is the block-content mixture.
+	Mix ContentMix
+
+	// FootprintBlocks is the number of distinct 64-byte blocks touched.
+	FootprintBlocks int
+	// MPKI is L3 misses per 1000 instructions.
+	MPKI float64
+	// PerfectIPC is the per-core IPC with a perfect L3 (the interval
+	// simulator's between-miss rate).
+	PerfectIPC float64
+	// DirtyFrac is the fraction of L3 fills that are eventually written
+	// back dirty.
+	DirtyFrac float64
+	// MLP is the mean number of overlappable misses per miss epoch.
+	MLP float64
+	// HotFrac/HotProb shape temporal locality: HotProb of accesses go to
+	// the HotFrac fraction of the footprint.
+	HotFrac, HotProb float64
+	// SeqProb shapes spatial locality: the probability that a miss
+	// continues sequentially from the previous one (streaming kernels
+	// high, pointer chasers low). Consecutive blocks share DRAM rows and
+	// ECC-region metadata blocks, so this drives both row-hit rates and
+	// the baseline's metadata cachability.
+	SeqProb float64
+
+	seed uint64
+}
+
+var registry = map[string]*Profile{}
+
+func register(p *Profile) {
+	p.seed = hash64(0xC0FFEE, uint64(len(p.Name))*131+uint64(p.Name[0])<<8+uint64(p.Name[len(p.Name)-1]))
+	// Name collisions in the cheap seed above would silently correlate
+	// content; mix the full name in properly.
+	for i := 0; i < len(p.Name); i++ {
+		p.seed = hash64(p.seed, uint64(p.Name[i]))
+	}
+	if _, dup := registry[p.Name]; dup {
+		panic("workload: duplicate benchmark " + p.Name)
+	}
+	registry[p.Name] = p
+}
+
+// RegisterCustom adds a user-defined workload profile to the registry (for
+// modeling applications beyond the paper's benchmark suites). The name
+// must be unused; weights and parameters are validated. Custom profiles
+// participate in Get/All/BySuite but are never part of the paper's
+// experiment sets (MemoryIntensive is forced off).
+func RegisterCustom(p Profile) (*Profile, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("workload: custom profile needs a name")
+	}
+	if _, dup := registry[p.Name]; dup {
+		return nil, fmt.Errorf("workload: %q already registered", p.Name)
+	}
+	if p.FootprintBlocks <= 0 || p.MPKI <= 0 || p.PerfectIPC <= 0 {
+		return nil, fmt.Errorf("workload: footprint, MPKI, and perfect IPC must be positive")
+	}
+	if p.MLP <= 0 {
+		p.MLP = 1
+	}
+	for _, v := range []float64{p.DirtyFrac, p.HotFrac, p.HotProb, p.SeqProb} {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("workload: fractions must be in [0,1]")
+		}
+	}
+	total := 0.0
+	for _, w := range p.Mix.weights() {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative mix weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: content mix is empty")
+	}
+	p.MemoryIntensive = false
+	if p.Suite == "" {
+		p.Suite = "custom"
+	}
+	cp := p
+	register(&cp)
+	return &cp, nil
+}
+
+// Get returns the named benchmark's profile or an error listing what
+// exists.
+func Get(name string) (*Profile, error) {
+	if p, ok := registry[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (have %d registered)", name, len(registry))
+}
+
+// MustGet is Get for static names.
+func MustGet(name string) *Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// All returns every registered profile, name-sorted.
+func All() []*Profile {
+	out := make([]*Profile, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MemoryIntensiveSet returns the paper's Table 2 benchmarks, name-sorted.
+func MemoryIntensiveSet() []*Profile {
+	var out []*Profile
+	for _, p := range All() {
+		if p.MemoryIntensive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Fig1Names is the benchmark set of Figure 1 (plus the SPECint average,
+// computed over all SPECint profiles).
+func Fig1Names() []string { return []string{"astar", "gcc", "libquantum", "mcf"} }
+
+// Fig4Names is the SPECfp set of Figure 4.
+func Fig4Names() []string {
+	return []string{"bwaves", "cactusADM", "calculix", "dealII", "gamess", "GemsFDTD",
+		"gromacs", "lbm", "leslie3d", "milc", "namd", "povray", "soplex", "sphinx3",
+		"tonto", "wrf", "zeusmp"}
+}
+
+// BySuite returns the registered profiles of one suite, name-sorted.
+func BySuite(s Suite) []*Profile {
+	var out []*Profile
+	for _, p := range All() {
+		if p.Suite == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+const kb = 1024
+
+func init() {
+	// ---- SPECint 2006 ------------------------------------------------
+	register(&Profile{Name: "astar", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{Pointer: .45, SmallInt: .30, Zero: .10, NearRandom: .10, Random: .05},
+		FootprintBlocks: 256 * kb, MPKI: 8, PerfectIPC: 1.9, DirtyFrac: .35, MLP: 2.0, HotFrac: .2, HotProb: .7, SeqProb: 0.35})
+	register(&Profile{Name: "bzip2", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{Random: .10, NearRandom: .30, SmallInt: .30, Text: .20, Zero: .10},
+		FootprintBlocks: 384 * kb, MPKI: 5, PerfectIPC: 2.0, DirtyFrac: .45, MLP: 2.5, HotFrac: .3, HotProb: .6, SeqProb: 0.60})
+	register(&Profile{Name: "gcc", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{Zero: .20, SmallInt: .35, Pointer: .30, Text: .05, NearRandom: .05, Random: .05},
+		FootprintBlocks: 320 * kb, MPKI: 6, PerfectIPC: 1.8, DirtyFrac: .40, MLP: 2.2, HotFrac: .25, HotProb: .65, SeqProb: 0.50})
+	register(&Profile{Name: "mcf", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{Pointer: .55, SmallInt: .25, Zero: .10, NearRandom: .05, Random: .05},
+		FootprintBlocks: 1024 * kb, MPKI: 28, PerfectIPC: 1.4, DirtyFrac: .30, MLP: 3.5, HotFrac: .15, HotProb: .5, SeqProb: 0.25})
+	register(&Profile{Name: "omnetpp", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{Pointer: .50, SmallInt: .20, Zero: .10, Text: .10, NearRandom: .05, Random: .05},
+		FootprintBlocks: 512 * kb, MPKI: 18, PerfectIPC: 1.6, DirtyFrac: .40, MLP: 2.0, HotFrac: .2, HotProb: .6, SeqProb: 0.30})
+	register(&Profile{Name: "perlbench", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{Text: .45, Pointer: .25, SmallInt: .15, Zero: .05, NearRandom: .05, Random: .05},
+		FootprintBlocks: 192 * kb, MPKI: 2, PerfectIPC: 2.2, DirtyFrac: .40, MLP: 1.6, HotFrac: .3, HotProb: .75, SeqProb: 0.50})
+	register(&Profile{Name: "sjeng", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{SmallInt: .45, Random: .10, NearRandom: .25, Zero: .12, Pointer: .08},
+		FootprintBlocks: 256 * kb, MPKI: 1.5, PerfectIPC: 2.1, DirtyFrac: .50, MLP: 1.4, HotFrac: .4, HotProb: .8, SeqProb: 0.40})
+	register(&Profile{Name: "xalancbmk", Suite: SPECint, MemoryIntensive: true,
+		Mix:             ContentMix{Text: .40, Pointer: .30, SmallInt: .15, Zero: .05, NearRandom: .05, Random: .05},
+		FootprintBlocks: 384 * kb, MPKI: 11, PerfectIPC: 1.7, DirtyFrac: .35, MLP: 2.4, HotFrac: .25, HotProb: .65, SeqProb: 0.45})
+	// Non-memory-intensive SPECint needed by Figure 1's suite average.
+	register(&Profile{Name: "libquantum", Suite: SPECint,
+		Mix:             ContentMix{StructRecord: .70, SmallInt: .10, Zero: .05, NearRandom: .05, Random: .10},
+		FootprintBlocks: 512 * kb, MPKI: 24, PerfectIPC: 1.9, DirtyFrac: .25, MLP: 4.0, HotFrac: .1, HotProb: .3, SeqProb: 0.90})
+	register(&Profile{Name: "hmmer", Suite: SPECint,
+		Mix:             ContentMix{SmallInt: .55, Zero: .15, NearRandom: .15, Random: .15},
+		FootprintBlocks: 96 * kb, MPKI: 1, PerfectIPC: 2.4, DirtyFrac: .45, MLP: 1.3, HotFrac: .5, HotProb: .85, SeqProb: 0.70})
+	register(&Profile{Name: "h264ref", Suite: SPECint,
+		Mix:             ContentMix{NearRandom: .35, SmallInt: .30, Zero: .15, Random: .20},
+		FootprintBlocks: 128 * kb, MPKI: 1.2, PerfectIPC: 2.3, DirtyFrac: .40, MLP: 1.5, HotFrac: .4, HotProb: .8, SeqProb: 0.65})
+	register(&Profile{Name: "gobmk", Suite: SPECint,
+		Mix:             ContentMix{SmallInt: .40, Pointer: .20, Zero: .15, NearRandom: .15, Random: .10},
+		FootprintBlocks: 128 * kb, MPKI: 1, PerfectIPC: 2.2, DirtyFrac: .45, MLP: 1.3, HotFrac: .45, HotProb: .8, SeqProb: 0.45})
+
+	// ---- SPECfp 2006 -------------------------------------------------
+	register(&Profile{Name: "bwaves", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .70, FloatVaried: .15, Zero: .08, Random: .07},
+		FootprintBlocks: 1024 * kb, MPKI: 18, PerfectIPC: 2.0, DirtyFrac: .40, MLP: 4.5, HotFrac: .1, HotProb: .3, SeqProb: 0.85})
+	register(&Profile{Name: "cactusADM", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .52, Zero: .24, FloatVaried: .18, Random: .06},
+		FootprintBlocks: 640 * kb, MPKI: 7, PerfectIPC: 1.9, DirtyFrac: .45, MLP: 2.8, HotFrac: .2, HotProb: .5, SeqProb: 0.60})
+	register(&Profile{Name: "GemsFDTD", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .60, Zero: .20, FloatVaried: .14, Random: .06},
+		FootprintBlocks: 1024 * kb, MPKI: 16, PerfectIPC: 1.8, DirtyFrac: .45, MLP: 3.8, HotFrac: .12, HotProb: .35, SeqProb: 0.80})
+	register(&Profile{Name: "lbm", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .78, FloatVaried: .12, Zero: .05, Random: .05},
+		FootprintBlocks: 1536 * kb, MPKI: 30, PerfectIPC: 2.2, DirtyFrac: .55, MLP: 5.0, HotFrac: .05, HotProb: .15, SeqProb: 0.88})
+	register(&Profile{Name: "milc", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .70, FloatVaried: .12, Zero: .12, Random: .06},
+		FootprintBlocks: 1024 * kb, MPKI: 20, PerfectIPC: 1.7, DirtyFrac: .40, MLP: 3.5, HotFrac: .1, HotProb: .3, SeqProb: 0.60})
+	register(&Profile{Name: "soplex", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .42, SmallInt: .20, Pointer: .20, Zero: .12, Random: .06},
+		FootprintBlocks: 768 * kb, MPKI: 24, PerfectIPC: 1.6, DirtyFrac: .30, MLP: 3.0, HotFrac: .2, HotProb: .55, SeqProb: 0.50})
+	register(&Profile{Name: "wrf", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .62, Zero: .17, FloatVaried: .15, Random: .06},
+		FootprintBlocks: 768 * kb, MPKI: 8, PerfectIPC: 2.0, DirtyFrac: .45, MLP: 2.6, HotFrac: .2, HotProb: .5, SeqProb: 0.65})
+	register(&Profile{Name: "zeusmp", Suite: SPECfp, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .57, Zero: .22, FloatVaried: .15, Random: .06},
+		FootprintBlocks: 768 * kb, MPKI: 7, PerfectIPC: 2.1, DirtyFrac: .45, MLP: 2.4, HotFrac: .2, HotProb: .5, SeqProb: 0.65})
+	// Figure 4's additional SPECfp benchmarks.
+	register(&Profile{Name: "calculix", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .45, FloatVaried: .25, SmallInt: .10, Zero: .10, Random: .10},
+		FootprintBlocks: 256 * kb, MPKI: 2, PerfectIPC: 2.2, DirtyFrac: .40, MLP: 1.8, HotFrac: .3, HotProb: .7, SeqProb: 0.60})
+	register(&Profile{Name: "dealII", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .42, FloatVaried: .20, Pointer: .18, Zero: .10, Random: .10},
+		FootprintBlocks: 384 * kb, MPKI: 3, PerfectIPC: 2.1, DirtyFrac: .40, MLP: 1.9, HotFrac: .3, HotProb: .65, SeqProb: 0.50})
+	register(&Profile{Name: "gamess", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .50, FloatVaried: .22, Zero: .14, Random: .14},
+		FootprintBlocks: 128 * kb, MPKI: .8, PerfectIPC: 2.4, DirtyFrac: .40, MLP: 1.3, HotFrac: .5, HotProb: .85, SeqProb: 0.55})
+	register(&Profile{Name: "gromacs", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .52, FloatVaried: .24, Zero: .12, Random: .12},
+		FootprintBlocks: 192 * kb, MPKI: 1.5, PerfectIPC: 2.3, DirtyFrac: .40, MLP: 1.5, HotFrac: .4, HotProb: .8, SeqProb: 0.55})
+	register(&Profile{Name: "leslie3d", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .62, FloatVaried: .18, Zero: .10, Random: .10},
+		FootprintBlocks: 640 * kb, MPKI: 12, PerfectIPC: 2.0, DirtyFrac: .45, MLP: 3.2, HotFrac: .15, HotProb: .4, SeqProb: 0.82})
+	register(&Profile{Name: "namd", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .48, FloatVaried: .28, Zero: .10, Random: .14},
+		FootprintBlocks: 256 * kb, MPKI: 1.2, PerfectIPC: 2.4, DirtyFrac: .40, MLP: 1.4, HotFrac: .4, HotProb: .8, SeqProb: 0.55})
+	register(&Profile{Name: "povray", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .38, FloatVaried: .26, Pointer: .14, Text: .08, Random: .14},
+		FootprintBlocks: 96 * kb, MPKI: .5, PerfectIPC: 2.4, DirtyFrac: .35, MLP: 1.2, HotFrac: .5, HotProb: .9, SeqProb: 0.45})
+	register(&Profile{Name: "sphinx3", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .55, FloatVaried: .20, SmallInt: .10, Zero: .05, Random: .10},
+		FootprintBlocks: 384 * kb, MPKI: 10, PerfectIPC: 1.9, DirtyFrac: .30, MLP: 2.8, HotFrac: .2, HotProb: .5, SeqProb: 0.70})
+	register(&Profile{Name: "tonto", Suite: SPECfp,
+		Mix:             ContentMix{FloatSameExp: .46, FloatVaried: .26, Zero: .14, Random: .14},
+		FootprintBlocks: 192 * kb, MPKI: 1, PerfectIPC: 2.3, DirtyFrac: .40, MLP: 1.4, HotFrac: .4, HotProb: .8, SeqProb: 0.55})
+
+	// ---- PARSEC (native inputs, 4-threaded region of interest) --------
+	register(&Profile{Name: "canneal", Suite: PARSEC, MemoryIntensive: true,
+		Mix:             ContentMix{Pointer: .58, SmallInt: .20, Zero: .10, NearRandom: .05, Random: .07},
+		FootprintBlocks: 1280 * kb, MPKI: 13, PerfectIPC: 1.5, DirtyFrac: .30, MLP: 2.2, HotFrac: .1, HotProb: .35, SeqProb: 0.15})
+	register(&Profile{Name: "fluidanimate", Suite: PARSEC, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .66, Zero: .16, FloatVaried: .12, Random: .06},
+		FootprintBlocks: 640 * kb, MPKI: 4, PerfectIPC: 2.0, DirtyFrac: .50, MLP: 2.0, HotFrac: .25, HotProb: .6, SeqProb: 0.60})
+	register(&Profile{Name: "streamcluster", Suite: PARSEC, MemoryIntensive: true,
+		Mix:             ContentMix{FloatSameExp: .58, SmallInt: .14, Zero: .10, FloatVaried: .10, Random: .08},
+		FootprintBlocks: 1024 * kb, MPKI: 16, PerfectIPC: 1.8, DirtyFrac: .25, MLP: 4.0, HotFrac: .08, HotProb: .25, SeqProb: 0.85})
+	register(&Profile{Name: "x264", Suite: PARSEC, MemoryIntensive: true,
+		Mix:             ContentMix{NearRandom: .34, SmallInt: .28, Zero: .14, StructRecord: .12, Random: .12},
+		FootprintBlocks: 384 * kb, MPKI: 3, PerfectIPC: 2.2, DirtyFrac: .45, MLP: 2.0, HotFrac: .3, HotProb: .7, SeqProb: 0.65})
+}

@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"cop/internal/compress"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Table 2: the 20 memory-intensive benchmarks.
+	want := []string{
+		"astar", "bzip2", "gcc", "mcf", "omnetpp", "perlbench", "sjeng", "xalancbmk",
+		"bwaves", "cactusADM", "GemsFDTD", "lbm", "milc", "soplex", "wrf", "zeusmp",
+		"canneal", "fluidanimate", "streamcluster", "x264",
+	}
+	mi := MemoryIntensiveSet()
+	if len(mi) != 20 {
+		t.Fatalf("memory-intensive set has %d benchmarks, want 20", len(mi))
+	}
+	for _, name := range want {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if !p.MemoryIntensive {
+			t.Fatalf("%s not flagged memory-intensive", name)
+		}
+	}
+	for _, name := range Fig1Names() {
+		if _, err := Get(name); err != nil {
+			t.Fatalf("Figure 1 benchmark: %v", err)
+		}
+	}
+	for _, name := range Fig4Names() {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatalf("Figure 4 benchmark: %v", err)
+		}
+		if p.Suite != SPECfp {
+			t.Fatalf("%s should be SPECfp", name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("quake3"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestBlockDeterministic(t *testing.T) {
+	p := MustGet("mcf")
+	a := p.Block(4096, 0)
+	b := p.Block(4096, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Block is not deterministic")
+	}
+	c := p.Block(4096, 1)
+	if bytes.Equal(a, c) {
+		t.Fatal("version change should change contents")
+	}
+	if p.Category(4096) != p.Category(4096) {
+		t.Fatal("category not stable")
+	}
+}
+
+func TestBlocksDifferAcrossBenchmarks(t *testing.T) {
+	a := MustGet("mcf").Block(0, 0)
+	b := MustGet("lbm").Block(0, 0)
+	if bytes.Equal(a, b) {
+		t.Fatal("different benchmarks produced identical block content")
+	}
+}
+
+func TestCategoryStableAcrossVersions(t *testing.T) {
+	p := MustGet("gcc")
+	for blk := uint64(0); blk < 100; blk++ {
+		addr := blk * 64
+		cat := p.Category(addr)
+		for v := uint32(0); v < 3; v++ {
+			_ = p.Block(addr, v)
+			if p.Category(addr) != cat {
+				t.Fatal("category drifted")
+			}
+		}
+	}
+}
+
+func TestMixPickCoversCategories(t *testing.T) {
+	m := ContentMix{Zero: 1, Random: 1}
+	sawZero, sawRandom := false, false
+	for i := 0; i < 100; i++ {
+		u := float64(i) / 100
+		switch m.pick(u) {
+		case catZero:
+			sawZero = true
+		case catRandom:
+			sawRandom = true
+		default:
+			t.Fatalf("unexpected category for u=%f", u)
+		}
+	}
+	if !sawZero || !sawRandom {
+		t.Fatal("pick does not cover the mixture")
+	}
+	if (ContentMix{}).pick(0.5) != catRandom {
+		t.Fatal("empty mix should default to random")
+	}
+}
+
+func TestContentSignatures(t *testing.T) {
+	// Each category must have the compressibility signature the models
+	// rely on (at the 4-byte and 8-byte budgets).
+	msb := compress.MSB{Shifted: true}
+	msbU := compress.MSB{Shifted: false}
+	rle := compress.RLE{}
+	txt := compress.TXT{}
+	check := func(cat category, s compress.Scheme, budget int, wantFrac float64, above bool) {
+		t.Helper()
+		r := newRNG(12345)
+		ok := 0
+		const n = 200
+		for i := 0; i < n; i++ {
+			b := genBlock(cat, r)
+			if _, _, c := s.Compress(b, budget); c {
+				ok++
+			}
+		}
+		frac := float64(ok) / n
+		if above && frac < wantFrac {
+			t.Errorf("cat %d under %s@%d: %.2f compressible, want >= %.2f", cat, s.Name(), budget, frac, wantFrac)
+		}
+		if !above && frac > wantFrac {
+			t.Errorf("cat %d under %s@%d: %.2f compressible, want <= %.2f", cat, s.Name(), budget, frac, wantFrac)
+		}
+	}
+	b4, b8 := compress.MaxBitsCOP4, compress.MaxBitsCOP8
+
+	check(catPointer, msb, b4, .95, true)
+	check(catPointer, msb, b8, .95, true)
+	check(catFloatSameExp, msb, b4, .95, true)   // shifted window skips the sign
+	check(catFloatSameExp, msbU, b4, .85, false) // mixed-sign blocks break unshifted
+	check(catStructRecord, rle, b4, .99, true)   // zero-padded ints reach the 4-byte target
+	check(catStructRecord, msb, b4, .01, false)
+	check(catFloatVaried, msb, b4, .60, true)  // 5-bit window usually agrees
+	check(catFloatVaried, msb, b8, .30, false) // 10-bit window usually does not
+	check(catText, txt, b4, .99, true)
+	check(catText, rle, b4, .05, false)
+	check(catNearRandom, rle, b4, .99, true) // planted 34-bit savings
+	check(catNearRandom, rle, b8, .01, false)
+	check(catNearRandom, msb, b4, .01, false)
+	check(catRandom, rle, b4, .10, false)
+	check(catRandom, msb, b4, .01, false)
+	check(catSmallInt, rle, b4, .90, true)
+}
+
+func TestSampleBlocksDeterministic(t *testing.T) {
+	p := MustGet("lbm")
+	a := p.SampleBlocks(10, 7)
+	b := p.SampleBlocks(10, 7)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatal("SampleBlocks not deterministic")
+		}
+	}
+	c := p.SampleBlocks(10, 8)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	p := MustGet("mcf")
+	e1 := p.GenerateEpochs(50, 0)
+	e2 := p.GenerateEpochs(50, 0)
+	for i := range e1 {
+		if len(e1[i].Misses) != len(e2[i].Misses) {
+			t.Fatal("trace not deterministic")
+		}
+		for j := range e1[i].Misses {
+			if e1[i].Misses[j] != e2[i].Misses[j] {
+				t.Fatal("trace accesses differ")
+			}
+		}
+	}
+}
+
+func TestTraceMPKIRoughlyMatchesProfile(t *testing.T) {
+	for _, name := range []string{"mcf", "perlbench", "lbm"} {
+		p := MustGet(name)
+		tr := p.NewTrace(0)
+		var instr, misses uint64
+		for i := 0; i < 2000; i++ {
+			e := tr.Next()
+			instr += e.Instructions
+			misses += uint64(len(e.Misses))
+		}
+		mpki := float64(misses) / float64(instr) * 1000
+		if mpki < p.MPKI*0.5 || mpki > p.MPKI*1.6 {
+			t.Errorf("%s: trace MPKI %.2f vs profile %.2f", name, mpki, p.MPKI)
+		}
+	}
+}
+
+func TestTraceAddressesWithinFootprint(t *testing.T) {
+	p := MustGet("gcc")
+	tr := p.NewTrace(0)
+	limit := uint64(p.FootprintBlocks) * 64
+	for i := 0; i < 500; i++ {
+		e := tr.Next()
+		for _, a := range append(e.Misses, e.Writebacks...) {
+			if a.Addr >= limit || a.Addr%64 != 0 {
+				t.Fatalf("address %#x outside footprint or misaligned", a.Addr)
+			}
+		}
+	}
+}
+
+func TestTraceWritebackFractionTracksDirtyFrac(t *testing.T) {
+	p := MustGet("fluidanimate") // DirtyFrac .50
+	tr := p.NewTrace(0)
+	var misses, wbs int
+	for i := 0; i < 3000; i++ {
+		e := tr.Next()
+		misses += len(e.Misses)
+		wbs += len(e.Writebacks)
+	}
+	frac := float64(wbs) / float64(misses)
+	if frac < .3 || frac > .7 {
+		t.Fatalf("writeback fraction %.2f, profile DirtyFrac %.2f", frac, p.DirtyFrac)
+	}
+}
+
+func TestTraceHotSetLocality(t *testing.T) {
+	p := MustGet("perlbench") // HotFrac .3, HotProb .75
+	tr := p.NewTrace(0)
+	hotLimit := uint64(float64(p.FootprintBlocks)*p.HotFrac) * 64
+	hot, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		for _, a := range tr.Next().Misses {
+			total++
+			if a.Addr < hotLimit {
+				hot++
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < .6 || frac > .9 {
+		t.Fatalf("hot-set fraction %.2f, want near %.2f", frac, p.HotProb)
+	}
+}
+
+func TestWritebackVersionsAdvance(t *testing.T) {
+	p := MustGet("bzip2")
+	tr := p.NewTrace(0)
+	maxVersion := uint32(0)
+	for i := 0; i < 2000; i++ {
+		for _, wb := range tr.Next().Writebacks {
+			if wb.Version == 0 {
+				t.Fatal("writeback with version 0")
+			}
+			if wb.Version > maxVersion {
+				maxVersion = wb.Version
+			}
+		}
+	}
+	if maxVersion < 2 {
+		t.Fatal("no block was rewritten twice in 2000 epochs")
+	}
+}
+
+func TestSuiteGrouping(t *testing.T) {
+	for _, s := range []Suite{SPECint, SPECfp, PARSEC} {
+		if len(BySuite(s)) == 0 {
+			t.Fatalf("no benchmarks in suite %s", s)
+		}
+	}
+	if len(BySuite(PARSEC)) != 4 {
+		t.Fatalf("PARSEC should have 4 benchmarks")
+	}
+}
+
+func TestSeedsDifferPerBenchmark(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, p := range All() {
+		if other, dup := seen[p.seed]; dup {
+			t.Fatalf("seed collision: %s and %s", p.Name, other)
+		}
+		seen[p.seed] = p.Name
+	}
+}
+
+func TestRNGStability(t *testing.T) {
+	// The content streams are part of the reproduction contract: pin a
+	// few values so accidental algorithm changes are caught.
+	r := newRNG(42)
+	got := []uint64{r.next(), r.next(), r.next()}
+	r2 := newRNG(42)
+	want := []uint64{r2.next(), r2.next(), r2.next()}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if hash64(1, 2) == hash64(2, 1) {
+		t.Fatal("hash64 should not be symmetric")
+	}
+}
+
+func TestRegisterCustom(t *testing.T) {
+	p, err := RegisterCustom(Profile{
+		Name:            "myapp",
+		Mix:             ContentMix{Pointer: .5, Text: .3, Random: .2},
+		FootprintBlocks: 1000,
+		MPKI:            5,
+		PerfectIPC:      2.0,
+		DirtyFrac:       .4,
+		MLP:             2,
+		HotFrac:         .2,
+		HotProb:         .6,
+		SeqProb:         .5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemoryIntensive {
+		t.Fatal("custom profiles must not join the Table 2 set")
+	}
+	got, err := Get("myapp")
+	if err != nil || got != p {
+		t.Fatalf("registry lookup: %v", err)
+	}
+	// Content and traces work like built-ins.
+	b := p.Block(0, 0)
+	if len(b) != 64 {
+		t.Fatal("block generation broken")
+	}
+	if eps := p.GenerateEpochs(10, 0); len(eps) != 10 {
+		t.Fatal("trace generation broken")
+	}
+	// Validation paths.
+	cases := []Profile{
+		{},
+		{Name: "myapp", FootprintBlocks: 1, MPKI: 1, PerfectIPC: 1, Mix: ContentMix{Zero: 1}}, // dup
+		{Name: "bad1", MPKI: 1, PerfectIPC: 1, Mix: ContentMix{Zero: 1}},                      // footprint
+		{Name: "bad2", FootprintBlocks: 1, MPKI: 1, PerfectIPC: 1, Mix: ContentMix{}},         // empty mix
+		{Name: "bad3", FootprintBlocks: 1, MPKI: 1, PerfectIPC: 1, Mix: ContentMix{Zero: 1}, HotProb: 2},
+		{Name: "bad4", FootprintBlocks: 1, MPKI: 1, PerfectIPC: 1, Mix: ContentMix{Zero: -1}},
+	}
+	for i, c := range cases {
+		if _, err := RegisterCustom(c); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
