@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"cop"
@@ -497,6 +498,86 @@ func BenchmarkAblationCPACK(b *testing.B) {
 	b.ReportMetric(fracs[0], "rle_pct")
 	b.ReportMetric(fracs[1], "fpc_pct")
 	b.ReportMetric(fracs[2], "cpack_pct")
+}
+
+// --- sharded memory throughput -------------------------------------------
+
+// shardedTrafficBlocks builds a mixed compressible/random working set.
+func shardedTrafficBlocks(n int) [][]byte {
+	rng := rand.New(rand.NewSource(0x5AAD))
+	blocks := make([][]byte, n)
+	base := uint64(0x00007F00_00000000)
+	for i := range blocks {
+		b := make([]byte, cop.BlockBytes)
+		if i%4 == 0 {
+			rng.Read(b)
+		} else {
+			for w := 0; w < 8; w++ {
+				binary.BigEndian.PutUint64(b[8*w:], base|uint64(rng.Intn(1<<20)))
+			}
+		}
+		blocks[i] = b
+	}
+	return blocks
+}
+
+// BenchmarkShardedThroughput compares aggregate op throughput of the
+// sharded controller under 8 concurrent clients against a single-goroutine
+// unsharded controller on the same traffic mix. On a multi-core machine
+// the 8-shard run should scale well past 2x; on one core it degenerates to
+// the locking overhead, which this bench also quantifies.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const (
+		goroutines = 8
+		footprint  = 1 << 13 // blocks: 512 KB, 8x the bench LLC
+	)
+	memCfg := cop.MemoryConfig{Mode: cop.ModeCOP, LLCBytes: 64 * 1024, LLCWays: 8}
+	blocks := shardedTrafficBlocks(footprint)
+
+	// worker issues ops/g mixed reads and writes over a private address walk.
+	worker := func(read func(uint64) ([]byte, error), write func(uint64, []byte) error, seed int64, ops int) error {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < ops; i++ {
+			idx := rng.Intn(footprint)
+			addr := uint64(idx) * cop.BlockBytes
+			if i%3 == 0 {
+				if err := write(addr, blocks[idx]); err != nil {
+					return err
+				}
+			} else if _, err := read(addr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	b.Run("unsharded-1g", func(b *testing.B) {
+		m := cop.NewMemory(memCfg)
+		b.SetBytes(cop.BlockBytes)
+		if err := worker(m.Read, m.Write, 1, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("sharded-8g", func(b *testing.B) {
+		m := cop.NewShardedMemory(cop.ShardedMemoryConfig{Mem: memCfg, Shards: goroutines})
+		b.SetBytes(cop.BlockBytes)
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(seed int64, ops int) {
+				defer wg.Done()
+				if err := worker(m.Read, m.Write, seed, ops); err != nil {
+					errs <- err
+				}
+			}(int64(g+1), (b.N+goroutines-1)/goroutines)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkExtensionChipkillER measures COP-CK-ER: chip-failure recovery

@@ -8,14 +8,18 @@
 //	copbench -exp fig11 -epochs 8000 # more simulation fidelity
 //	copbench -exp fig9 -format csv   # machine-readable output
 //	copbench -list                   # available experiment ids
+//	copbench -parallel 8             # sharded-memory throughput comparison
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"cop"
@@ -40,6 +44,8 @@ func run(args []string, stdout io.Writer) error {
 		format   = fs.String("format", "text", "output format: text, csv, or chart")
 		chartCol = fs.Int("chart-col", -1, "column to chart in -format chart (negative: from the end)")
 		outPath  = fs.String("o", "", "also write the report(s) to this file")
+		parallel = fs.Int("parallel", 0, "run the sharded-memory throughput comparison with this many goroutines and exit")
+		parOps   = fs.Int("parallel-ops", 200000, "total memory operations for the -parallel comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +56,10 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, id)
 		}
 		return nil
+	}
+
+	if *parallel > 0 {
+		return runParallel(stdout, *parallel, *parOps)
 	}
 
 	out := stdout
@@ -92,5 +102,83 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(out, strings.Repeat("-", 60))
 		fmt.Fprintln(out, "All experiments regenerated. Paper-vs-measured commentary: EXPERIMENTS.md")
 	}
+	return nil
+}
+
+// runParallel measures aggregate throughput of the sharded memory model
+// driven by n goroutines against a single-goroutine unsharded controller on
+// the same traffic mix (2/3 reads, 1/3 writes, mixed compressibility, COP
+// mode), and prints both along with the speedup.
+func runParallel(out io.Writer, n, totalOps int) error {
+	if totalOps < n {
+		totalOps = n
+	}
+	const footprint = 1 << 13 // blocks (512 KB), well past the 64 KB LLC below
+	memCfg := cop.MemoryConfig{Mode: cop.ModeCOP, LLCBytes: 64 * 1024, LLCWays: 8}
+
+	rng := rand.New(rand.NewSource(0x0C0B))
+	blocks := make([][]byte, footprint)
+	for i := range blocks {
+		b := make([]byte, cop.BlockBytes)
+		if i%4 == 0 {
+			rng.Read(b)
+		} else {
+			for w := 0; w < 8; w++ {
+				binary.BigEndian.PutUint64(b[8*w:], 0x00007F00_00000000|uint64(rng.Intn(1<<20)))
+			}
+		}
+		blocks[i] = b
+	}
+
+	worker := func(read func(uint64) ([]byte, error), write func(uint64, []byte) error, seed int64, ops int) error {
+		wr := rand.New(rand.NewSource(seed))
+		for i := 0; i < ops; i++ {
+			idx := wr.Intn(footprint)
+			addr := uint64(idx) * cop.BlockBytes
+			if i%3 == 0 {
+				if err := write(addr, blocks[idx]); err != nil {
+					return err
+				}
+			} else if _, err := read(addr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	single := cop.NewMemory(memCfg)
+	start := time.Now()
+	if err := worker(single.Read, single.Write, 1, totalOps); err != nil {
+		return err
+	}
+	singleDur := time.Since(start)
+
+	sharded := cop.NewShardedMemory(cop.ShardedMemoryConfig{Mem: memCfg, Shards: n})
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	start = time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			if err := worker(sharded.Read, sharded.Write, seed, totalOps/n); err != nil {
+				errs <- err
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	shardedDur := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	opsPerSec := func(ops int, d time.Duration) float64 { return float64(ops) / d.Seconds() }
+	sOps := opsPerSec(totalOps, singleDur)
+	pOps := opsPerSec(totalOps/n*n, shardedDur)
+	fmt.Fprintf(out, "Sharded-memory throughput (COP mode, %d ops, %d-block footprint)\n", totalOps, footprint)
+	fmt.Fprintf(out, "  unsharded, 1 goroutine:   %10.0f ops/s  (%v)\n", sOps, singleDur.Round(time.Millisecond))
+	fmt.Fprintf(out, "  %2d shards, %2d goroutines: %10.0f ops/s  (%v)\n", sharded.NumShards(), n, pOps, shardedDur.Round(time.Millisecond))
+	fmt.Fprintf(out, "  speedup: %.2fx\n", pOps/sOps)
 	return nil
 }

@@ -71,6 +71,19 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestParallelComparison(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-parallel", "4", "-parallel-ops", "8000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"unsharded, 1 goroutine", "4 goroutines", "speedup:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestChartFormat(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-exp", "dimmcmp", "-format", "chart"}, &sb); err != nil {

@@ -27,6 +27,7 @@ import (
 	"cop/internal/core"
 	"cop/internal/experiments"
 	"cop/internal/memctrl"
+	"cop/internal/shard"
 	"cop/internal/workload"
 )
 
@@ -99,7 +100,23 @@ const (
 
 // NewMemory builds a protected-memory model. The zero MemoryConfig (beyond
 // Mode) gives the paper's 4 MB / 16-way LLC and the Config4 codec.
+// Memory is not safe for concurrent use; wrap it in NewShardedMemory when
+// multiple goroutines drive one memory image.
 func NewMemory(cfg MemoryConfig) *Memory { return memctrl.New(cfg) }
+
+// ShardedMemory is a concurrency-safe protected-memory model: block
+// addresses are striped across independent per-shard controllers (one lock
+// each), with set-index-compatible striping so single-threaded behavior is
+// identical to an unsharded Memory of the same total configuration.
+type ShardedMemory = shard.Controller
+
+// ShardedMemoryConfig parameterizes NewShardedMemory. Mem.LLCBytes is the
+// TOTAL LLC capacity (split evenly across shards); Shards is rounded up to
+// a power of two and defaults to GOMAXPROCS.
+type ShardedMemoryConfig = shard.Config
+
+// NewShardedMemory builds a sharded, concurrency-safe memory model.
+func NewShardedMemory(cfg ShardedMemoryConfig) *ShardedMemory { return shard.New(cfg) }
 
 // Workload modeling, re-exported from internal/workload.
 type (

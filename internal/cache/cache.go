@@ -103,7 +103,13 @@ func blockAlign(addr uint64, shift uint) uint64 { return addr >> shift << shift 
 // Lookup finds the line holding addr, updating LRU on a hit. The returned
 // pointer aliases cache-internal state: callers may mutate flags/data and
 // must not retain it across other cache calls.
-func (c *Cache) Lookup(addr uint64) (*Line, bool) {
+//
+// A hit on a spilled line promotes it back into its set, and — because a
+// formerly all-alias set can regain evictable lines (alias bits are
+// recomputed on stores) — that promotion can evict a line. The evicted
+// line is returned as victim; when writeback is true it is dirty and the
+// caller must write it back, exactly as with Insert.
+func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit bool) {
 	addr = blockAlign(addr, c.shift)
 	si := c.setIdx(addr)
 	for i := range c.sets[si] {
@@ -112,7 +118,7 @@ func (c *Cache) Lookup(addr uint64) (*Line, bool) {
 			c.tick++
 			w.lru = c.tick
 			c.stats.Hits++
-			return &w.line, true
+			return &w.line, Line{}, false, true
 		}
 	}
 	// Miss: walk the overflow list if this set has spilled lines.
@@ -123,17 +129,17 @@ func (c *Cache) Lookup(addr uint64) (*Line, bool) {
 				c.stats.OverflowHits++
 				// Promote back into the set (the paper follows the
 				// pointer chain; once touched the block is hot again).
-				line := ov[i]
+				promoted := ov[i]
 				c.overflow[si] = append(ov[:i], ov[i+1:]...)
 				if len(c.overflow[si]) == 0 {
 					delete(c.overflow, si)
 				}
 				c.stats.Hits++
-				c.insertInto(si, line)
+				victim, writeback = c.insertInto(si, promoted)
 				for j := range c.sets[si] {
 					w := &c.sets[si][j]
 					if w.valid && w.line.Addr == addr {
-						return &w.line, true
+						return &w.line, victim, writeback, true
 					}
 				}
 				panic("cache: promoted overflow line vanished")
@@ -141,7 +147,7 @@ func (c *Cache) Lookup(addr uint64) (*Line, bool) {
 		}
 	}
 	c.stats.Misses++
-	return nil, false
+	return nil, Line{}, false, false
 }
 
 // Contains reports residency (set or overflow) without touching LRU or

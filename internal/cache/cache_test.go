@@ -9,16 +9,16 @@ func newSmall() *Cache { return New(4*64*4, 4, 64) } // 4 sets, 4 ways
 
 func TestBasicHitMiss(t *testing.T) {
 	c := newSmall()
-	if _, hit := c.Lookup(0x1000); hit {
+	if _, _, _, hit := c.Lookup(0x1000); hit {
 		t.Fatal("cold cache hit")
 	}
 	c.Insert(Line{Addr: 0x1000})
-	l, hit := c.Lookup(0x1000)
+	l, _, _, hit := c.Lookup(0x1000)
 	if !hit || l.Addr != 0x1000 {
 		t.Fatal("inserted line not found")
 	}
 	// Sub-block address maps to the same line.
-	if _, hit := c.Lookup(0x1000 + 37); !hit {
+	if _, _, _, hit := c.Lookup(0x1000 + 37); !hit {
 		t.Fatal("unaligned lookup missed")
 	}
 	st := c.Stats()
@@ -119,9 +119,12 @@ func TestOverflowLookupPromotes(t *testing.T) {
 	}
 	// Address 0 was spilled (it was LRU). Looking it up must hit via the
 	// overflow walk and promote it back, spilling another alias.
-	l, hit := c.Lookup(0)
+	l, _, wb, hit := c.Lookup(0)
 	if !hit || l.Addr != 0 || !l.Alias {
 		t.Fatalf("overflow lookup: hit=%v line=%+v", hit, l)
+	}
+	if wb {
+		t.Fatal("promotion into an all-alias set spills — it must not write back")
 	}
 	st := c.Stats()
 	if st.OverflowSearches != 1 || st.OverflowHits != 1 {
@@ -137,13 +140,37 @@ func TestOverflowLookupPromotes(t *testing.T) {
 	}
 }
 
+func TestOverflowPromotionReturnsDirtyVictim(t *testing.T) {
+	// Regression: a set driven to all-alias spills a line; a store then
+	// clears one resident alias bit (in-place replacement), leaving an
+	// evictable dirty line. Promoting the spilled line evicts it — and the
+	// writeback used to be silently dropped inside Lookup.
+	c := newSmall()
+	stride := uint64(4 * 64)
+	for i := 0; i < 5; i++ {
+		c.Insert(Line{Addr: uint64(i) * stride, Alias: true, Dirty: true})
+	}
+	// Address 0 is now in overflow. De-alias + dirty the line at stride.
+	c.Insert(Line{Addr: stride, Alias: false, Dirty: true})
+	l, victim, wb, hit := c.Lookup(0)
+	if !hit || l.Addr != 0 {
+		t.Fatalf("overflow lookup: hit=%v line=%+v", hit, l)
+	}
+	if !wb || victim.Addr != stride || !victim.Dirty {
+		t.Fatalf("promotion must surface the dirty victim: wb=%v victim=%+v", wb, victim)
+	}
+	if c.Contains(stride) {
+		t.Fatal("victim still resident after promotion eviction")
+	}
+}
+
 func TestOverflowMissStillMiss(t *testing.T) {
 	c := newSmall()
 	stride := uint64(4 * 64)
 	for i := 0; i < 5; i++ {
 		c.Insert(Line{Addr: uint64(i) * stride, Alias: true, Dirty: true})
 	}
-	if _, hit := c.Lookup(100 * stride); hit {
+	if _, _, _, hit := c.Lookup(100 * stride); hit {
 		t.Fatal("unexpected hit")
 	}
 	if c.Stats().OverflowSearches != 1 {
@@ -158,7 +185,7 @@ func TestInsertReplacesInPlace(t *testing.T) {
 	if wb || victim.Addr != 0 {
 		t.Fatal("in-place replacement should not evict")
 	}
-	l, _ := c.Lookup(0x40)
+	l, _, _, _ := c.Lookup(0x40)
 	if !l.Dirty {
 		t.Fatal("replacement did not update the line")
 	}
@@ -167,11 +194,11 @@ func TestInsertReplacesInPlace(t *testing.T) {
 func TestLineMutationThroughPointer(t *testing.T) {
 	c := newSmall()
 	c.Insert(Line{Addr: 0x80})
-	l, _ := c.Lookup(0x80)
+	l, _, _, _ := c.Lookup(0x80)
 	l.Dirty = true
 	l.WasUncompressed = true
 	l.Ptr = 42
-	l2, _ := c.Lookup(0x80)
+	l2, _, _, _ := c.Lookup(0x80)
 	if !l2.Dirty || !l2.WasUncompressed || l2.Ptr != 42 {
 		t.Fatal("mutation through Lookup pointer not visible")
 	}
@@ -214,7 +241,7 @@ func TestDataCarriage(t *testing.T) {
 	data := make([]byte, 64)
 	data[0] = 0xAB
 	c.Insert(Line{Addr: 0x100, Data: data})
-	l, _ := c.Lookup(0x100)
+	l, _, _, _ := c.Lookup(0x100)
 	if l.Data[0] != 0xAB {
 		t.Fatal("data not carried")
 	}
@@ -242,7 +269,7 @@ func TestStressRandomTraffic(t *testing.T) {
 	resident := map[uint64]bool{}
 	for i := 0; i < 20000; i++ {
 		addr := uint64(rng.Intn(4096)) * 64
-		if _, hit := c.Lookup(addr); !hit {
+		if _, _, _, hit := c.Lookup(addr); !hit {
 			victim, _ := c.Insert(Line{Addr: addr, Dirty: rng.Intn(2) == 0})
 			if victim.Addr != 0 || victim.Dirty {
 				delete(resident, victim.Addr)
@@ -254,7 +281,7 @@ func TestStressRandomTraffic(t *testing.T) {
 	// with a subsequent Lookup.
 	for addr := range resident {
 		if c.Contains(addr) {
-			if _, hit := c.Lookup(addr); !hit {
+			if _, _, _, hit := c.Lookup(addr); !hit {
 				t.Fatalf("Contains/Lookup disagree for %#x", addr)
 			}
 		}
@@ -267,7 +294,7 @@ func TestHitRateSanity(t *testing.T) {
 	for pass := 0; pass < 4; pass++ {
 		for i := 0; i < 512; i++ {
 			addr := uint64(i) * 64
-			if _, hit := c.Lookup(addr); !hit {
+			if _, _, _, hit := c.Lookup(addr); !hit {
 				c.Insert(Line{Addr: addr})
 			}
 		}
@@ -293,28 +320,28 @@ func newRefCache(nsets, ways int) *refCache {
 
 func (r *refCache) setIdx(addr uint64) int { return int(addr>>6) % r.nsets }
 
-func (r *refCache) lookup(addr uint64) (*Line, bool) {
+func (r *refCache) lookup(addr uint64) (*Line, Line, bool, bool) {
 	si := r.setIdx(addr)
 	for i := range r.sets[si] {
 		if r.sets[si][i].Addr == addr {
 			l := r.sets[si][i]
 			r.sets[si] = append(append([]Line{}, r.sets[si][:i]...), r.sets[si][i+1:]...)
 			r.sets[si] = append(r.sets[si], l) // move to MRU
-			return &r.sets[si][len(r.sets[si])-1], true
+			return &r.sets[si][len(r.sets[si])-1], Line{}, false, true
 		}
 	}
 	for i, l := range r.overflow[si] {
 		if l.Addr == addr {
 			r.overflow[si] = append(r.overflow[si][:i], r.overflow[si][i+1:]...)
-			r.insert(l) // promotion
+			victim, wb := r.insert(l) // promotion
 			for j := range r.sets[si] {
 				if r.sets[si][j].Addr == addr {
-					return &r.sets[si][j], true
+					return &r.sets[si][j], victim, wb, true
 				}
 			}
 		}
 	}
-	return nil, false
+	return nil, Line{}, false, false
 }
 
 func (r *refCache) insert(line Line) (Line, bool) {
@@ -372,10 +399,14 @@ func TestModelBasedAgainstReference(t *testing.T) {
 		addr := uint64(rng.Intn(128)) * 64
 		switch rng.Intn(3) {
 		case 0: // lookup
-			_, hitC := c.Lookup(addr)
-			_, hitR := ref.lookup(addr)
+			_, vC, wbC, hitC := c.Lookup(addr)
+			_, vR, wbR, hitR := ref.lookup(addr)
 			if hitC != hitR {
 				t.Fatalf("step %d: lookup(%#x) hit mismatch: impl=%v ref=%v", step, addr, hitC, hitR)
+			}
+			if wbC != wbR || (wbC && vC.Addr != vR.Addr) {
+				t.Fatalf("step %d: lookup(%#x) promotion victim mismatch: impl=(%#x,%v) ref=(%#x,%v)",
+					step, addr, vC.Addr, wbC, vR.Addr, wbR)
 			}
 		case 1: // insert
 			line := Line{Addr: addr, Dirty: rng.Intn(2) == 0, Alias: rng.Intn(10) == 0}

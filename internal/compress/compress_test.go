@@ -235,6 +235,32 @@ func TestRLETwoByteRunsOnly(t *testing.T) {
 	}
 }
 
+func TestRLEPickOrderNotOffsetSorted(t *testing.T) {
+	// Lock in the metadata ordering contract: selectRuns emits runs in
+	// greedy pick order — 3-byte class first, scan order within a class —
+	// NOT sorted by offset, and the decoder's prefix-savings stopping rule
+	// must reproduce the block from exactly that order.
+	b := make([]byte, BlockBytes)
+	for i := range b {
+		b[i] = 0x80 + byte(i) // distinct, never 0x00/0xFF: no accidental runs
+	}
+	b[0], b[1] = 0x00, 0x00         // 2-byte zero run, 9 bits
+	b[4], b[5] = 0xFF, 0xFF         // 2-byte ones run, 9 bits
+	copy(b[10:13], []byte{0, 0, 0}) // 3-byte zero run, 17 bits
+
+	// All three runs are needed (35 >= 34) and the 3-byte run is picked
+	// first despite its higher offset.
+	picked := selectRuns(findRuns(b), need(MaxBitsCOP4))
+	if len(picked) != 3 {
+		t.Fatalf("picked %d runs, want 3", len(picked))
+	}
+	if got := []int{picked[0].off, picked[1].off, picked[2].off}; got[0] != 10 || got[1] != 0 || got[2] != 4 {
+		t.Fatalf("pick order %v, want [10 0 4] (3-byte class first)", got)
+	}
+
+	roundTrip(t, RLE{}, b, MaxBitsCOP4)
+}
+
 func TestRLEInsufficientRuns(t *testing.T) {
 	b := randomBlock(rand.New(rand.NewSource(9)))
 	// One 3-byte run (17) + one 2-byte run (9) = 26 < 34.

@@ -57,8 +57,10 @@ func findRuns(block []byte) []run {
 }
 
 // selectRuns picks runs (3-byte first, preserving scan order within each
-// class) until the net savings reach needBits, returning them sorted by
-// offset, or nil if the target is unreachable.
+// class) until the net savings reach needBits, returning them in that
+// greedy pick order — NOT sorted by offset: a picked 3-byte run can sit at
+// a higher offset than a picked 2-byte run — or nil if the target is
+// unreachable.
 func selectRuns(runs []run, needBits int) []run {
 	var picked []run
 	total := 0

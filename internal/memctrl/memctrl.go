@@ -85,6 +85,24 @@ type Stats struct {
 	DIMMCheckBytesWritten uint64
 }
 
+// Add accumulates o's counters into s (used by sharded front-ends to sum
+// per-shard statistics).
+func (s *Stats) Add(o Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.Fills += o.Fills
+	s.Writebacks += o.Writebacks
+	s.StoredCompressed += o.StoredCompressed
+	s.StoredRaw += o.StoredRaw
+	s.AliasRetained += o.AliasRetained
+	s.CorrectedErrors += o.CorrectedErrors
+	s.UncorrectableErrors += o.UncorrectableErrors
+	s.RegionReads += o.RegionReads
+	s.Scrubs += o.Scrubs
+	s.EverIncompressible += o.EverIncompressible
+	s.DIMMCheckBytesWritten += o.DIMMCheckBytesWritten
+}
+
 // ErrUncorrectable is surfaced when ECC detects an unrepairable error.
 var ErrUncorrectable = errors.New("memctrl: uncorrectable memory error")
 
@@ -187,10 +205,16 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 	buf := make([]byte, BlockBytes)
 	copy(buf, data)
 
-	if line, hit := c.llc.Lookup(addr); hit {
+	if line, victim, wb, hit := c.llc.Lookup(addr); hit {
 		line.Data = buf
 		line.Dirty = true
 		c.setAliasBit(line)
+		// The lookup may have promoted a spilled overflow line, evicting a
+		// dirty victim that must reach DRAM. (line must not be used after
+		// writeback: it can reshuffle the set.)
+		if wb {
+			return c.writeback(victim)
+		}
 		return nil
 	}
 	line := cache.Line{Addr: addr, Dirty: true, Data: buf}
@@ -333,9 +357,16 @@ func (c *Controller) writeback(victim cache.Line) error {
 func (c *Controller) Read(addr uint64) ([]byte, error) {
 	addr = align(addr)
 	c.stats.Loads++
-	if line, hit := c.llc.Lookup(addr); hit {
+	if line, victim, wb, hit := c.llc.Lookup(addr); hit {
 		out := make([]byte, BlockBytes)
 		copy(out, line.Data)
+		// An overflow promotion during the lookup may have evicted a dirty
+		// line; its writeback must not be dropped.
+		if wb {
+			if err := c.writeback(victim); err != nil {
+				return nil, err
+			}
+		}
 		return out, nil
 	}
 	c.stats.Fills++
@@ -457,28 +488,37 @@ func (c *Controller) pointerOf(image []byte) uint32 {
 }
 
 // Flush drains every dirty LLC line to DRAM (used by experiments to settle
-// state before fault injection).
+// state before fault injection). An error does not abort the drain: every
+// line is still written back (or re-seated, for aliases) and the first
+// error is returned — an early return would silently drop the remaining
+// dirty lines, whose cache entries FlushAll has already invalidated.
 func (c *Controller) Flush() error {
 	var ferr error
 	c.llc.FlushAll(func(l cache.Line) {
-		if l.Dirty && ferr == nil {
-			if l.Alias && c.mode == COP {
-				// Alias lines cannot leave the cache+overflow structure
-				// in real hardware; a flush API must either spill them
-				// via the overflow region or fall back (§3.1). The model
-				// keeps them in a side map: re-inserting would fight the
-				// flush, so record as retained.
-				c.stats.AliasRetained++
-				c.aliasSpill = append(c.aliasSpill, l)
-				return
-			}
-			ferr = c.writeback(l)
+		if !l.Dirty {
+			return
+		}
+		if l.Alias && (c.mode == COP || c.mode == COPAdaptive) {
+			// Alias lines cannot leave the cache+overflow structure
+			// in real hardware; a flush API must either spill them
+			// via the overflow region or fall back (§3.1). The model
+			// keeps them in a side list: re-inserting would fight the
+			// flush (FlushAll invalidates the set entry after this
+			// callback, dropping the line), so record as retained.
+			c.stats.AliasRetained++
+			c.aliasSpill = append(c.aliasSpill, l)
+			return
+		}
+		if err := c.writeback(l); err != nil && ferr == nil {
+			ferr = err
 		}
 	})
-	// Re-seat spilled alias lines.
+	// Re-seat spilled alias lines unconditionally — insert places the line
+	// even when the displaced victim's writeback errors, so clearing the
+	// spill list cannot lose parked aliases.
 	for _, l := range c.aliasSpill {
-		if ferr == nil {
-			ferr = c.insert(l)
+		if err := c.insert(l); err != nil && ferr == nil {
+			ferr = err
 		}
 	}
 	c.aliasSpill = nil

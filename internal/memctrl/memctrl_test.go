@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"cop/internal/core"
+	"cop/internal/ecc"
 	"cop/internal/workload"
 )
 
@@ -654,5 +656,122 @@ func TestChipkillModeEntryReuseViaScrub(t *testing.T) {
 	got, err = c.Read(0xF000)
 	if err != nil || !bytes.Equal(got, d) {
 		t.Fatalf("second chip failure after scrub: %v", err)
+	}
+}
+
+// aliasData constructs an incompressible block whose raw form shows at
+// least the detection threshold of valid code words — a COP alias the
+// controller must pin in the LLC (mirrors internal/core's test helper via
+// the public ecc API, since the codec's hash is not exported).
+func aliasData(rng *rand.Rand, codec *core.Codec) []byte {
+	cfg := codec.Config()
+	cwLen := cfg.Code.CodewordBytes()
+	hash := ecc.NewHashMasks(cfg.Segments, cwLen)
+	for attempt := 0; attempt < 1000; attempt++ {
+		b := make([]byte, BlockBytes)
+		for s := 0; s < cfg.Segments; s++ {
+			cw := b[s*cwLen : (s+1)*cwLen]
+			if s < cfg.Threshold {
+				data := make([]byte, (cfg.Code.K()+7)/8)
+				rng.Read(data)
+				cfg.Code.EncodeInto(cw, data)
+				hash.Apply(s, cw) // raw bytes must hash back to a valid code word
+			} else {
+				rng.Read(cw)
+			}
+		}
+		if codec.Classify(b) == core.RejectedAlias {
+			return b
+		}
+	}
+	panic("aliasData: could not construct alias")
+}
+
+// TestOverflowPromotionWritesBackDirtyVictim is the regression test for the
+// dropped-writeback bug: a set driven to all-alias spills a line to
+// overflow; a hit-write then clears one resident alias bit (setAliasBit
+// recomputes on every store) and dirties the line; promoting the spilled
+// line evicts that dirty line — whose writeback must reach DRAM, not be
+// silently discarded.
+func TestOverflowPromotionWritesBackDirtyVictim(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	// 2 ways × 2 sets: addresses 0x0, 0x80, 0x100 all map to set 0.
+	c := New(Config{Mode: COP, LLCBytes: 2 * 2 * BlockBytes, LLCWays: 2})
+	a0 := aliasData(rng, c.codec)
+	a1 := aliasData(rng, c.codec)
+	a2 := aliasData(rng, c.codec)
+
+	// Fill set 0 with aliases, then overflow it: a0 spills.
+	mustWrite(t, c, 0x000, a0)
+	mustWrite(t, c, 0x080, a1)
+	mustWrite(t, c, 0x100, a2)
+	if c.LLC().OverflowLen() != 1 {
+		t.Fatalf("overflow len = %d, want 1 (set not driven to spill)", c.LLC().OverflowLen())
+	}
+
+	// Hit-write compressible data over a1: the alias bit is recomputed and
+	// cleared, leaving a dirty, evictable line in the formerly all-alias set.
+	want := compressibleData(rng)
+	mustWrite(t, c, 0x080, want)
+
+	// Touch the spilled block: the overflow walk promotes a0 back into the
+	// set, evicting the dirty line at 0x080.
+	got, err := c.Read(0x000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a0) {
+		t.Fatal("promoted overflow line returned wrong data")
+	}
+	if c.LLC().Contains(0x080) {
+		t.Fatal("test premise broken: 0x080 should have been evicted by the promotion")
+	}
+
+	// The evicted line was dirty: its data must have reached DRAM.
+	got, err = c.Read(0x080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("dirty victim's writeback was dropped: read back %x... want %x...", got[:8], want[:8])
+	}
+}
+
+func mustWrite(t *testing.T, c *Controller, addr uint64, data []byte) {
+	t.Helper()
+	if err := c.Write(addr, data); err != nil {
+		t.Fatalf("write %#x: %v", addr, err)
+	}
+}
+
+// TestFlushRetainsAliasLines: a flush must never push an alias line to
+// DRAM, and must not lose it either — the line is parked and re-seated.
+// The COPAdaptive case is a regression test: the old flush only
+// special-cased COP, so adaptive-mode alias lines were silently dropped
+// (writeback rejected the line, re-inserted it in place, and FlushAll then
+// invalidated the entry).
+func TestFlushRetainsAliasLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	std := core.NewCodec(core.NewConfig4())
+	for _, m := range []Mode{COP, COPAdaptive} {
+		c := newCtrl(m)
+		a := aliasData(rng, std)
+		mustWrite(t, c, 0x6000, a)
+		if err := c.Flush(); err != nil {
+			t.Fatalf("%v: flush: %v", m, err)
+		}
+		if c.InDRAM(0x6000) {
+			t.Fatalf("%v: alias block written to DRAM", m)
+		}
+		if c.Stats().AliasRetained == 0 {
+			t.Fatalf("%v: retention not counted: %+v", m, c.Stats())
+		}
+		got, err := c.Read(0x6000)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !bytes.Equal(got, a) {
+			t.Fatalf("%v: alias line lost across Flush", m)
+		}
 	}
 }

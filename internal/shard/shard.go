@@ -1,0 +1,280 @@
+// Package shard provides a concurrency-safe front-end over
+// memctrl.Controller: block addresses are striped across N independent
+// per-shard controllers, each serialized by its own mutex, so goroutines
+// touching different shards never contend. It is the substrate for
+// parallel fault-injection campaigns and multi-client traffic over one
+// logical memory image.
+//
+// Striping is set-index compatible: the shard index is taken from the
+// block-address bits directly above the block offset, and those bits are
+// then removed from the address handed to the shard's controller. Each
+// shard's LLC is 1/N of the configured capacity (a power-of-two set
+// count), and a set conflict occurs between two blocks if and only if it
+// would occur in the equivalent unsharded controller — single-threaded
+// replays produce byte-identical DRAM images and identical hit/miss/
+// eviction behavior, sharded or not.
+//
+// Consistency model: operations on a single block are linearizable (the
+// owning shard's mutex orders them). Operations on different blocks are
+// independent, exactly as in real multi-channel memory controllers.
+// Multi-block calls (ReadBytes/WriteBytes/Flush) are not atomic across
+// shard boundaries: concurrent writers to the same byte range can
+// interleave per block.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cop/internal/memctrl"
+)
+
+// BlockBytes is the access granularity, re-exported for convenience.
+const BlockBytes = memctrl.BlockBytes
+
+// Config parameterizes a sharded controller.
+type Config struct {
+	// Mem configures every per-shard controller. Mem.LLCBytes is the
+	// TOTAL cache capacity: each shard receives 1/Shards of it.
+	Mem memctrl.Config
+	// Shards is the stripe count. It is rounded up to a power of two and
+	// clamped so each shard's LLC slice keeps at least one set; zero means
+	// the smallest power of two >= GOMAXPROCS.
+	Shards int
+}
+
+// shardSlot pairs one controller with its lock and a lock-free op counter.
+// Slots are heap-allocated individually so the hot counters of different
+// shards do not share a cache line.
+type shardSlot struct {
+	mu   sync.Mutex
+	ctrl *memctrl.Controller
+	ops  atomic.Uint64
+}
+
+// Controller is a sharded, concurrency-safe memctrl front-end. All methods
+// may be called from any number of goroutines.
+type Controller struct {
+	shards []*shardSlot
+	mask   uint64
+	logN   uint
+	mode   memctrl.Mode
+}
+
+// New builds a sharded controller. The zero Config (beyond Mem.Mode) gives
+// the paper's 4 MB / 16-way LLC split across GOMAXPROCS-many shards.
+func New(cfg Config) *Controller {
+	mem := cfg.Mem
+	if mem.LLCBytes == 0 {
+		mem.LLCBytes = 4 << 20
+	}
+	if mem.LLCWays == 0 {
+		mem.LLCWays = 16
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	n = nextPow2(n)
+	totalSets := mem.LLCBytes / (mem.LLCWays * BlockBytes)
+	if totalSets <= 0 || totalSets&(totalSets-1) != 0 {
+		panic(fmt.Sprintf("shard: LLC of %d bytes / %d ways is not a power-of-two set count", mem.LLCBytes, mem.LLCWays))
+	}
+	if n > totalSets {
+		n = totalSets // every shard keeps at least one set
+	}
+	perShard := mem
+	perShard.LLCBytes = mem.LLCBytes / n
+	c := &Controller{
+		shards: make([]*shardSlot, n),
+		mask:   uint64(n - 1),
+		logN:   log2(n),
+		mode:   mem.Mode,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shardSlot{ctrl: memctrl.New(perShard)}
+	}
+	return c
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func log2(n int) uint {
+	var l uint
+	for 1<<l != n {
+		l++
+	}
+	return l
+}
+
+// locate returns the slot owning addr and the shard-local address (the
+// shard-index bits stripped from the block index, offset preserved).
+func (c *Controller) locate(addr uint64) (*shardSlot, uint64) {
+	blockIdx := addr / BlockBytes
+	inner := (blockIdx>>c.logN)*BlockBytes | (addr % BlockBytes)
+	return c.shards[blockIdx&c.mask], inner
+}
+
+// NumShards returns the stripe count.
+func (c *Controller) NumShards() int { return len(c.shards) }
+
+// Mode returns the protection mode.
+func (c *Controller) Mode() memctrl.Mode { return c.mode }
+
+// Read loads the 64-byte block at addr.
+func (c *Controller) Read(addr uint64) ([]byte, error) {
+	s, inner := c.locate(addr)
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Read(inner)
+}
+
+// Write stores a full 64-byte block at addr.
+func (c *Controller) Write(addr uint64, data []byte) error {
+	s, inner := c.locate(addr)
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Write(inner, data)
+}
+
+// ReadBytes reads an arbitrary byte range, crossing block (and hence
+// shard) boundaries as needed.
+func (c *Controller) ReadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		base := addr &^ (BlockBytes - 1)
+		off := int(addr - base)
+		take := BlockBytes - off
+		if take > n {
+			take = n
+		}
+		block, err := c.Read(base)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block[off:off+take]...)
+		addr += uint64(take)
+		n -= take
+	}
+	return out, nil
+}
+
+// WriteBytes writes an arbitrary byte range, performing read-modify-write
+// on partially covered blocks. Each covered block is updated atomically
+// (its shard is locked across the read-modify-write); the range as a whole
+// is not.
+func (c *Controller) WriteBytes(addr uint64, data []byte) error {
+	for len(data) > 0 {
+		base := addr &^ (BlockBytes - 1)
+		off := int(addr - base)
+		take := BlockBytes - off
+		if take > len(data) {
+			take = len(data)
+		}
+		s, inner := c.locate(base)
+		s.ops.Add(1)
+		s.mu.Lock()
+		var err error
+		if off == 0 && take == BlockBytes {
+			err = s.ctrl.Write(inner, data[:BlockBytes])
+		} else {
+			var block []byte
+			if block, err = s.ctrl.Read(inner); err == nil {
+				copy(block[off:], data[:take])
+				err = s.ctrl.Write(inner, block)
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		addr += uint64(take)
+		data = data[take:]
+	}
+	return nil
+}
+
+// Flush drains every shard's dirty LLC lines to DRAM. Every shard is
+// flushed even when an earlier one errors (each shard's Flush likewise
+// drains every line); the first error is returned.
+func (c *Controller) Flush() error {
+	var ferr error
+	for _, s := range c.shards {
+		s.mu.Lock()
+		err := s.ctrl.Flush()
+		s.mu.Unlock()
+		if err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	return ferr
+}
+
+// InjectBitFlip flips one bit of the DRAM image holding addr (bit 0..511),
+// returning false when the block is not resident in DRAM.
+func (c *Controller) InjectBitFlip(addr uint64, bit int) bool {
+	s, inner := c.locate(addr)
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.InjectBitFlip(inner, bit)
+}
+
+// InjectChipFailure corrupts every byte one chip contributes to the DRAM
+// image holding addr, returning false when the block is not resident.
+func (c *Controller) InjectChipFailure(addr uint64, chip int, pattern byte) bool {
+	s, inner := c.locate(addr)
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.InjectChipFailure(inner, chip, pattern)
+}
+
+// InDRAM reports whether addr has a DRAM image.
+func (c *Controller) InDRAM(addr uint64) bool {
+	s, inner := c.locate(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.InDRAM(inner)
+}
+
+// Stats aggregates every shard's counters. Each shard is snapshotted under
+// its own lock — there is no global lock, so a stats read never stalls
+// traffic on more than one shard at a time — and the sum is a per-shard-
+// consistent (not globally instantaneous) view.
+func (c *Controller) Stats() memctrl.Stats {
+	var total memctrl.Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st := s.ctrl.Stats()
+		s.mu.Unlock()
+		total.Add(st)
+	}
+	return total
+}
+
+// Ops returns the total operations routed through the controller (reads,
+// writes, WriteBytes block updates, and injections), summed lock-free from
+// per-shard atomic counters.
+func (c *Controller) Ops() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.ops.Load()
+	}
+	return n
+}
+
+// Shard exposes one per-shard controller for diagnostics and tests. The
+// caller owns synchronization: using it while other goroutines drive the
+// sharded controller is racy.
+func (c *Controller) Shard(i int) *memctrl.Controller { return c.shards[i].ctrl }

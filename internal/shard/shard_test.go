@@ -1,0 +1,351 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cop/internal/memctrl"
+)
+
+func compressibleData(rng *rand.Rand) []byte {
+	b := make([]byte, BlockBytes)
+	base := uint64(0x00007F00_00000000)
+	for i := 0; i < 8; i++ {
+		binary.BigEndian.PutUint64(b[8*i:], base|uint64(rng.Intn(1<<20)))
+	}
+	return b
+}
+
+func randomData(rng *rand.Rand) []byte {
+	b := make([]byte, BlockBytes)
+	rng.Read(b)
+	return b
+}
+
+// newSharded builds a 4-shard controller whose aggregate LLC matches
+// newUnsharded's, small enough that evictions happen fast.
+func newSharded(m memctrl.Mode) *Controller {
+	return New(Config{Mem: memctrl.Config{Mode: m, LLCBytes: 64 * 1024, LLCWays: 8}, Shards: 4})
+}
+
+func newUnsharded(m memctrl.Mode) *memctrl.Controller {
+	return memctrl.New(memctrl.Config{Mode: m, LLCBytes: 64 * 1024, LLCWays: 8})
+}
+
+func TestShardCountNormalization(t *testing.T) {
+	for _, tc := range []struct {
+		shards, want int
+	}{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8},
+		// 64 KB / 8 ways = 128 sets total: 1024 shards clamp to 128.
+		{1024, 128},
+	} {
+		c := New(Config{Mem: memctrl.Config{Mode: memctrl.COP, LLCBytes: 64 * 1024, LLCWays: 8}, Shards: tc.shards})
+		if got := c.NumShards(); got != tc.want {
+			t.Errorf("Shards=%d: got %d shards, want %d", tc.shards, got, tc.want)
+		}
+	}
+	if def := New(Config{Mem: memctrl.Config{Mode: memctrl.COP}}); def.NumShards()&(def.NumShards()-1) != 0 {
+		t.Errorf("default shard count %d is not a power of two", def.NumShards())
+	}
+}
+
+// TestShardedMatchesUnshardedReplay replays one deterministic trace through
+// a plain Controller and a ShardedController and requires identical
+// functional results: every read returns the same bytes, and injected
+// faults produce the same corrected/uncorrectable classification. The
+// set-index-compatible striping makes even hit/miss/eviction behavior
+// line up exactly.
+func TestShardedMatchesUnshardedReplay(t *testing.T) {
+	for _, m := range []memctrl.Mode{memctrl.COP, memctrl.COPER} {
+		t.Run(m.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			single := newUnsharded(m)
+			sharded := newSharded(m)
+
+			// Mixed-content working set far larger than the LLC.
+			blocks, mixOps := 4096, 8000
+			if testing.Short() {
+				blocks, mixOps = 1024, 2000
+			}
+			for i := 0; i < blocks; i++ {
+				addr := uint64(i) * BlockBytes
+				var d []byte
+				if i%3 == 0 {
+					d = randomData(rng)
+				} else {
+					d = compressibleData(rng)
+				}
+				if err := single.Write(addr, d); err != nil {
+					t.Fatal(err)
+				}
+				if err := sharded.Write(addr, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Interleave reads and rewrites.
+			for i := 0; i < mixOps; i++ {
+				addr := uint64(rng.Intn(blocks)) * BlockBytes
+				if i%4 == 0 {
+					d := compressibleData(rng)
+					if err := single.Write(addr, d); err != nil {
+						t.Fatal(err)
+					}
+					if err := sharded.Write(addr, d); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				a, aerr := single.Read(addr)
+				b, berr := sharded.Read(addr)
+				if (aerr == nil) != (berr == nil) {
+					t.Fatalf("read %#x: error mismatch: %v vs %v", addr, aerr, berr)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("read %#x: data mismatch", addr)
+				}
+			}
+			if err := single.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Same single-bit fault campaign on both; same classification.
+			injected := 0
+			for i := 0; i < 512; i++ {
+				addr := uint64(rng.Intn(blocks)) * BlockBytes
+				bit := rng.Intn(8 * BlockBytes)
+				ia := single.InjectBitFlip(addr, bit)
+				ib := sharded.InjectBitFlip(addr, bit)
+				if ia != ib {
+					t.Fatalf("inject %#x bit %d: residency mismatch %v vs %v", addr, bit, ia, ib)
+				}
+				if ia {
+					injected++
+					a, aerr := single.Read(addr)
+					b, berr := sharded.Read(addr)
+					if (aerr == nil) != (berr == nil) {
+						t.Fatalf("post-inject read %#x: %v vs %v", addr, aerr, berr)
+					}
+					if !bytes.Equal(a, b) {
+						t.Fatalf("post-inject read %#x: data mismatch", addr)
+					}
+				}
+			}
+			if injected == 0 {
+				t.Fatal("fault campaign never hit DRAM-resident blocks")
+			}
+			sa, sb := single.Stats(), sharded.Stats()
+			if sa.CorrectedErrors != sb.CorrectedErrors || sa.UncorrectableErrors != sb.UncorrectableErrors {
+				t.Fatalf("classification mismatch: single corrected=%d uncorrectable=%d, sharded corrected=%d uncorrectable=%d",
+					sa.CorrectedErrors, sa.UncorrectableErrors, sb.CorrectedErrors, sb.UncorrectableErrors)
+			}
+			if sa.Loads != sb.Loads || sa.Stores != sb.Stores || sa.Fills != sb.Fills || sa.Writebacks != sb.Writebacks {
+				t.Fatalf("traffic mismatch:\nsingle  %+v\nsharded %+v", sa, sb)
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentStress hammers one sharded controller with readers,
+// writers, and fault injectors on overlapping addresses. Run under -race
+// this is the concurrency-safety proof; functionally it checks that every
+// op completes, errors are only the expected uncorrectable kind, and the
+// op accounting adds up.
+func TestShardedConcurrentStress(t *testing.T) {
+	const (
+		goroutines = 12
+		blocks     = 512
+	)
+	opsPerG := 2500
+	if testing.Short() {
+		opsPerG = 600
+	}
+	for _, m := range []memctrl.Mode{memctrl.COP, memctrl.COPER} {
+		t.Run(m.String(), func(t *testing.T) {
+			c := newSharded(m)
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					buf := compressibleData(rng)
+					for i := 0; i < opsPerG; i++ {
+						addr := uint64(rng.Intn(blocks)) * BlockBytes
+						switch rng.Intn(4) {
+						case 0: // writer: compressible
+							if err := c.Write(addr, buf); err != nil {
+								errs <- fmt.Errorf("write %#x: %w", addr, err)
+								return
+							}
+						case 1: // writer: random (exercises raw/region paths)
+							if err := c.Write(addr, randomData(rng)); err != nil {
+								errs <- fmt.Errorf("write %#x: %w", addr, err)
+								return
+							}
+						case 2: // injector
+							c.InjectBitFlip(addr, rng.Intn(8*BlockBytes))
+						default: // reader
+							if _, err := c.Read(addr); err != nil && !errors.Is(err, memctrl.ErrUncorrectable) {
+								errs <- fmt.Errorf("read %#x: %w", addr, err)
+								return
+							}
+						}
+					}
+				}(int64(1000 + g))
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if got, want := c.Ops(), uint64(goroutines*opsPerG); got != want {
+				t.Fatalf("Ops() = %d, want %d", got, want)
+			}
+			st := c.Stats()
+			if st.Loads+st.Stores == 0 || st.Loads+st.Stores > uint64(goroutines*opsPerG) {
+				t.Fatalf("implausible load/store accounting: %+v", st)
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentByteRanges drives WriteBytes/ReadBytes spans that
+// straddle shard boundaries from many goroutines. Each goroutine owns a
+// disjoint range, so data must round-trip exactly even under concurrency.
+func TestShardedConcurrentByteRanges(t *testing.T) {
+	c := newSharded(memctrl.COPER)
+	const (
+		goroutines = 8
+		spanBytes  = 1000 // not block-aligned: exercises RMW + crossing
+		rounds     = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + id)))
+			base := uint64(id)*8192 + 37 // unaligned on purpose
+			want := make([]byte, spanBytes)
+			for r := 0; r < rounds; r++ {
+				rng.Read(want)
+				if err := c.WriteBytes(base, want); err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.ReadBytes(base, spanBytes)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("goroutine %d round %d: byte range mismatch", id, r)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedFlushSettlesAllShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := newSharded(memctrl.COP)
+	var addrs []uint64
+	for i := 0; i < 64; i++ {
+		addr := uint64(i) * BlockBytes // touches every shard in turn
+		addrs = append(addrs, addr)
+		if err := c.Write(addr, compressibleData(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range addrs {
+		if !c.InDRAM(addr) {
+			t.Fatalf("block %#x not in DRAM after Flush", addr)
+		}
+	}
+}
+
+// TestShardedChipFailure checks InjectChipFailure routing: in COPChipkill
+// mode every sharded block must survive a whole-chip failure.
+func TestShardedChipFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := newSharded(memctrl.COPChipkill)
+	ref := map[uint64][]byte{}
+	for i := 0; i < 32; i++ {
+		addr := uint64(i) * BlockBytes
+		d := randomData(rng)
+		ref[addr] = d
+		if err := c.Write(addr, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range ref {
+		if !c.InjectChipFailure(addr, int(addr/BlockBytes)%8, 0xA5) {
+			t.Fatalf("chip failure injection missed %#x", addr)
+		}
+		got, err := c.Read(addr)
+		if err != nil {
+			t.Fatalf("read %#x after chip failure: %v", addr, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %#x corrupted by chip failure", addr)
+		}
+	}
+	if c.Stats().CorrectedErrors == 0 {
+		t.Fatal("chip-failure corrections not counted")
+	}
+}
+
+// TestShardedStatsAggregation checks that per-shard counters sum into the
+// aggregate view and that the lock-free op counter tracks the call count.
+func TestShardedStatsAggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := newSharded(memctrl.COP)
+	const n = 256
+	for i := 0; i < n; i++ {
+		if err := c.Write(uint64(i)*BlockBytes, compressibleData(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Read(uint64(i) * BlockBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Stores != n || st.Loads != n {
+		t.Fatalf("aggregate stats wrong: %+v", st)
+	}
+	if c.Ops() != 2*n {
+		t.Fatalf("Ops() = %d, want %d", c.Ops(), 2*n)
+	}
+	var manual memctrl.Stats
+	for i := 0; i < c.NumShards(); i++ {
+		manual.Add(c.Shard(i).Stats())
+	}
+	if manual != st {
+		t.Fatalf("Stats() != sum of shard stats:\n%+v\n%+v", st, manual)
+	}
+}
