@@ -9,6 +9,8 @@
 //	copbench -exp fig9 -format csv   # machine-readable output
 //	copbench -list                   # available experiment ids
 //	copbench -parallel 8             # sharded-memory throughput comparison
+//	copbench -faults                 # fault-injection campaign (all schemes)
+//	copbench -faults -fault-scheme cop-er -fault-injections 20000
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -46,6 +49,12 @@ func run(args []string, stdout io.Writer) error {
 		outPath  = fs.String("o", "", "also write the report(s) to this file")
 		parallel = fs.Int("parallel", 0, "run the sharded-memory throughput comparison with this many goroutines and exit")
 		parOps   = fs.Int("parallel-ops", 200000, "total memory operations for the -parallel comparison")
+		faults   = fs.Bool("faults", false, "run the fault-injection campaign and exit")
+		fScheme  = fs.String("fault-scheme", "all", "campaign scheme(s): comma list of "+schemeNames()+", or 'all'")
+		fSeed    = fs.String("fault-seed", "0xC0FFEE", "campaign seed (same seed, same table)")
+		fInject  = fs.Int("fault-injections", 10000, "fault events per campaign across the five field failure modes")
+		fWorkers = fs.Int("fault-workers", 1, "concurrent campaign workers over disjoint footprint slices")
+		fLoad    = fs.String("fault-workload", "gcc", "workload profile populating the footprint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +69,10 @@ func run(args []string, stdout io.Writer) error {
 
 	if *parallel > 0 {
 		return runParallel(stdout, *parallel, *parOps)
+	}
+
+	if *faults {
+		return runFaults(stdout, *fScheme, *fSeed, *fInject, *fWorkers, *fLoad)
 	}
 
 	out := stdout
@@ -101,6 +114,80 @@ func run(args []string, stdout io.Writer) error {
 	if *exp == "all" {
 		fmt.Fprintln(out, strings.Repeat("-", 60))
 		fmt.Fprintln(out, "All experiments regenerated. Paper-vs-measured commentary: EXPERIMENTS.md")
+	}
+	return nil
+}
+
+// campaignSchemes maps -fault-scheme names to protection modes, in the
+// order "all" runs them.
+var campaignSchemes = []struct {
+	name string
+	mode cop.MemoryMode
+}{
+	{"unprotected", cop.ModeUnprotected},
+	{"ecc-dimm", cop.ModeECCDIMM},
+	{"cop", cop.ModeCOP},
+	{"cop-er", cop.ModeCOPER},
+	{"ecc-region", cop.ModeECCRegion},
+	{"cop-adaptive", cop.ModeCOPAdaptive},
+	{"cop-chipkill", cop.ModeCOPChipkill},
+}
+
+func schemeNames() string {
+	names := make([]string, len(campaignSchemes))
+	for i, s := range campaignSchemes {
+		names[i] = s.name
+	}
+	return strings.Join(names, ", ")
+}
+
+// runFaults runs the seeded fault-injection campaign (see
+// internal/faultsim) for each requested scheme and prints the per-failure-
+// mode outcome tables.
+func runFaults(out io.Writer, schemeArg, seedArg string, injections, workers int, workloadName string) error {
+	seed, err := strconv.ParseUint(seedArg, 0, 64)
+	if err != nil {
+		return fmt.Errorf("-fault-seed %q: %v", seedArg, err)
+	}
+	var modes []cop.MemoryMode
+	var names []string
+	if schemeArg == "all" {
+		for _, s := range campaignSchemes {
+			modes = append(modes, s.mode)
+			names = append(names, s.name)
+		}
+	} else {
+		for _, name := range strings.Split(schemeArg, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, s := range campaignSchemes {
+				if s.name == name {
+					modes = append(modes, s.mode)
+					names = append(names, s.name)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown -fault-scheme %q (want one of %s, or 'all')", name, schemeNames())
+			}
+		}
+	}
+	for i, m := range modes {
+		start := time.Now()
+		res, err := cop.FaultCampaign(cop.FaultCampaignConfig{
+			Mode:       m,
+			Seed:       seed,
+			Injections: injections,
+			Workers:    workers,
+			Parallel:   workers > 1,
+			Workload:   workloadName,
+		})
+		if err != nil {
+			return fmt.Errorf("campaign %s: %v", names[i], err)
+		}
+		fmt.Fprint(out, res.Table())
+		fmt.Fprintf(out, "(%s in %v)\n\n", names[i], time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

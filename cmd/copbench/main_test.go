@@ -84,6 +84,45 @@ func TestParallelComparison(t *testing.T) {
 	}
 }
 
+func TestFaultsMode(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-faults", "-fault-scheme", "cop-er", "-fault-injections", "400", "-fault-seed", "0x5EED"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"scheme=cop-er", "seed=0x5eed", "single-bit", "single-bank", "corrected", "false-alias", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Same seed must reproduce the table byte for byte.
+	var sb2 strings.Builder
+	if err := run(args, &sb2); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string { // drop the wall-clock line
+		lines := strings.Split(s, "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "(") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(sb.String()) != strip(sb2.String()) {
+		t.Fatalf("same seed produced different output:\n%s\nvs\n%s", sb.String(), sb2.String())
+	}
+
+	if err := run([]string{"-faults", "-fault-scheme", "nope"}, &sb); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+	if err := run([]string{"-faults", "-fault-seed", "zzz"}, &sb); err == nil {
+		t.Fatal("bad seed should error")
+	}
+}
+
 func TestChartFormat(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-exp", "dimmcmp", "-format", "chart"}, &sb); err != nil {

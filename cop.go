@@ -26,7 +26,9 @@ import (
 	"cop/internal/chipkill"
 	"cop/internal/core"
 	"cop/internal/experiments"
+	"cop/internal/faultsim"
 	"cop/internal/memctrl"
+	"cop/internal/reliability"
 	"cop/internal/shard"
 	"cop/internal/workload"
 )
@@ -86,6 +88,9 @@ type Memory = memctrl.Controller
 
 // MemoryConfig parameterizes NewMemory.
 type MemoryConfig = memctrl.Config
+
+// MemoryMode selects a protection scheme (see the Mode* constants).
+type MemoryMode = memctrl.Mode
 
 // Protection modes for NewMemory.
 const (
@@ -171,6 +176,43 @@ func NewChipkillERCodec() *ChipkillERCodec { return chipkill.NewER() }
 // FailChip simulates a whole-chip failure on a DRAM image (see
 // internal/chipkill).
 func FailChip(image []byte, chip int, pattern byte) { chipkill.FailChip(image, chip, pattern) }
+
+// Fault-injection campaigns, re-exported from internal/faultsim.
+type (
+	// FaultCampaignConfig parameterizes FaultCampaign. The zero value
+	// (beyond Mode) runs 5000 injections over a 2048-block "gcc" footprint
+	// on one worker.
+	FaultCampaignConfig = faultsim.Config
+	// FaultCampaignResult is a completed campaign: the per-failure-mode
+	// outcome table plus the differential-oracle verdict.
+	FaultCampaignResult = faultsim.Result
+	// FaultOutcome classifies one read of a fault-affected block.
+	FaultOutcome = faultsim.Outcome
+	// FailureMode is a DRAM field failure mode (Sridharan & Liberty
+	// rates; see internal/reliability).
+	FailureMode = reliability.FailureMode
+)
+
+// Fault-read outcomes (see FaultOutcome).
+const (
+	FaultCorrected  = faultsim.Corrected
+	FaultMasked     = faultsim.Masked
+	FaultSilent     = faultsim.Silent
+	FaultFalseAlias = faultsim.FalseAlias
+	FaultDetected   = faultsim.Detected
+)
+
+// FaultCampaign runs a seeded, deterministic fault-injection campaign:
+// faults are injected into live DRAM images per the field failure modes,
+// read back through the real controller, and every outcome is verified
+// against a golden shadow copy (same seed, same table — byte for byte).
+func FaultCampaign(cfg FaultCampaignConfig) (*FaultCampaignResult, error) {
+	return faultsim.Run(cfg)
+}
+
+// FaultCampaignModes returns the five single-structure field failure
+// modes a default campaign injects.
+func FaultCampaignModes() []FailureMode { return faultsim.DefaultModes() }
 
 // Experiment types, re-exported from internal/experiments.
 type (

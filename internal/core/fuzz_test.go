@@ -5,9 +5,13 @@ import (
 	"testing"
 )
 
-// FuzzCodecRoundTrip: any block either round-trips exactly through
+// FuzzEncodeDecode: any block either round-trips exactly through
 // Encode/Decode or is rejected as an alias — never silently mangled.
-func FuzzCodecRoundTrip(f *testing.F) {
+// Beyond the inline seeds, testdata/fuzz/FuzzEncodeDecode holds a
+// committed corpus of boundary blocks (all-zero, all-ones, a known
+// alias, compressibility-threshold patterns) that plain `go test` always
+// replays.
+func FuzzEncodeDecode(f *testing.F) {
 	f.Add(make([]byte, BlockBytes))
 	seed := make([]byte, BlockBytes)
 	for i := range seed {
@@ -41,7 +45,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 }
 
 // FuzzDecodeArbitraryImages: decoding any 64-byte image never panics and
-// never returns a short block.
+// never returns a short block. testdata/fuzz/FuzzDecodeArbitraryImages
+// seeds it with clean, corrupted, and pathological images.
 func FuzzDecodeArbitraryImages(f *testing.F) {
 	f.Add(make([]byte, BlockBytes))
 	codec := NewCodec(NewConfig4())

@@ -176,18 +176,98 @@ func (s *System) Stats() Stats { return s.stats }
 // ResetStats clears the counters without disturbing bank state.
 func (s *System) ResetStats() { s.stats = Stats{} }
 
+// Location is the physical position of one block: channel, flattened
+// rank×bank index within the channel, row within the bank, and column
+// (block slot within the row). Fault-injection campaigns use it to turn a
+// structural failure (row, column, bank) into the set of block addresses
+// it corrupts.
+type Location struct {
+	Channel int
+	Bank    int // flattened rank×bank within the channel
+	Row     int64
+	Col     int // block index within the row
+}
+
 // location decomposes a byte address into channel, bank (flattened
 // rank×bank), and row. Channel bits sit just above the block offset so
 // consecutive blocks stripe across channels; column bits come next so a
 // row's blocks stay together per channel (open-row friendly).
 func (s *System) location(addr uint64) (ch int, bankIdx uint64, row int64) {
+	l := s.Location(addr)
+	return l.Channel, uint64(l.Bank), l.Row
+}
+
+// Location maps a byte address to its physical position.
+func (s *System) Location(addr uint64) Location {
 	blk := addr / BlockBytes
-	ch = int(blk % uint64(s.cfg.Channels))
+	ch := int(blk % uint64(s.cfg.Channels))
 	t := blk / uint64(s.cfg.Channels)
-	t /= s.blocksPerRow // discard column
-	bankIdx = t % s.banksPerChan
+	col := int(t % s.blocksPerRow)
+	t /= s.blocksPerRow
+	bankIdx := t % s.banksPerChan
 	t /= s.banksPerChan
-	return ch, bankIdx, int64(t)
+	return Location{Channel: ch, Bank: int(bankIdx), Row: int64(t), Col: col}
+}
+
+// AddrAt is the inverse of Location: the block-aligned byte address of a
+// physical position.
+func (s *System) AddrAt(loc Location) uint64 {
+	blk := ((uint64(loc.Row)*s.banksPerChan+uint64(loc.Bank))*s.blocksPerRow+
+		uint64(loc.Col))*uint64(s.cfg.Channels) + uint64(loc.Channel)
+	return blk * BlockBytes
+}
+
+// SameRow returns the block-aligned addresses below limit that share addr's
+// channel, bank, and row — the footprint a failing row corrupts.
+func (s *System) SameRow(addr, limit uint64) []uint64 {
+	loc := s.Location(addr)
+	out := make([]uint64, 0, s.blocksPerRow)
+	for col := 0; col < int(s.blocksPerRow); col++ {
+		loc.Col = col
+		if a := s.AddrAt(loc); a < limit {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SameColumn returns the block-aligned addresses below limit that share
+// addr's channel, bank, and column across all rows — the blocks a failing
+// column (bit line) touches, one bit per activation.
+func (s *System) SameColumn(addr, limit uint64) []uint64 {
+	loc := s.Location(addr)
+	var out []uint64
+	for row := int64(0); ; row++ {
+		loc.Row = row
+		a := s.AddrAt(loc)
+		if a >= limit {
+			// Addresses grow monotonically with the row (row bits are the
+			// top of the block index), so no later row can be in range.
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// SameBank returns the block-aligned addresses below limit in addr's
+// channel and bank (every row and column) — a whole-bank failure's blast
+// radius.
+func (s *System) SameBank(addr, limit uint64) []uint64 {
+	loc := s.Location(addr)
+	var out []uint64
+	for row := int64(0); ; row++ {
+		loc.Row = row
+		loc.Col = 0
+		if s.AddrAt(loc) >= limit {
+			return out
+		}
+		for col := 0; col < int(s.blocksPerRow); col++ {
+			loc.Col = col
+			if a := s.AddrAt(loc); a < limit {
+				out = append(out, a)
+			}
+		}
+	}
 }
 
 // Access services one request issued at time now and returns its finish

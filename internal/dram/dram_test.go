@@ -371,3 +371,73 @@ func TestTable1Configuration(t *testing.T) {
 		t.Error("clock ratio wrong")
 	}
 }
+
+// TestLocationRoundTrip: AddrAt inverts Location for every block of a
+// small geometry, and the channel/column bits sit where the address-map
+// comment promises (channel above offset, then column, bank, row).
+func TestExportedLocationRoundTrip(t *testing.T) {
+	s := New(Config{Channels: 2, RanksPerChan: 1, BanksPerRank: 4,
+		RowBytes: 1024, CapacityBytes: 1 << 24, Timing: DDR31600()})
+	seen := map[Location]bool{}
+	for blk := uint64(0); blk < 4096; blk++ {
+		addr := blk * BlockBytes
+		loc := s.Location(addr)
+		if got := s.AddrAt(loc); got != addr {
+			t.Fatalf("AddrAt(Location(%#x)) = %#x", addr, got)
+		}
+		if seen[loc] {
+			t.Fatalf("duplicate location %+v", loc)
+		}
+		seen[loc] = true
+		if loc.Channel != int(blk%2) {
+			t.Fatalf("addr %#x: channel %d, want %d", addr, loc.Channel, blk%2)
+		}
+	}
+}
+
+// TestGeometryEnumerators: SameRow/SameColumn/SameBank return exactly the
+// addresses whose Location agrees in the respective fields, all below the
+// limit, and always include the probe address itself.
+func TestGeometryEnumerators(t *testing.T) {
+	s := New(Config{Channels: 2, RanksPerChan: 1, BanksPerRank: 4,
+		RowBytes: 1024, CapacityBytes: 1 << 24, Timing: DDR31600()})
+	const limit = 4096 * BlockBytes
+	probe := uint64(1234) * BlockBytes
+	ploc := s.Location(probe)
+
+	check := func(name string, got []uint64, same func(Location) bool) {
+		t.Helper()
+		want := map[uint64]bool{}
+		for blk := uint64(0); blk < 4096; blk++ {
+			addr := blk * BlockBytes
+			if same(s.Location(addr)) {
+				want[addr] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d addresses, want %d", name, len(got), len(want))
+		}
+		found := false
+		for _, a := range got {
+			if !want[a] {
+				t.Fatalf("%s: unexpected address %#x", name, a)
+			}
+			if a >= limit {
+				t.Fatalf("%s: address %#x past limit", name, a)
+			}
+			found = found || a == probe
+		}
+		if !found {
+			t.Fatalf("%s: probe address missing", name)
+		}
+	}
+	check("SameRow", s.SameRow(probe, limit), func(l Location) bool {
+		return l.Channel == ploc.Channel && l.Bank == ploc.Bank && l.Row == ploc.Row
+	})
+	check("SameColumn", s.SameColumn(probe, limit), func(l Location) bool {
+		return l.Channel == ploc.Channel && l.Bank == ploc.Bank && l.Col == ploc.Col
+	})
+	check("SameBank", s.SameBank(probe, limit), func(l Location) bool {
+		return l.Channel == ploc.Channel && l.Bank == ploc.Bank
+	})
+}

@@ -106,6 +106,53 @@ func (s *Stats) Add(o Stats) {
 // ErrUncorrectable is surfaced when ECC detects an unrepairable error.
 var ErrUncorrectable = errors.New("memctrl: uncorrectable memory error")
 
+// StoredKind is the ground-truth form of a block's DRAM image, recorded at
+// writeback time. Fault-injection classifiers compare it against the
+// decoder's verdict on a corrupted image to recognize false aliases
+// (raw read as compressed, or a compressed block knocked below the
+// detection threshold).
+type StoredKind int
+
+// Stored-image kinds.
+const (
+	// StoredNone: the block has no DRAM image (never written back, or an
+	// alias pinned in the LLC).
+	StoredNone StoredKind = iota
+	// StoredKindRaw: the image is the plaintext block (unprotected or
+	// region-protected).
+	StoredKindRaw
+	// StoredKindCompressed: the image holds compressed data with inline
+	// check bits.
+	StoredKindCompressed
+)
+
+// ReadInfo reports what the controller observed servicing one read — the
+// decoder verdicts that fault-injection classification needs, which the
+// plain Read path only folds into aggregate Stats.
+type ReadInfo struct {
+	// LLCHit: the read was served from the cache; no DRAM image decoded.
+	LLCHit bool
+	// FromDRAM: an existing DRAM image was decoded (false for LLC hits
+	// and for never-written blocks that fill as zeros).
+	FromDRAM bool
+	// DecodedCompressed is the decoder's verdict that the image was
+	// protected (COP-family modes: ≥ threshold valid code words, or a
+	// validated inline chipkill block).
+	DecodedCompressed bool
+	// ValidCodewords is the observed zero-syndrome code-word count
+	// (COP-family modes).
+	ValidCodewords int
+	// Corrected counts corrected code words / entries / chip
+	// reconstructions on this fill.
+	Corrected int
+	// CorrectedPointer: a COP-ER region pointer was repaired.
+	CorrectedPointer bool
+	// RegionAccess: the fill consulted an ECC-region entry.
+	RegionAccess bool
+}
+
+func (i ReadInfo) corrected() bool { return i.Corrected > 0 || i.CorrectedPointer }
+
 // Controller is a functional protected-memory model. Not safe for
 // concurrent use.
 type Controller struct {
@@ -121,8 +168,9 @@ type Controller struct {
 	dimmECC map[uint64][]byte // ECCDIMM: 8 check bytes per block
 	regECC  map[uint64]uint16 // ECCRegion: 11-bit parity per block (2-byte entry)
 
-	everRaw    map[uint64]bool // blocks ever stored uncompressed (Fig 12)
-	aliasSpill []cache.Line    // alias lines parked during Flush
+	everRaw    map[uint64]bool       // blocks ever stored uncompressed (Fig 12)
+	kinds      map[uint64]StoredKind // ground-truth form of each DRAM image
+	aliasSpill []cache.Line          // alias lines parked during Flush
 	stats      Stats
 }
 
@@ -157,6 +205,7 @@ func New(cfg Config) *Controller {
 		llc:     cache.New(cfg.LLCBytes, cfg.LLCWays, BlockBytes),
 		store:   map[uint64][]byte{},
 		everRaw: map[uint64]bool{},
+		kinds:   map[uint64]StoredKind{},
 	}
 	copCfg := cfg.COPConfig
 	if copCfg.Code == nil {
@@ -257,15 +306,18 @@ func (c *Controller) writeback(victim cache.Line) error {
 	switch c.mode {
 	case Unprotected:
 		c.store[addr] = victim.Data
+		c.kinds[addr] = StoredKindRaw
 		c.stats.StoredRaw++
 	case COP:
 		image, status := c.codec.Encode(victim.Data)
 		switch status {
 		case core.StoredCompressed:
 			c.store[addr] = image
+			c.kinds[addr] = StoredKindCompressed
 			c.stats.StoredCompressed++
 		case core.StoredRaw:
 			c.store[addr] = image
+			c.kinds[addr] = StoredKindRaw
 			c.stats.StoredRaw++
 			if !c.everRaw[addr] {
 				c.everRaw[addr] = true
@@ -289,6 +341,7 @@ func (c *Controller) writeback(victim cache.Line) error {
 			return err
 		}
 		c.store[addr] = image
+		c.kinds[addr] = kindOf(compressed)
 		if compressed {
 			c.stats.StoredCompressed++
 		} else {
@@ -310,6 +363,7 @@ func (c *Controller) writeback(victim cache.Line) error {
 			return err
 		}
 		c.store[addr] = image
+		c.kinds[addr] = kindOf(inline)
 		if inline {
 			c.stats.StoredCompressed++
 		} else {
@@ -326,9 +380,11 @@ func (c *Controller) writeback(victim cache.Line) error {
 		switch status {
 		case core.StoredCompressed:
 			c.store[addr] = image
+			c.kinds[addr] = StoredKindCompressed
 			c.stats.StoredCompressed++
 		case core.StoredRaw:
 			c.store[addr] = image
+			c.kinds[addr] = StoredKindRaw
 			c.stats.StoredRaw++
 			if !c.everRaw[addr] {
 				c.everRaw[addr] = true
@@ -342,19 +398,37 @@ func (c *Controller) writeback(victim cache.Line) error {
 	case ECCRegion:
 		c.store[addr] = victim.Data
 		c.regECC[addr] = blockParity523(victim.Data)
+		c.kinds[addr] = StoredKindRaw
 		c.stats.StoredRaw++
 		c.stats.RegionReads++
 	case ECCDIMM:
 		c.store[addr] = victim.Data
 		c.dimmECC[addr] = dimmCheckBytes(victim.Data)
+		c.kinds[addr] = StoredKindRaw
 		c.stats.StoredCompressed++ // protected, inline — closest bucket
 		c.stats.DIMMCheckBytesWritten += 8
 	}
 	return nil
 }
 
+func kindOf(compressed bool) StoredKind {
+	if compressed {
+		return StoredKindCompressed
+	}
+	return StoredKindRaw
+}
+
 // Read loads the 64-byte block at addr.
 func (c *Controller) Read(addr uint64) ([]byte, error) {
+	out, _, err := c.ReadWithInfo(addr)
+	return out, err
+}
+
+// ReadWithInfo is Read plus the decoder observations for the access — the
+// hook fault-injection classifiers use to see the verdicts (compressed?
+// corrected? region consulted?) instead of inferring them from Stats
+// deltas.
+func (c *Controller) ReadWithInfo(addr uint64) ([]byte, ReadInfo, error) {
 	addr = align(addr)
 	c.stats.Loads++
 	if line, victim, wb, hit := c.llc.Lookup(addr); hit {
@@ -364,47 +438,50 @@ func (c *Controller) Read(addr uint64) ([]byte, error) {
 		// line; its writeback must not be dropped.
 		if wb {
 			if err := c.writeback(victim); err != nil {
-				return nil, err
+				return nil, ReadInfo{}, err
 			}
 		}
-		return out, nil
+		return out, ReadInfo{LLCHit: true}, nil
 	}
 	c.stats.Fills++
-	correctedBefore := c.stats.CorrectedErrors
-	line, err := c.fill(addr)
+	line, info, err := c.fill(addr)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	if c.scrub && c.stats.CorrectedErrors > correctedBefore {
+	if c.scrub && info.corrected() {
 		if serr := c.scrubBlock(addr, line.Data); serr != nil {
-			return nil, serr
+			return nil, info, serr
 		}
 		c.stats.Scrubs++
 	}
 	out := make([]byte, BlockBytes)
 	copy(out, line.Data)
 	if ierr := c.insert(line); ierr != nil {
-		return nil, ierr
+		return nil, info, ierr
 	}
-	return out, nil
+	return out, info, nil
 }
 
 // fill decodes the DRAM image at addr into a cache line.
-func (c *Controller) fill(addr uint64) (cache.Line, error) {
+func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 	image, present := c.store[addr]
 	if !present {
 		// Untouched memory reads as zeros (fresh pages).
-		return cache.Line{Addr: addr, Data: make([]byte, BlockBytes)}, nil
+		return cache.Line{Addr: addr, Data: make([]byte, BlockBytes)}, ReadInfo{}, nil
 	}
+	rinfo := ReadInfo{FromDRAM: true}
 	line := cache.Line{Addr: addr}
 	switch c.mode {
 	case Unprotected:
 		line.Data = copyBlock(image)
 	case COP:
 		block, info, err := c.codec.Decode(image)
+		rinfo.DecodedCompressed = info.Compressed
+		rinfo.ValidCodewords = info.ValidCodewords
+		rinfo.Corrected = len(info.CorrectedSegments)
 		if err != nil {
 			c.stats.UncorrectableErrors++
-			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if len(info.CorrectedSegments) > 0 {
 			c.stats.CorrectedErrors++
@@ -412,9 +489,16 @@ func (c *Controller) fill(addr uint64) (cache.Line, error) {
 		line.Data = block
 	case COPER:
 		block, info, err := c.er.Read(image)
+		rinfo.DecodedCompressed = info.Compressed
+		rinfo.ValidCodewords = info.ValidCodewords
+		rinfo.CorrectedPointer = info.CorrectedPointer
+		rinfo.RegionAccess = info.RegionAccess
+		if info.CorrectedBlock {
+			rinfo.Corrected = 1
+		}
 		if err != nil {
 			c.stats.UncorrectableErrors++
-			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if info.CorrectedBlock || info.CorrectedPointer {
 			c.stats.CorrectedErrors++
@@ -427,9 +511,14 @@ func (c *Controller) fill(addr uint64) (cache.Line, error) {
 		line.Data = block
 	case COPChipkill:
 		block, info, err := c.ck.Read(image)
+		rinfo.DecodedCompressed = !info.RegionAccess
+		rinfo.RegionAccess = info.RegionAccess
+		if info.FailedChip >= 0 || info.CorrectedEntry {
+			rinfo.Corrected = 1
+		}
 		if err != nil {
 			c.stats.UncorrectableErrors++
-			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if info.FailedChip >= 0 || info.CorrectedEntry {
 			c.stats.CorrectedErrors++
@@ -446,9 +535,12 @@ func (c *Controller) fill(addr uint64) (cache.Line, error) {
 		line.Data = block
 	case COPAdaptive:
 		block, _, info, err := c.adaptive.Decode(image)
+		rinfo.DecodedCompressed = info.Compressed
+		rinfo.ValidCodewords = info.ValidCodewords
+		rinfo.Corrected = len(info.CorrectedSegments)
 		if err != nil {
 			c.stats.UncorrectableErrors++
-			return cache.Line{}, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if len(info.CorrectedSegments) > 0 {
 			c.stats.CorrectedErrors++
@@ -456,20 +548,23 @@ func (c *Controller) fill(addr uint64) (cache.Line, error) {
 		line.Data = block
 	case ECCRegion:
 		c.stats.RegionReads++
+		rinfo.RegionAccess = true
 		block, corrected, err := check523(image, c.regECC[addr])
 		if err != nil {
 			c.stats.UncorrectableErrors++
-			return cache.Line{}, err
+			return cache.Line{}, rinfo, err
 		}
 		if corrected {
+			rinfo.Corrected = 1
 			c.stats.CorrectedErrors++
 		}
 		line.Data = block
 	case ECCDIMM:
 		block, corrected, err := dimmDecode(image, c.dimmECC[addr])
+		rinfo.Corrected = corrected
 		if err != nil {
 			c.stats.UncorrectableErrors++
-			return cache.Line{}, err
+			return cache.Line{}, rinfo, err
 		}
 		if corrected > 0 {
 			c.stats.CorrectedErrors++
@@ -477,7 +572,7 @@ func (c *Controller) fill(addr uint64) (cache.Line, error) {
 		line.Data = block
 	}
 	c.setAliasBit(&line)
-	return line, nil
+	return line, rinfo, nil
 }
 
 // pointerOf re-derives the region pointer embedded in a raw COP-ER image
@@ -541,6 +636,25 @@ func (c *Controller) InjectBitFlip(addr uint64, bit int) bool {
 func (c *Controller) InDRAM(addr uint64) bool {
 	_, ok := c.store[align(addr)]
 	return ok
+}
+
+// StoredKind returns the ground-truth form of addr's DRAM image as of its
+// last writeback (StoredNone when the block has no image).
+func (c *Controller) StoredKind(addr uint64) StoredKind {
+	return c.kinds[align(addr)]
+}
+
+// Settle forces the block holding addr out of the LLC: a dirty line is
+// written back (an alias line is re-seated, as it must never reach DRAM),
+// a clean line is dropped. After Settle, a Read of a non-alias block is
+// guaranteed to decode its DRAM image — the fault-injection hook that
+// makes an injected corruption observable on the very next access.
+func (c *Controller) Settle(addr uint64) error {
+	line, dirty, found := c.llc.Evict(align(addr))
+	if !found || !dirty {
+		return nil
+	}
+	return c.writeback(line)
 }
 
 // EverIncompressibleBlocks returns how many distinct blocks were ever
@@ -630,22 +744,24 @@ func (c *Controller) scrubBlock(addr uint64, data []byte) error {
 				prev = ptr
 			}
 		}
-		image, _, _, err := c.er.Write(data, prev)
+		image, _, compressed, err := c.er.Write(data, prev)
 		if err != nil {
 			return err
 		}
 		c.store[addr] = image
+		c.kinds[addr] = kindOf(compressed)
 		return nil
 	case COPChipkill:
 		prev := chipkill.NoPointer
 		if ptr, ok := c.ck.PointerOf(c.store[addr]); ok && c.ck.Store().Valid(ptr) {
 			prev = ptr
 		}
-		image, _, _, err := c.ck.Write(data, prev)
+		image, _, inline, err := c.ck.Write(data, prev)
 		if err != nil {
 			return err
 		}
 		c.store[addr] = image
+		c.kinds[addr] = kindOf(inline)
 		return nil
 	default:
 		return c.writeback(cache.Line{Addr: addr, Data: data, Dirty: true})

@@ -775,3 +775,158 @@ func TestFlushRetainsAliasLines(t *testing.T) {
 		}
 	}
 }
+
+// TestReadWithInfoVerdicts: the info struct surfaces the decoder's
+// verdicts — LLC hits report no decode, DRAM fills report the
+// compressed-vs-raw decision and correction counts.
+func TestReadWithInfoVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	c := newCtrl(COP)
+	compAddr, rawAddr := uint64(0), uint64(BlockBytes)
+	comp, raw := compressibleData(rng), randomData(rng)
+	codec := core.NewCodec(core.NewConfig4())
+	for codec.Classify(raw) != core.StoredRaw {
+		raw = randomData(rng)
+	}
+	if err := c.Write(compAddr, comp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(rawAddr, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, info, err := c.ReadWithInfo(compAddr); err != nil || !bytes.Equal(got, comp) {
+		t.Fatalf("compressed read: %v", err)
+	} else if !info.FromDRAM || info.LLCHit || !info.DecodedCompressed || info.Corrected != 0 {
+		t.Fatalf("compressed fill info: %+v", info)
+	}
+	if _, info, err := c.ReadWithInfo(compAddr); err != nil || !info.LLCHit || info.FromDRAM {
+		t.Fatalf("LLC hit info: %+v err=%v", info, err)
+	}
+	if _, info, err := c.ReadWithInfo(rawAddr); err != nil {
+		t.Fatal(err)
+	} else if !info.FromDRAM || info.DecodedCompressed {
+		t.Fatalf("raw fill info: %+v", info)
+	}
+
+	// A corrected single-bit flip shows up in Corrected, and the data is
+	// byte-exact.
+	if err := c.Settle(compAddr); err != nil {
+		t.Fatal(err)
+	}
+	if !c.InjectBitFlip(compAddr, 17) {
+		t.Fatal("injection missed DRAM")
+	}
+	got, info, err := c.ReadWithInfo(compAddr)
+	if err != nil || !bytes.Equal(got, comp) {
+		t.Fatalf("post-flip read: %v", err)
+	}
+	if info.Corrected == 0 || !info.DecodedCompressed {
+		t.Fatalf("post-flip info: %+v", info)
+	}
+
+	// Never-written blocks fill as zeros with FromDRAM unset.
+	if _, info, err := c.ReadWithInfo(1 << 30); err != nil || info.FromDRAM || info.LLCHit {
+		t.Fatalf("fresh-page info: %+v err=%v", info, err)
+	}
+}
+
+// TestReadWithInfoRegionAccess: COP-ER raw blocks report the region
+// consultation.
+func TestReadWithInfoRegionAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	c := newCtrl(COPER)
+	raw := randomData(rng)
+	if err := c.Write(0, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := c.ReadWithInfo(0)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Fatalf("read: %v", err)
+	}
+	if !info.RegionAccess || info.DecodedCompressed {
+		t.Fatalf("raw COP-ER info: %+v", info)
+	}
+}
+
+// TestStoredKindGroundTruth: the controller records whether each DRAM
+// image is raw or compressed at writeback time, across modes.
+func TestStoredKindGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	comp, raw := compressibleData(rng), randomData(rng)
+	for _, tc := range []struct {
+		mode              Mode
+		compKind, rawKind StoredKind
+	}{
+		{Unprotected, StoredKindRaw, StoredKindRaw},
+		{COP, StoredKindCompressed, StoredKindRaw},
+		{COPER, StoredKindCompressed, StoredKindRaw},
+		{ECCRegion, StoredKindRaw, StoredKindRaw},
+		{ECCDIMM, StoredKindRaw, StoredKindRaw},
+		{COPAdaptive, StoredKindCompressed, StoredKindRaw},
+		{COPChipkill, StoredKindCompressed, StoredKindRaw},
+	} {
+		c := newCtrl(tc.mode)
+		if err := c.Write(0, comp); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Write(BlockBytes, raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.StoredKind(0); got != tc.compKind {
+			t.Errorf("%v: compressible block kind = %v, want %v", tc.mode, got, tc.compKind)
+		}
+		if got := c.StoredKind(BlockBytes); got != tc.rawKind {
+			t.Errorf("%v: raw block kind = %v, want %v", tc.mode, got, tc.rawKind)
+		}
+		if got := c.StoredKind(1 << 30); got != StoredNone {
+			t.Errorf("%v: unwritten block kind = %v, want StoredNone", tc.mode, got)
+		}
+	}
+}
+
+// TestSettleForcesImage: after Settle, a dirty block has a fresh DRAM
+// image and the next read decodes it (not the cache).
+func TestSettleForcesImage(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, m := range allModes {
+		c := newCtrl(m)
+		d := compressibleData(rng)
+		if err := c.Write(0, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Settle(0); err != nil {
+			t.Fatal(err)
+		}
+		if !c.InDRAM(0) {
+			t.Fatalf("%v: no DRAM image after Settle", m)
+		}
+		got, info, err := c.ReadWithInfo(0)
+		if err != nil || !bytes.Equal(got, d) {
+			t.Fatalf("%v: read after Settle: %v", m, err)
+		}
+		if m != Unprotected && !info.FromDRAM {
+			t.Fatalf("%v: read after Settle did not decode DRAM: %+v", m, info)
+		}
+		// Settling a clean resident line drops it; settling a non-resident
+		// block is a no-op. Both must leave the data readable.
+		if err := c.Settle(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Settle(0); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := c.Read(0); err != nil || !bytes.Equal(got, d) {
+			t.Fatalf("%v: read after double Settle: %v", m, err)
+		}
+	}
+}

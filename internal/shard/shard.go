@@ -138,6 +138,36 @@ func (c *Controller) Read(addr uint64) ([]byte, error) {
 	return s.ctrl.Read(inner)
 }
 
+// ReadWithInfo is Read plus the owning controller's decoder observations
+// (see memctrl.ReadInfo).
+func (c *Controller) ReadWithInfo(addr uint64) ([]byte, memctrl.ReadInfo, error) {
+	s, inner := c.locate(addr)
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.ReadWithInfo(inner)
+}
+
+// Settle forces the block holding addr out of its shard's LLC and into
+// DRAM (see memctrl.Settle) — the per-block fault-injection hook, usable
+// while other goroutines drive other blocks.
+func (c *Controller) Settle(addr uint64) error {
+	s, inner := c.locate(addr)
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Settle(inner)
+}
+
+// StoredKind returns the ground-truth form of addr's DRAM image (see
+// memctrl.StoredKind).
+func (c *Controller) StoredKind(addr uint64) memctrl.StoredKind {
+	s, inner := c.locate(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.StoredKind(inner)
+}
+
 // Write stores a full 64-byte block at addr.
 func (c *Controller) Write(addr uint64, data []byte) error {
 	s, inner := c.locate(addr)

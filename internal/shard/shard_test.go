@@ -284,6 +284,182 @@ func TestShardedFlushSettlesAllShards(t *testing.T) {
 	}
 }
 
+// TestShardedFlushUnderContention runs Flush concurrently with writers and
+// readers. Flush must never lose a write: after the storm every
+// goroutine's final data is what its blocks hold, and a last Flush leaves
+// everything resident in DRAM.
+func TestShardedFlushUnderContention(t *testing.T) {
+	const (
+		writers     = 8
+		blocksPer   = 64
+		rounds      = 30
+		flushers    = 2
+		flushesEach = 25
+	)
+	for _, m := range []memctrl.Mode{memctrl.COP, memctrl.COPER} {
+		t.Run(m.String(), func(t *testing.T) {
+			c := newSharded(m)
+			final := make([][][]byte, writers)
+			var wg sync.WaitGroup
+			errs := make(chan error, writers+flushers)
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(4000 + id)))
+					last := make([][]byte, blocksPer)
+					for r := 0; r < rounds; r++ {
+						for b := 0; b < blocksPer; b++ {
+							addr := uint64(id*blocksPer+b) * BlockBytes
+							var d []byte
+							if (r+b)%3 == 0 {
+								d = randomData(rng)
+							} else {
+								d = compressibleData(rng)
+							}
+							last[b] = d
+							if err := c.Write(addr, d); err != nil {
+								errs <- fmt.Errorf("writer %d: %w", id, err)
+								return
+							}
+							if b%7 == 0 {
+								if _, err := c.Read(addr); err != nil {
+									errs <- fmt.Errorf("reader %d: %w", id, err)
+									return
+								}
+							}
+						}
+					}
+					final[id] = last
+				}(g)
+			}
+			for f := 0; f < flushers; f++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < flushesEach; i++ {
+						if err := c.Flush(); err != nil {
+							errs <- fmt.Errorf("flush: %w", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			for id, last := range final {
+				for b, want := range last {
+					addr := uint64(id*blocksPer+b) * BlockBytes
+					got, err := c.Read(addr)
+					if err != nil {
+						t.Fatalf("read %#x after contended flushes: %v", addr, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("block %#x lost its last write under contended flushes", addr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedInjectedErrorEquivalence drives correctable AND uncorrectable
+// injections through a sharded and an unsharded controller in lockstep:
+// the error class, returned bytes, decoder observations (ReadWithInfo),
+// and stored-form ground truth (StoredKind) must agree access for access.
+func TestShardedInjectedErrorEquivalence(t *testing.T) {
+	for _, m := range []memctrl.Mode{memctrl.COP, memctrl.COPER, memctrl.ECCDIMM} {
+		t.Run(m.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			single := newUnsharded(m)
+			sharded := newSharded(m)
+			const blocks = 1024
+			for i := 0; i < blocks; i++ {
+				addr := uint64(i) * BlockBytes
+				var d []byte
+				if i%3 == 0 {
+					d = randomData(rng)
+				} else {
+					d = compressibleData(rng)
+				}
+				if err := single.Write(addr, d); err != nil {
+					t.Fatal(err)
+				}
+				if err := sharded.Write(addr, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			uncorrectable := 0
+			for i := 0; i < 400; i++ {
+				addr := uint64(rng.Intn(blocks)) * BlockBytes
+				if err := single.Settle(addr); err != nil {
+					t.Fatal(err)
+				}
+				if err := sharded.Settle(addr); err != nil {
+					t.Fatal(err)
+				}
+				if ka, kb := single.StoredKind(addr), sharded.StoredKind(addr); ka != kb {
+					t.Fatalf("StoredKind(%#x): %v vs %v", addr, ka, kb)
+				}
+				// Even trials: one flip (correctable). Odd trials: two flips
+				// in the same 64-bit word (uncorrectable for SECDED).
+				bit := rng.Intn(8 * BlockBytes)
+				bits := []int{bit}
+				if i%2 == 1 {
+					bits = append(bits, bit^1)
+				}
+				for _, b := range bits {
+					ia := single.InjectBitFlip(addr, b)
+					ib := sharded.InjectBitFlip(addr, b)
+					if ia != ib {
+						t.Fatalf("inject %#x bit %d: residency %v vs %v", addr, b, ia, ib)
+					}
+					if !ia {
+						break
+					}
+				}
+				da, ia, aerr := single.ReadWithInfo(addr)
+				db, ib, berr := sharded.ReadWithInfo(addr)
+				if (aerr == nil) != (berr == nil) {
+					t.Fatalf("read %#x: error mismatch %v vs %v", addr, aerr, berr)
+				}
+				if aerr != nil {
+					uncorrectable++
+					continue
+				}
+				if !bytes.Equal(da, db) {
+					t.Fatalf("read %#x: data mismatch", addr)
+				}
+				if m == memctrl.COPER {
+					// Raw COP-ER images embed region pointers, and the
+					// sharded controller's per-shard regions assign
+					// different pointer values than the unsharded one — so
+					// the incidental valid-codeword count over those image
+					// bits may differ. Every verdict field must still agree.
+					ia.ValidCodewords, ib.ValidCodewords = 0, 0
+				}
+				if ia != ib {
+					t.Fatalf("read %#x: ReadWithInfo mismatch %+v vs %+v", addr, ia, ib)
+				}
+			}
+			if uncorrectable == 0 {
+				t.Fatal("double-bit campaign produced no uncorrectable reads")
+			}
+			sa, sb := single.Stats(), sharded.Stats()
+			if sa.CorrectedErrors != sb.CorrectedErrors || sa.UncorrectableErrors != sb.UncorrectableErrors {
+				t.Fatalf("classification mismatch: single corrected=%d uncorrectable=%d, sharded corrected=%d uncorrectable=%d",
+					sa.CorrectedErrors, sa.UncorrectableErrors, sb.CorrectedErrors, sb.UncorrectableErrors)
+			}
+		})
+	}
+}
+
 // TestShardedChipFailure checks InjectChipFailure routing: in COPChipkill
 // mode every sharded block must survive a whole-chip failure.
 func TestShardedChipFailure(t *testing.T) {
