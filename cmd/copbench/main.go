@@ -20,12 +20,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"cop"
+	"cop/internal/cli"
+	"cop/internal/shard"
+	"cop/internal/telemetry"
 )
 
 func main() {
@@ -50,14 +52,24 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "run the sharded-memory throughput comparison with this many goroutines and exit")
 		parOps   = fs.Int("parallel-ops", 200000, "total memory operations for the -parallel comparison")
 		faults   = fs.Bool("faults", false, "run the fault-injection campaign and exit")
-		fScheme  = fs.String("fault-scheme", "all", "campaign scheme(s): comma list of "+schemeNames()+", or 'all'")
-		fSeed    = fs.String("fault-seed", "0xC0FFEE", "campaign seed (same seed, same table)")
+		fScheme  = fs.String("fault-scheme", "all", "campaign scheme(s): comma list of "+cli.SchemeNames()+", or 'all'")
+		fSeed    = cli.SeedFlag(fs, "fault-seed", 0xC0FFEE, "campaign seed (same seed, same table)")
 		fInject  = fs.Int("fault-injections", 10000, "fault events per campaign across the five field failure modes")
-		fWorkers = fs.Int("fault-workers", 1, "concurrent campaign workers over disjoint footprint slices")
-		fLoad    = fs.String("fault-workload", "gcc", "workload profile populating the footprint")
+		fWorkers = cli.WorkersFlag(fs, "fault-workers", "concurrent campaign workers over disjoint footprint slices")
+		fLoad    = cli.WorkloadFlag(fs, "fault-workload", "gcc", "workload profile populating the footprint")
+		telAddr  = cli.TelemetryAddrFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// One observability server for the whole invocation; the registry is
+	// pointed at whichever memory is live (see runParallel / runFaults).
+	telReg := &telemetry.Registry{}
+	if bound, err := cli.ServeTelemetry(*telAddr, telReg); err != nil {
+		return err
+	} else if bound != "" {
+		fmt.Fprintf(stdout, "telemetry: http://%s/metrics /snapshot /debug/pprof\n", bound)
 	}
 
 	if *list {
@@ -68,11 +80,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *parallel > 0 {
-		return runParallel(stdout, *parallel, *parOps)
+		return runParallel(stdout, telReg, *parallel, *parOps)
 	}
 
 	if *faults {
-		return runFaults(stdout, *fScheme, *fSeed, *fInject, *fWorkers, *fLoad)
+		return runFaults(stdout, telReg, *fScheme, *fSeed, *fInject, *fWorkers, *fLoad)
 	}
 
 	out := stdout
@@ -118,76 +130,31 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// campaignSchemes maps -fault-scheme names to protection modes, in the
-// order "all" runs them.
-var campaignSchemes = []struct {
-	name string
-	mode cop.MemoryMode
-}{
-	{"unprotected", cop.ModeUnprotected},
-	{"ecc-dimm", cop.ModeECCDIMM},
-	{"cop", cop.ModeCOP},
-	{"cop-er", cop.ModeCOPER},
-	{"ecc-region", cop.ModeECCRegion},
-	{"cop-adaptive", cop.ModeCOPAdaptive},
-	{"cop-chipkill", cop.ModeCOPChipkill},
-}
-
-func schemeNames() string {
-	names := make([]string, len(campaignSchemes))
-	for i, s := range campaignSchemes {
-		names[i] = s.name
-	}
-	return strings.Join(names, ", ")
-}
-
 // runFaults runs the seeded fault-injection campaign (see
 // internal/faultsim) for each requested scheme and prints the per-failure-
-// mode outcome tables.
-func runFaults(out io.Writer, schemeArg, seedArg string, injections, workers int, workloadName string) error {
-	seed, err := strconv.ParseUint(seedArg, 0, 64)
+// mode outcome tables. The telemetry registry tracks the campaign in
+// flight (each campaign re-points it at its own memory).
+func runFaults(out io.Writer, telReg *telemetry.Registry, schemeArg string, seed uint64, injections, workers int, workloadName string) error {
+	schemes, err := cli.ParseSchemes(schemeArg)
 	if err != nil {
-		return fmt.Errorf("-fault-seed %q: %v", seedArg, err)
+		return err
 	}
-	var modes []cop.MemoryMode
-	var names []string
-	if schemeArg == "all" {
-		for _, s := range campaignSchemes {
-			modes = append(modes, s.mode)
-			names = append(names, s.name)
-		}
-	} else {
-		for _, name := range strings.Split(schemeArg, ",") {
-			name = strings.TrimSpace(name)
-			found := false
-			for _, s := range campaignSchemes {
-				if s.name == name {
-					modes = append(modes, s.mode)
-					names = append(names, s.name)
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("unknown -fault-scheme %q (want one of %s, or 'all')", name, schemeNames())
-			}
-		}
-	}
-	for i, m := range modes {
+	for _, sc := range schemes {
 		start := time.Now()
 		res, err := cop.FaultCampaign(cop.FaultCampaignConfig{
-			Mode:       m,
-			Seed:       seed,
-			Injections: injections,
-			Workers:    workers,
-			Parallel:   workers > 1,
-			Workload:   workloadName,
+			Mode:          sc.Mode,
+			Seed:          seed,
+			Injections:    injections,
+			Workers:       workers,
+			Parallel:      workers > 1,
+			Workload:      workloadName,
+			ObserveMemory: telReg.Set,
 		})
 		if err != nil {
-			return fmt.Errorf("campaign %s: %v", names[i], err)
+			return fmt.Errorf("campaign %s: %v", sc.Name, err)
 		}
 		fmt.Fprint(out, res.Table())
-		fmt.Fprintf(out, "(%s in %v)\n\n", names[i], time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "(%s in %v)\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }
@@ -196,7 +163,7 @@ func runFaults(out io.Writer, schemeArg, seedArg string, injections, workers int
 // driven by n goroutines against a single-goroutine unsharded controller on
 // the same traffic mix (2/3 reads, 1/3 writes, mixed compressibility, COP
 // mode), and prints both along with the speedup.
-func runParallel(out io.Writer, n, totalOps int) error {
+func runParallel(out io.Writer, telReg *telemetry.Registry, n, totalOps int) error {
 	if totalOps < n {
 		totalOps = n
 	}
@@ -234,13 +201,20 @@ func runParallel(out io.Writer, n, totalOps int) error {
 	}
 
 	single := cop.NewMemory(memCfg)
+	telReg.Set(single)
 	start := time.Now()
 	if err := worker(single.Read, single.Write, 1, totalOps); err != nil {
 		return err
 	}
 	singleDur := time.Since(start)
 
-	sharded := cop.NewShardedMemory(cop.ShardedMemoryConfig{Mem: memCfg, Shards: n})
+	// -parallel takes a free goroutine count; shard counts must be powers
+	// of two, so round up (the config rules reject anything else).
+	sharded, err := cop.NewShardedMemoryChecked(cop.ShardedMemoryConfig{Mem: memCfg, Shards: shard.NextPow2(n)})
+	if err != nil {
+		return err
+	}
+	telReg.Set(sharded)
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
 	start = time.Now()

@@ -16,9 +16,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"cop"
+	"cop/internal/cli"
 	"cop/internal/memctrl"
 	"cop/internal/workload"
 )
@@ -30,25 +30,15 @@ func main() {
 	}
 }
 
-var modeNames = map[string]memctrl.Mode{
-	"unprotected":  memctrl.Unprotected,
-	"cop":          memctrl.COP,
-	"cop-er":       memctrl.COPER,
-	"cop-adaptive": memctrl.COPAdaptive,
-	"cop-chipkill": memctrl.COPChipkill,
-	"ecc-region":   memctrl.ECCRegion,
-	"ecc-dimm":     memctrl.ECCDIMM,
-}
-
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("copfault", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		bench    = fs.String("bench", "gcc", "workload supplying block contents")
+		bench    = cli.WorkloadFlag(fs, "bench", "gcc", "workload supplying block contents")
 		blocks   = fs.Int("blocks", 2048, "blocks to populate")
 		flips    = fs.Int("flips", 3000, "single-bit faults to inject")
-		mode     = fs.String("mode", "all", "protection mode or 'all' ("+modeList()+")")
-		seed     = fs.Uint64("seed", 0xFA117, "injection PRNG seed")
+		mode     = fs.String("mode", "all", "protection mode or 'all' ("+cli.SchemeNames()+")")
+		seed     = cli.SeedFlag(fs, "seed", 0xFA117, "injection PRNG seed")
 		chipFail = fs.Bool("chipfail", false, "inject whole-chip failures instead of single-bit flips")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -59,14 +49,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var modes []string
-	if *mode == "all" {
-		modes = []string{"unprotected", "cop", "cop-adaptive", "cop-er", "cop-chipkill", "ecc-region", "ecc-dimm"}
-	} else {
-		if _, ok := modeNames[*mode]; !ok {
-			return fmt.Errorf("unknown mode %q (%s)", *mode, modeList())
-		}
-		modes = []string{*mode}
+	schemes, err := cli.ParseSchemes(*mode)
+	if err != nil {
+		return err
 	}
 
 	kind := "single-bit flips"
@@ -75,32 +60,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "workload=%s blocks=%d faults=%d (%s) seed=%#x\n\n", p.Name, *blocks, *flips, kind, *seed)
 	fmt.Fprintf(stdout, "%-14s %10s %10s %10s %12s\n", "mode", "corrected", "silent", "detected", "silent rate")
-	for _, name := range modes {
-		res, err := campaign(p, modeNames[name], *blocks, *flips, *seed, *chipFail)
+	for _, sc := range schemes {
+		res, err := campaign(p, sc.Mode, *blocks, *flips, *seed, *chipFail)
 		if err != nil {
 			return err
 		}
 		total := res.corrected + res.silent + res.detected
 		fmt.Fprintf(stdout, "%-14s %10d %10d %10d %11.2f%%\n",
-			name, res.corrected, res.silent, res.detected, 100*float64(res.silent)/float64(total))
+			sc.Name, res.corrected, res.silent, res.detected, 100*float64(res.silent)/float64(total))
 	}
 	return nil
-}
-
-func modeList() string {
-	names := make([]string, 0, len(modeNames))
-	for n := range modeNames {
-		names = append(names, n)
-	}
-	// Deterministic help text.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
-	return strings.Join(names, ", ")
 }
 
 type campaignResult struct {

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"cop"
+	"cop/internal/cli"
 	"cop/internal/core"
 	"cop/internal/workload"
 )
@@ -34,10 +35,10 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	var (
 		list    = fs.Bool("list", false, "list benchmarks and exit")
-		bench   = fs.String("bench", "", "benchmark name")
+		bench   = cli.WorkloadFlag(fs, "bench", "", "benchmark name")
 		epochs  = fs.Int("epochs", 1000, "epochs to generate")
 		dump    = fs.Int("dump", 0, "dump the first N epochs in full")
-		seed    = fs.Uint64("seed", 0, "trace seed")
+		seed    = cli.SeedFlag(fs, "seed", 0, "trace seed")
 		outPath = fs.String("o", "", "write a binary trace archive to this path")
 		inPath  = fs.String("in", "", "summarize a binary trace archive instead of generating")
 	)

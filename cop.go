@@ -23,6 +23,8 @@
 package cop
 
 import (
+	"net/http"
+
 	"cop/internal/chipkill"
 	"cop/internal/core"
 	"cop/internal/experiments"
@@ -30,6 +32,7 @@ import (
 	"cop/internal/memctrl"
 	"cop/internal/reliability"
 	"cop/internal/shard"
+	"cop/internal/telemetry"
 	"cop/internal/workload"
 )
 
@@ -109,19 +112,59 @@ const (
 // multiple goroutines drive one memory image.
 func NewMemory(cfg MemoryConfig) *Memory { return memctrl.New(cfg) }
 
+// Telemetry, re-exported from internal/telemetry: both Memory and
+// ShardedMemory produce the same Snapshot tree (Snapshot method), so all
+// counter consumption — JSON, Prometheus text, expvar, campaign results —
+// goes through exactly one API. The legacy Stats surfaces remain as
+// deprecated thin wrappers over these snapshots.
+type (
+	// Snapshot is the coherent telemetry tree for one memory hierarchy:
+	// controller, cache, optional region and DRAM sections, plus derived
+	// rates. A ShardedMemory's Snapshot merges its per-shard trees such
+	// that a sharded and an unsharded run of the same single-threaded
+	// trace produce byte-identical JSON.
+	Snapshot = telemetry.Snapshot
+	// TelemetryEvent is one hierarchy event delivered to hook
+	// subscribers (Memory.Subscribe).
+	TelemetryEvent = telemetry.Event
+	// TelemetrySource is anything that produces a Snapshot; Memory,
+	// ShardedMemory, and TelemetryRegistry all satisfy it.
+	TelemetrySource = telemetry.Source
+	// TelemetryRegistry is a swappable TelemetrySource holder for
+	// long-running servers (see TelemetryHandler).
+	TelemetryRegistry = telemetry.Registry
+)
+
+// TelemetryHandler serves /metrics (Prometheus text), /snapshot (JSON),
+// /debug/vars (expvar), and /debug/pprof for src.
+func TelemetryHandler(src TelemetrySource) http.Handler { return telemetry.Handler(src) }
+
 // ShardedMemory is a concurrency-safe protected-memory model: block
 // addresses are striped across independent per-shard controllers (one lock
 // each), with set-index-compatible striping so single-threaded behavior is
 // identical to an unsharded Memory of the same total configuration.
 type ShardedMemory = shard.Controller
 
-// ShardedMemoryConfig parameterizes NewShardedMemory. Mem.LLCBytes is the
-// TOTAL LLC capacity (split evenly across shards); Shards is rounded up to
-// a power of two and defaults to GOMAXPROCS.
+// ShardedMemoryConfig parameterizes NewShardedMemory. It embeds a full
+// MemoryConfig as Mem — there is one config vocabulary for both memory
+// front-ends — plus the shard count. The LLC rule is documented once, on
+// shard.Config: Mem.LLCBytes is the TOTAL capacity, each shard gets
+// LLCBytes/Shards, and an explicit Shards must be a power of two no larger
+// than the LLC set count (zero means auto). Invalid combinations are
+// errors (NewShardedMemoryChecked), never silently rounded.
 type ShardedMemoryConfig = shard.Config
 
-// NewShardedMemory builds a sharded, concurrency-safe memory model.
+// NewShardedMemory builds a sharded, concurrency-safe memory model. It
+// panics on an invalid config; use NewShardedMemoryChecked to get the
+// error instead.
 func NewShardedMemory(cfg ShardedMemoryConfig) *ShardedMemory { return shard.New(cfg) }
+
+// NewShardedMemoryChecked builds a sharded memory model, reporting invalid
+// configs (non-power-of-two shard count, shards exceeding LLC sets,
+// non-power-of-two set geometry) as errors.
+func NewShardedMemoryChecked(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
+	return shard.NewChecked(cfg)
+}
 
 // Workload modeling, re-exported from internal/workload.
 type (

@@ -9,7 +9,11 @@
 // (performance simulations); the replacement machinery is identical.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"cop/internal/telemetry"
+)
 
 // Line is one cache block's metadata (and optionally contents).
 type Line struct {
@@ -37,6 +41,11 @@ type way struct {
 }
 
 // Stats counts cache events.
+//
+// Deprecated: Stats is the legacy counter surface, kept so existing
+// callers compile; it is now a thin copy of the telemetry counters. New
+// code should read Cache.Telemetry (a telemetry.CacheStats section of the
+// unified snapshot tree) instead.
 type Stats struct {
 	Hits, Misses     uint64
 	Evictions        uint64
@@ -55,7 +64,7 @@ type Cache struct {
 	shift    uint
 	ways     int
 	tick     uint64
-	stats    Stats
+	tel      telemetry.CacheCounters
 }
 
 // New builds a cache of sizeBytes capacity with the given associativity
@@ -92,7 +101,24 @@ func (c *Cache) Sets() int { return len(c.sets) }
 func (c *Cache) Ways() int { return c.ways }
 
 // Stats returns a copy of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+//
+// Deprecated: thin wrapper over Telemetry; use Telemetry in new code.
+func (c *Cache) Stats() Stats {
+	t := c.Telemetry()
+	return Stats{
+		Hits:             t.Hits,
+		Misses:           t.Misses,
+		Evictions:        t.Evictions,
+		Writebacks:       t.Writebacks,
+		AliasPins:        t.AliasPins,
+		Spills:           t.Spills,
+		OverflowSearches: t.OverflowSearches,
+		OverflowHits:     t.OverflowHits,
+	}
+}
+
+// Telemetry returns the cache's section of the unified snapshot tree.
+func (c *Cache) Telemetry() telemetry.CacheStats { return c.tel.Snapshot() }
 
 func (c *Cache) setIdx(addr uint64) int {
 	return int((addr >> c.shift) & c.setMask)
@@ -117,16 +143,16 @@ func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit boo
 		if w.valid && w.line.Addr == addr {
 			c.tick++
 			w.lru = c.tick
-			c.stats.Hits++
+			c.tel.Hits.Inc()
 			return &w.line, Line{}, false, true
 		}
 	}
 	// Miss: walk the overflow list if this set has spilled lines.
 	if ov := c.overflow[si]; len(ov) > 0 {
-		c.stats.OverflowSearches++
+		c.tel.OverflowSearches.Inc()
 		for i := range ov {
 			if ov[i].Addr == addr {
-				c.stats.OverflowHits++
+				c.tel.OverflowHits.Inc()
 				// Promote back into the set (the paper follows the
 				// pointer chain; once touched the block is hot again).
 				promoted := ov[i]
@@ -134,7 +160,7 @@ func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit boo
 				if len(c.overflow[si]) == 0 {
 					delete(c.overflow, si)
 				}
-				c.stats.Hits++
+				c.tel.Hits.Inc()
 				victim, writeback = c.insertInto(si, promoted)
 				for j := range c.sets[si] {
 					w := &c.sets[si][j]
@@ -146,7 +172,7 @@ func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit boo
 			}
 		}
 	}
-	c.stats.Misses++
+	c.tel.Misses.Inc()
 	return nil, Line{}, false, false
 }
 
@@ -211,13 +237,13 @@ func (c *Cache) insertInto(si int, line Line) (victim Line, writeback bool) {
 	}
 	if vi >= 0 {
 		if c.anyAlias(set) {
-			c.stats.AliasPins++
+			c.tel.AliasPins.Inc()
 		}
 		victim = set[vi].line
 		set[vi] = way{valid: true, line: line, lru: c.tick}
-		c.stats.Evictions++
+		c.tel.Evictions.Inc()
 		if victim.Dirty {
-			c.stats.Writebacks++
+			c.tel.Writebacks.Inc()
 			return victim, true
 		}
 		return Line{}, false
@@ -229,8 +255,9 @@ func (c *Cache) insertInto(si int, line Line) (victim Line, writeback bool) {
 			li = i
 		}
 	}
-	c.stats.Spills++
+	c.tel.Spills.Inc()
 	c.overflow[si] = append(c.overflow[si], set[li].line)
+	c.tel.OverflowOccupancy.Observe(uint64(len(c.overflow[si])))
 	set[li] = way{valid: true, line: line, lru: c.tick}
 	return Line{}, false
 }
@@ -254,9 +281,9 @@ func (c *Cache) Evict(addr uint64) (Line, bool, bool) {
 		if w.valid && w.line.Addr == addr {
 			line := w.line
 			w.valid = false
-			c.stats.Evictions++
+			c.tel.Evictions.Inc()
 			if line.Dirty {
-				c.stats.Writebacks++
+				c.tel.Writebacks.Inc()
 			}
 			return line, line.Dirty, true
 		}
@@ -267,9 +294,9 @@ func (c *Cache) Evict(addr uint64) (Line, bool, bool) {
 			if len(c.overflow[si]) == 0 {
 				delete(c.overflow, si)
 			}
-			c.stats.Evictions++
+			c.tel.Evictions.Inc()
 			if l.Dirty {
-				c.stats.Writebacks++
+				c.tel.Writebacks.Inc()
 			}
 			return l, l.Dirty, true
 		}

@@ -1,0 +1,129 @@
+// Package cli is the flag vocabulary shared by the cop binaries
+// (copbench, copfault, coptrace): one scheme-name registry, one seed
+// syntax, one set of spellings and defaults for the workload, worker, and
+// telemetry-server flags — so names and semantics cannot drift between
+// binaries.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cop/internal/memctrl"
+	"cop/internal/telemetry"
+)
+
+// Scheme pairs a command-line scheme name with its protection mode.
+type Scheme struct {
+	Name string
+	Mode memctrl.Mode
+}
+
+// Schemes is the canonical scheme registry, in the order "all" runs them:
+// baselines first, then the COP family, then the alternatives.
+var Schemes = []Scheme{
+	{"unprotected", memctrl.Unprotected},
+	{"ecc-dimm", memctrl.ECCDIMM},
+	{"cop", memctrl.COP},
+	{"cop-er", memctrl.COPER},
+	{"cop-adaptive", memctrl.COPAdaptive},
+	{"cop-chipkill", memctrl.COPChipkill},
+	{"ecc-region", memctrl.ECCRegion},
+}
+
+// SchemeNames returns the registered names, comma-joined for help text.
+func SchemeNames() string {
+	names := make([]string, len(Schemes))
+	for i, s := range Schemes {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseSchemes resolves a -scheme argument: "all" yields the full registry
+// in canonical order; otherwise a comma-separated list of names.
+func ParseSchemes(arg string) ([]Scheme, error) {
+	if arg == "all" {
+		return append([]Scheme(nil), Schemes...), nil
+	}
+	var out []Scheme
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, s := range Schemes {
+			if s.Name == name {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown scheme %q (want one of %s, or 'all')", name, SchemeNames())
+		}
+	}
+	return out, nil
+}
+
+// seedValue is a flag.Value accepting decimal, 0x-hex, 0o-octal, and
+// 0b-binary seeds (strconv base 0) and printing in hex.
+type seedValue uint64
+
+func (s *seedValue) String() string { return "0x" + strconv.FormatUint(uint64(*s), 16) }
+
+func (s *seedValue) Set(arg string) error {
+	v, err := strconv.ParseUint(arg, 0, 64)
+	if err != nil {
+		return fmt.Errorf("seed %q: %v", arg, err)
+	}
+	*s = seedValue(v)
+	return nil
+}
+
+// SeedFlag defines a seed flag on fs that accepts 0x-prefixed hex as well
+// as decimal, so "same seed, same table" invocations can be pasted between
+// binaries unchanged.
+func SeedFlag(fs *flag.FlagSet, name string, def uint64, usage string) *uint64 {
+	v := seedValue(def)
+	fs.Var(&v, name, usage)
+	return (*uint64)(&v)
+}
+
+// WorkloadFlag defines a workload-profile flag with the shared default.
+func WorkloadFlag(fs *flag.FlagSet, name, def, usage string) *string {
+	return fs.String(name, def, usage)
+}
+
+// WorkersFlag defines a worker-count flag with the shared default of 1.
+func WorkersFlag(fs *flag.FlagSet, name, usage string) *int {
+	return fs.Int(name, 1, usage)
+}
+
+// TelemetryAddrFlag defines the -telemetry-addr flag: empty (the default)
+// disables the server.
+func TelemetryAddrFlag(fs *flag.FlagSet) *string {
+	return fs.String("telemetry-addr", "",
+		"serve /metrics, /snapshot, /debug/vars, and /debug/pprof on this address (e.g. :8080; empty: disabled)")
+}
+
+// ServeTelemetry starts the observability server on addr, serving reg
+// (point reg at live memories with Registry.Set), and additionally
+// publishes reg under expvar. It returns the bound address — useful with
+// ":0" — and never blocks; the server runs for the life of the process.
+// An empty addr is a no-op returning "".
+func ServeTelemetry(addr string, reg *telemetry.Registry) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry-addr %q: %v", addr, err)
+	}
+	telemetry.PublishExpvar(reg)
+	srv := &http.Server{Handler: telemetry.Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cop/internal/memctrl"
+	"cop/internal/telemetry"
+)
+
+func TestParseSchemes(t *testing.T) {
+	all, err := ParseSchemes("all")
+	if err != nil || len(all) != len(Schemes) {
+		t.Fatalf("all: %v, %d schemes", err, len(all))
+	}
+	got, err := ParseSchemes("cop-er, ecc-dimm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Mode != memctrl.COPER || got[1].Mode != memctrl.ECCDIMM {
+		t.Errorf("parsed %+v", got)
+	}
+	if _, err := ParseSchemes("nope"); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Errorf("want unknown-scheme error, got %v", err)
+	}
+	if !strings.Contains(SchemeNames(), "cop-chipkill") {
+		t.Errorf("SchemeNames() = %q", SchemeNames())
+	}
+}
+
+func TestSeedFlag(t *testing.T) {
+	for arg, want := range map[string]uint64{"0xC0FFEE": 0xC0FFEE, "42": 42, "0b101": 5} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		seed := SeedFlag(fs, "seed", 7, "u")
+		if err := fs.Parse([]string{"-seed", arg}); err != nil {
+			t.Fatalf("%q: %v", arg, err)
+		}
+		if *seed != want {
+			t.Errorf("%q: seed = %d, want %d", arg, *seed, want)
+		}
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	seed := SeedFlag(fs, "seed", 7, "u")
+	if err := fs.Parse(nil); err != nil || *seed != 7 {
+		t.Errorf("default: seed = %d (%v), want 7", *seed, err)
+	}
+	if err := fs.Parse([]string{"-seed", "zzz"}); err == nil {
+		t.Error("bad seed should fail Parse")
+	}
+}
+
+func TestServeTelemetry(t *testing.T) {
+	if addr, err := ServeTelemetry("", nil); addr != "" || err != nil {
+		t.Fatalf("empty addr: %q, %v", addr, err)
+	}
+	reg := &telemetry.Registry{}
+	addr, err := ServeTelemetry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "scheme") {
+		t.Errorf("/snapshot: %d %s", resp.StatusCode, body)
+	}
+}

@@ -14,7 +14,11 @@
 // 3.2 GHz core clock.
 package dram
 
-import "sort"
+import (
+	"sort"
+
+	"cop/internal/telemetry"
+)
 
 // CPUCyclesPerMemCycle converts memory cycles to 3.2 GHz CPU cycles.
 const CPUCyclesPerMemCycle = 4
@@ -111,6 +115,11 @@ func DefaultConfig() Config {
 }
 
 // Stats counts accesses and row-buffer outcomes.
+//
+// Deprecated: legacy counter surface, kept (with this exact field set and
+// order — the sim golden test prints it with %+v) as a thin copy of the
+// telemetry counters. New code should read Telemetry, which adds latency
+// and queue-delay histograms.
 type Stats struct {
 	Reads, Writes         uint64
 	RowHits, RowMisses    uint64
@@ -140,7 +149,7 @@ type channel struct {
 type System struct {
 	cfg   Config
 	chans []channel
-	stats Stats
+	tel   telemetry.DRAMCounters
 
 	blocksPerRow uint64
 	banksPerChan uint64
@@ -171,10 +180,32 @@ func New(cfg Config) *System {
 func (s *System) Config() Config { return s.cfg }
 
 // Stats returns a copy of the counters.
-func (s *System) Stats() Stats { return s.stats }
+//
+// Deprecated: thin wrapper over the telemetry counters; use Telemetry in
+// new code.
+func (s *System) Stats() Stats {
+	t := s.tel.Snapshot()
+	return Stats{
+		Reads:                 t.Reads,
+		Writes:                t.Writes,
+		RowHits:               t.RowHits,
+		RowMisses:             t.RowMisses,
+		RowConflicts:          t.RowConflicts,
+		TotalLatency:          t.TotalLatency,
+		TotalQueueDelay:       t.TotalQueueDelay,
+		MaxObservedConcurrent: int(t.MaxConcurrent),
+	}
+}
 
 // ResetStats clears the counters without disturbing bank state.
-func (s *System) ResetStats() { s.stats = Stats{} }
+//
+// Deprecated: resets the telemetry counters; prefer taking snapshots and
+// differencing them.
+func (s *System) ResetStats() { s.tel.Reset() }
+
+// Telemetry returns the DRAM section of the unified snapshot tree,
+// including the per-access latency and queue-delay histograms.
+func (s *System) Telemetry() telemetry.DRAMStats { return s.tel.Snapshot() }
 
 // Location is the physical position of one block: channel, flattened
 // rank×bank index within the channel, row within the bank, and column
@@ -287,14 +318,14 @@ func (s *System) Access(now uint64, addr uint64, write bool) uint64 {
 	var colReadyAt uint64
 	switch {
 	case b.openRow == row:
-		s.stats.RowHits++
+		s.tel.RowHits.Inc()
 		colReadyAt = start
 	case b.openRow == -1:
-		s.stats.RowMisses++
+		s.tel.RowMisses.Inc()
 		colReadyAt = start + tm.RCD
 	default:
-		s.stats.RowMisses++
-		s.stats.RowConflicts++
+		s.tel.RowMisses.Inc()
+		s.tel.RowConflicts.Inc()
 		colReadyAt = start + tm.RP + tm.RCD
 	}
 	if s.cfg.Page == ClosedPage {
@@ -317,9 +348,9 @@ func (s *System) Access(now uint64, addr uint64, write bool) uint64 {
 	b.readyAt = finish
 	if write {
 		b.readyAt = finish + tm.WR
-		s.stats.Writes++
+		s.tel.Writes.Inc()
 	} else {
-		s.stats.Reads++
+		s.tel.Reads.Inc()
 	}
 	// Respect tRAS loosely: the row stays busy at least RAS after the
 	// (implicit) activate on a miss.
@@ -327,8 +358,10 @@ func (s *System) Access(now uint64, addr uint64, write bool) uint64 {
 		b.readyAt = minReady
 	}
 
-	s.stats.TotalLatency += finish - now
-	s.stats.TotalQueueDelay += start - now
+	s.tel.TotalLatency.Add(finish - now)
+	s.tel.TotalQueueDelay.Add(start - now)
+	s.tel.AccessLatency.Observe(finish - now)
+	s.tel.QueueDelay.Observe(start - now)
 	return finish
 }
 
@@ -338,9 +371,7 @@ func (s *System) Access(now uint64, addr uint64, write bool) uint64 {
 // finish time, in input order.
 func (s *System) ServiceBatch(now uint64, reqs []Request) []uint64 {
 	finish := make([]uint64, len(reqs))
-	if len(reqs) > s.stats.MaxObservedConcurrent {
-		s.stats.MaxObservedConcurrent = len(reqs)
-	}
+	s.tel.MaxConcurrent.Observe(uint64(len(reqs)))
 	// Partition by channel, preserving arrival order.
 	type item struct{ idx int }
 	perChan := make([][]int, s.cfg.Channels)

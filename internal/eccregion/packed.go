@@ -6,6 +6,7 @@ import (
 
 	"cop/internal/bitio"
 	"cop/internal/ecc"
+	"cop/internal/telemetry"
 )
 
 // PackedStore is the generic engine behind the ECC region: fixed-size
@@ -25,7 +26,7 @@ type PackedStore struct {
 	l1          []byte
 
 	mruL3 int
-	stats Stats
+	tel   telemetry.RegionCounters
 }
 
 // validBitCode protects the 501 valid bits of each tree block.
@@ -39,6 +40,9 @@ var ErrFull = errors.New("eccregion: pointer space exhausted")
 var ErrInvalidEntry = errors.New("eccregion: entry not valid")
 
 // Stats counts region traffic and occupancy.
+//
+// Deprecated: legacy counter surface, kept as a thin copy of the telemetry
+// counters; new code should read Telemetry (which adds alloc/free totals).
 type Stats struct {
 	// Reads and Writes count 64-byte block accesses to the region
 	// (entry blocks and valid-bit tree blocks).
@@ -74,7 +78,24 @@ func (r *PackedStore) PayloadBytes() int { return (r.payloadBits + 7) / 8 }
 func (r *PackedStore) EntriesPerBlockCount() int { return r.entriesPerBlock }
 
 // Stats returns a copy of the store's counters.
-func (r *PackedStore) Stats() Stats { return r.stats }
+//
+// Deprecated: thin wrapper over the telemetry counters; use Telemetry in
+// new code.
+func (r *PackedStore) Stats() Stats {
+	t := r.Telemetry()
+	return Stats{
+		Reads:     t.Reads,
+		Writes:    t.Writes,
+		Allocated: uint64(t.Live),
+		HighWater: t.HighWater,
+	}
+}
+
+// Telemetry returns the region section of the unified snapshot tree,
+// including the store's current block footprint.
+func (r *PackedStore) Telemetry() telemetry.RegionStats {
+	return r.tel.Snapshot(uint64(r.BlocksUsed()))
+}
 
 // BlocksUsed returns the total 64-byte blocks the store occupies: entry
 // blocks plus all levels of the valid-bit tree.
@@ -186,7 +207,7 @@ func (r *PackedStore) growEntryBlock() (int, error) {
 			r.l2 = append(r.l2, nb2)
 		}
 	}
-	r.stats.Writes++ // zero-initialize the new entry block in memory
+	r.tel.Writes.Inc() // zero-initialize the new entry block in memory
 	return idx, nil
 }
 
@@ -202,13 +223,13 @@ func (r *PackedStore) findFreeSlot(accept func(ptr uint32) bool) (blk, slot int,
 			start = 0
 		}
 		for li := start; li < len(r.l3); li++ {
-			r.stats.Reads++ // read the L3 valid-bit block
+			r.tel.Reads.Inc() // read the L3 valid-bit block
 			base := li * ValidBitsPerBlock
 			for i := 0; i < ValidBitsPerBlock && base+i < len(r.entryBlocks); i++ {
 				if treeBit(r.l3[li], i) {
 					continue
 				}
-				r.stats.Reads++ // read the candidate entry block
+				r.tel.Reads.Inc() // read the candidate entry block
 				for s := 0; s < r.entriesPerBlock; s++ {
 					if bitio.Bit(r.entryBlocks[base+i], s*r.entryBits) == 1 {
 						continue
@@ -255,11 +276,10 @@ func (r *PackedStore) AllocatePayload(payload []byte, accept func(ptr uint32) bo
 		return 0, err
 	}
 	r.writePayload(b, s, true, payload)
-	r.stats.Writes++
-	r.stats.Allocated++
-	if r.stats.Allocated > r.stats.HighWater {
-		r.stats.HighWater = r.stats.Allocated
-	}
+	r.tel.Writes.Inc()
+	r.tel.Allocs.Inc()
+	r.tel.Live.Add(1)
+	r.tel.HighWater.Observe(uint64(r.tel.Live.Load()))
 	if r.blockFull(b) {
 		r.setL3(b, true)
 	}
@@ -270,7 +290,7 @@ func (r *PackedStore) AllocatePayload(payload []byte, accept func(ptr uint32) bo
 func (r *PackedStore) setL3(b int, v bool) {
 	li, bi := b/ValidBitsPerBlock, b%ValidBitsPerBlock
 	setTreeBit(r.l3[li], bi, v)
-	r.stats.Writes++
+	r.tel.Writes.Inc()
 	l2i, l2b := li/ValidBitsPerBlock, li%ValidBitsPerBlock
 	if v {
 		full := true
@@ -282,7 +302,7 @@ func (r *PackedStore) setL3(b int, v bool) {
 		}
 		if full {
 			setTreeBit(r.l2[l2i], l2b, true)
-			r.stats.Writes++
+			r.tel.Writes.Inc()
 			l2full := true
 			for i := 0; i < ValidBitsPerBlock; i++ {
 				if !treeBit(r.l2[l2i], i) {
@@ -292,17 +312,17 @@ func (r *PackedStore) setL3(b int, v bool) {
 			}
 			if l2full {
 				setTreeBit(r.l1, l2i, true)
-				r.stats.Writes++
+				r.tel.Writes.Inc()
 			}
 		}
 	} else {
 		if treeBit(r.l2[l2i], l2b) {
 			setTreeBit(r.l2[l2i], l2b, false)
-			r.stats.Writes++
+			r.tel.Writes.Inc()
 		}
 		if treeBit(r.l1, l2i) {
 			setTreeBit(r.l1, l2i, false)
-			r.stats.Writes++
+			r.tel.Writes.Inc()
 		}
 	}
 }
@@ -313,7 +333,7 @@ func (r *PackedStore) ReadPayload(ptr uint32) ([]byte, error) {
 	if b >= len(r.entryBlocks) {
 		return nil, ErrInvalidEntry
 	}
-	r.stats.Reads++
+	r.tel.Reads.Inc()
 	valid, payload := r.readPayload(b, s)
 	if !valid {
 		return nil, ErrInvalidEntry
@@ -330,12 +350,12 @@ func (r *PackedStore) UpdatePayload(ptr uint32, payload []byte) error {
 	if b >= len(r.entryBlocks) {
 		return ErrInvalidEntry
 	}
-	r.stats.Reads++
+	r.tel.Reads.Inc()
 	if valid, _ := r.readPayload(b, s); !valid {
 		return ErrInvalidEntry
 	}
 	r.writePayload(b, s, true, payload)
-	r.stats.Writes++
+	r.tel.Writes.Inc()
 	return nil
 }
 
@@ -346,15 +366,16 @@ func (r *PackedStore) Free(ptr uint32) error {
 	if b >= len(r.entryBlocks) {
 		return ErrInvalidEntry
 	}
-	r.stats.Reads++
+	r.tel.Reads.Inc()
 	valid, _ := r.readPayload(b, s)
 	if !valid {
 		return ErrInvalidEntry
 	}
 	wasFull := r.blockFull(b)
 	r.writePayload(b, s, false, make([]byte, r.PayloadBytes()))
-	r.stats.Writes++
-	r.stats.Allocated--
+	r.tel.Writes.Inc()
+	r.tel.Frees.Inc()
+	r.tel.Live.Add(-1)
 	if wasFull {
 		r.setL3(b, false)
 	}

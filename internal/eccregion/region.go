@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"cop/internal/bitio"
+	"cop/internal/telemetry"
 )
 
 const (
@@ -74,7 +75,13 @@ func New() *Region {
 }
 
 // Stats returns a copy of the region's counters.
+//
+// Deprecated: thin wrapper over the telemetry counters; use Telemetry in
+// new code.
 func (r *Region) Stats() Stats { return r.store.Stats() }
+
+// Telemetry returns the region section of the unified snapshot tree.
+func (r *Region) Telemetry() telemetry.RegionStats { return r.store.Telemetry() }
 
 // BlocksUsed returns the total 64-byte blocks the region occupies: entry
 // blocks plus all levels of the valid-bit tree. This is COP-ER's storage

@@ -35,6 +35,7 @@ import (
 	"cop/internal/memctrl"
 	"cop/internal/reliability"
 	"cop/internal/shard"
+	"cop/internal/telemetry"
 	"cop/internal/workload"
 )
 
@@ -122,6 +123,11 @@ type Config struct {
 	// footprint (the paper's 8 GB Table 1 geometry would need a footprint
 	// of gigabytes before two footprint blocks share a row).
 	Geometry dram.Config
+	// ObserveMemory, when non-nil, receives the campaign's memory as a
+	// telemetry.Source right after construction, before any traffic —
+	// long-running drivers point a telemetry.Registry (and hence a live
+	// /metrics endpoint) at the campaign in flight.
+	ObserveMemory func(telemetry.Source)
 }
 
 // CampaignGeometry is the default physical mapping for campaigns: 2
@@ -186,6 +192,9 @@ type Result struct {
 	// its classified window (an engine or controller bug).
 	BackgroundReads      int
 	BackgroundMismatches int
+	// Memory is the campaign memory's final telemetry snapshot (merged
+	// across shards when Workers > 1).
+	Memory telemetry.Snapshot
 }
 
 // TotalFaults sums the injected fault events.
@@ -254,6 +263,7 @@ type target interface {
 	StoredKind(addr uint64) memctrl.StoredKind
 	InjectBitFlip(addr uint64, bit int) bool
 	Flush() error
+	Snapshot() telemetry.Snapshot
 }
 
 var (
@@ -497,9 +507,19 @@ func Run(cfg Config) (*Result, error) {
 	memCfg := memctrl.Config{Mode: cfg.Mode, LLCBytes: cfg.LLCBytes, LLCWays: cfg.LLCWays}
 	var mem target
 	if cfg.Workers > 1 {
-		mem = shard.New(shard.Config{Mem: memCfg, Shards: cfg.Workers})
+		// Workers is a free worker count; shard counts must be powers of
+		// two no larger than the LLC set count, so round up and clamp —
+		// the extra shards just see no traffic.
+		shards := shard.NextPow2(cfg.Workers)
+		if sets := cfg.LLCBytes / (cfg.LLCWays * memctrl.BlockBytes); shards > sets {
+			shards = sets
+		}
+		mem = shard.New(shard.Config{Mem: memCfg, Shards: shards})
 	} else {
 		mem = memctrl.New(memCfg)
+	}
+	if cfg.ObserveMemory != nil {
+		cfg.ObserveMemory(mem)
 	}
 	geom := dram.New(cfg.Geometry)
 
@@ -653,6 +673,7 @@ func Run(cfg Config) (*Result, error) {
 		res.BackgroundReads += bgReads[w]
 		res.BackgroundMismatches += bgMiss[w]
 	}
+	res.Memory = mem.Snapshot()
 	return res, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"cop/internal/chipkill"
 	"cop/internal/core"
 	"cop/internal/ecc"
+	"cop/internal/telemetry"
 )
 
 // BlockBytes is the access granularity.
@@ -71,6 +72,11 @@ func (m Mode) String() string {
 }
 
 // Stats counts controller events.
+//
+// Deprecated: Stats is the legacy counter surface, kept so existing
+// callers compile; it is now a thin copy of the telemetry counters. New
+// code should read Controller.Snapshot (the unified telemetry tree, which
+// adds the cache and region sections, histograms, and derived rates).
 type Stats struct {
 	Loads, Stores         uint64
 	Fills, Writebacks     uint64
@@ -171,7 +177,8 @@ type Controller struct {
 	everRaw    map[uint64]bool       // blocks ever stored uncompressed (Fig 12)
 	kinds      map[uint64]StoredKind // ground-truth form of each DRAM image
 	aliasSpill []cache.Line          // alias lines parked during Flush
-	stats      Stats
+	tel        telemetry.ControllerCounters
+	hooks      *telemetry.Hooks // nil until the first Subscribe
 }
 
 // Config parameterizes the controller.
@@ -181,7 +188,9 @@ type Config struct {
 	// value means core.NewConfig4().
 	COPConfig core.Config
 	// LLCBytes/LLCWays describe the last-level cache (defaults: 4 MB,
-	// 16-way — Table 1).
+	// 16-way — Table 1). When this Config rides inside shard.Config,
+	// LLCBytes is the TOTAL capacity across all shards — that rule, and
+	// its validation, live in one place: shard.Config.Normalize.
 	LLCBytes, LLCWays int
 	// ScrubOnCorrect makes the controller rewrite a block's DRAM image
 	// after correcting an error on a fill, so latent single-bit faults
@@ -233,7 +242,67 @@ func New(cfg Config) *Controller {
 func (c *Controller) Mode() Mode { return c.mode }
 
 // Stats returns a copy of the counters.
-func (c *Controller) Stats() Stats { return c.stats }
+//
+// Deprecated: thin wrapper over the telemetry counters; use Snapshot in
+// new code.
+func (c *Controller) Stats() Stats {
+	t := c.tel.Snapshot()
+	return Stats{
+		Loads:                 t.Loads,
+		Stores:                t.Stores,
+		Fills:                 t.Fills,
+		Writebacks:            t.Writebacks,
+		StoredCompressed:      t.StoredCompressed,
+		StoredRaw:             t.StoredRaw,
+		AliasRetained:         t.AliasRetained,
+		CorrectedErrors:       t.CorrectedErrors,
+		UncorrectableErrors:   t.UncorrectableErrors,
+		RegionReads:           t.RegionReads,
+		Scrubs:                t.Scrubs,
+		EverIncompressible:    t.EverIncompressible,
+		DIMMCheckBytesWritten: t.DIMMCheckBytesWritten,
+	}
+}
+
+// Snapshot returns the controller's unified telemetry tree: its own
+// counters, the LLC section, and (in region-backed modes) the ECC-region
+// section, with derived rates computed. Safe to call at any time; the
+// counters are atomics, so a snapshot never stalls traffic.
+func (c *Controller) Snapshot() telemetry.Snapshot {
+	s := telemetry.Snapshot{
+		Scheme:     c.mode.String(),
+		Controller: c.tel.Snapshot(),
+		Cache:      c.llc.Telemetry(),
+	}
+	switch {
+	case c.er != nil:
+		r := c.er.Region().Telemetry()
+		s.Region = &r
+	case c.ck != nil:
+		r := c.ck.Store().Telemetry()
+		s.Region = &r
+	}
+	s.Finalize()
+	return s
+}
+
+// Subscribe attaches fn to the controller's event stream (corrected /
+// uncorrectable / alias-retained / scrub events). Until the first
+// Subscribe the hot path pays only a nil check and never allocates.
+// Subscribers run synchronously on the accessing goroutine.
+func (c *Controller) Subscribe(fn func(telemetry.Event)) {
+	if c.hooks == nil {
+		c.hooks = &telemetry.Hooks{}
+	}
+	c.hooks.Attach(fn)
+}
+
+// emit delivers an event to subscribers, if any (nil-checked fast path).
+func (c *Controller) emit(name string, addr, value uint64) {
+	if c.hooks != nil {
+		c.hooks.Emit(telemetry.Event{Layer: "memctrl", Name: name, Addr: addr, Value: value})
+	}
+}
 
 // LLC exposes the cache (diagnostics and tests).
 func (c *Controller) LLC() *cache.Cache { return c.llc }
@@ -250,7 +319,7 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 		return fmt.Errorf("memctrl: Write needs %d bytes", BlockBytes)
 	}
 	addr = align(addr)
-	c.stats.Stores++
+	c.tel.Stores.Inc()
 	buf := make([]byte, BlockBytes)
 	copy(buf, data)
 
@@ -301,33 +370,34 @@ func (c *Controller) insert(line cache.Line) error {
 
 // writeback encodes a dirty victim into its DRAM image.
 func (c *Controller) writeback(victim cache.Line) error {
-	c.stats.Writebacks++
+	c.tel.Writebacks.Inc()
 	addr := victim.Addr
 	switch c.mode {
 	case Unprotected:
 		c.store[addr] = victim.Data
 		c.kinds[addr] = StoredKindRaw
-		c.stats.StoredRaw++
+		c.tel.StoredRaw.Inc()
 	case COP:
 		image, status := c.codec.Encode(victim.Data)
 		switch status {
 		case core.StoredCompressed:
 			c.store[addr] = image
 			c.kinds[addr] = StoredKindCompressed
-			c.stats.StoredCompressed++
+			c.tel.StoredCompressed.Inc()
 		case core.StoredRaw:
 			c.store[addr] = image
 			c.kinds[addr] = StoredKindRaw
-			c.stats.StoredRaw++
+			c.tel.StoredRaw.Inc()
 			if !c.everRaw[addr] {
 				c.everRaw[addr] = true
-				c.stats.EverIncompressible++
+				c.tel.EverIncompressible.Inc()
 			}
 		case core.RejectedAlias:
 			// Must stay in the LLC: re-insert with the alias bit set.
 			// cache.Insert pins alias lines, so this cannot recurse into
 			// another rejected writeback of the same line.
-			c.stats.AliasRetained++
+			c.tel.AliasRetained.Inc()
+			c.emit("alias-retained", addr, 0)
 			victim.Alias = true
 			return c.insert(victim)
 		}
@@ -343,13 +413,13 @@ func (c *Controller) writeback(victim cache.Line) error {
 		c.store[addr] = image
 		c.kinds[addr] = kindOf(compressed)
 		if compressed {
-			c.stats.StoredCompressed++
+			c.tel.StoredCompressed.Inc()
 		} else {
-			c.stats.StoredRaw++
-			c.stats.RegionReads++ // entry write
+			c.tel.StoredRaw.Inc()
+			c.tel.RegionReads.Inc() // entry write
 			if !c.everRaw[addr] {
 				c.everRaw[addr] = true
-				c.stats.EverIncompressible++
+				c.tel.EverIncompressible.Inc()
 			}
 		}
 		_ = ptr
@@ -365,13 +435,13 @@ func (c *Controller) writeback(victim cache.Line) error {
 		c.store[addr] = image
 		c.kinds[addr] = kindOf(inline)
 		if inline {
-			c.stats.StoredCompressed++
+			c.tel.StoredCompressed.Inc()
 		} else {
-			c.stats.StoredRaw++
-			c.stats.RegionReads++
+			c.tel.StoredRaw.Inc()
+			c.tel.RegionReads.Inc()
 			if !c.everRaw[addr] {
 				c.everRaw[addr] = true
-				c.stats.EverIncompressible++
+				c.tel.EverIncompressible.Inc()
 			}
 		}
 		_ = ptr
@@ -381,17 +451,18 @@ func (c *Controller) writeback(victim cache.Line) error {
 		case core.StoredCompressed:
 			c.store[addr] = image
 			c.kinds[addr] = StoredKindCompressed
-			c.stats.StoredCompressed++
+			c.tel.StoredCompressed.Inc()
 		case core.StoredRaw:
 			c.store[addr] = image
 			c.kinds[addr] = StoredKindRaw
-			c.stats.StoredRaw++
+			c.tel.StoredRaw.Inc()
 			if !c.everRaw[addr] {
 				c.everRaw[addr] = true
-				c.stats.EverIncompressible++
+				c.tel.EverIncompressible.Inc()
 			}
 		case core.RejectedAlias:
-			c.stats.AliasRetained++
+			c.tel.AliasRetained.Inc()
+			c.emit("alias-retained", addr, 0)
 			victim.Alias = true
 			return c.insert(victim)
 		}
@@ -399,14 +470,14 @@ func (c *Controller) writeback(victim cache.Line) error {
 		c.store[addr] = victim.Data
 		c.regECC[addr] = blockParity523(victim.Data)
 		c.kinds[addr] = StoredKindRaw
-		c.stats.StoredRaw++
-		c.stats.RegionReads++
+		c.tel.StoredRaw.Inc()
+		c.tel.RegionReads.Inc()
 	case ECCDIMM:
 		c.store[addr] = victim.Data
 		c.dimmECC[addr] = dimmCheckBytes(victim.Data)
 		c.kinds[addr] = StoredKindRaw
-		c.stats.StoredCompressed++ // protected, inline — closest bucket
-		c.stats.DIMMCheckBytesWritten += 8
+		c.tel.StoredCompressed.Inc() // protected, inline — closest bucket
+		c.tel.DIMMCheckBytesWritten.Add(8)
 	}
 	return nil
 }
@@ -430,7 +501,7 @@ func (c *Controller) Read(addr uint64) ([]byte, error) {
 // deltas.
 func (c *Controller) ReadWithInfo(addr uint64) ([]byte, ReadInfo, error) {
 	addr = align(addr)
-	c.stats.Loads++
+	c.tel.Loads.Inc()
 	if line, victim, wb, hit := c.llc.Lookup(addr); hit {
 		out := make([]byte, BlockBytes)
 		copy(out, line.Data)
@@ -443,16 +514,21 @@ func (c *Controller) ReadWithInfo(addr uint64) ([]byte, ReadInfo, error) {
 		}
 		return out, ReadInfo{LLCHit: true}, nil
 	}
-	c.stats.Fills++
+	c.tel.Fills.Inc()
 	line, info, err := c.fill(addr)
 	if err != nil {
+		c.emit("uncorrectable", addr, 0)
 		return nil, info, err
+	}
+	if info.corrected() {
+		c.emit("corrected", addr, uint64(info.Corrected))
 	}
 	if c.scrub && info.corrected() {
 		if serr := c.scrubBlock(addr, line.Data); serr != nil {
 			return nil, info, serr
 		}
-		c.stats.Scrubs++
+		c.tel.Scrubs.Inc()
+		c.emit("scrub", addr, 0)
 	}
 	out := make([]byte, BlockBytes)
 	copy(out, line.Data)
@@ -480,11 +556,11 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 		rinfo.ValidCodewords = info.ValidCodewords
 		rinfo.Corrected = len(info.CorrectedSegments)
 		if err != nil {
-			c.stats.UncorrectableErrors++
+			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if len(info.CorrectedSegments) > 0 {
-			c.stats.CorrectedErrors++
+			c.tel.CorrectedErrors.Inc()
 		}
 		line.Data = block
 	case COPER:
@@ -497,14 +573,14 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 			rinfo.Corrected = 1
 		}
 		if err != nil {
-			c.stats.UncorrectableErrors++
+			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if info.CorrectedBlock || info.CorrectedPointer {
-			c.stats.CorrectedErrors++
+			c.tel.CorrectedErrors.Inc()
 		}
 		if info.RegionAccess {
-			c.stats.RegionReads++
+			c.tel.RegionReads.Inc()
 			line.WasUncompressed = true
 			line.Ptr = c.pointerOf(image)
 		}
@@ -517,14 +593,14 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 			rinfo.Corrected = 1
 		}
 		if err != nil {
-			c.stats.UncorrectableErrors++
+			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if info.FailedChip >= 0 || info.CorrectedEntry {
-			c.stats.CorrectedErrors++
+			c.tel.CorrectedErrors.Inc()
 		}
 		if info.RegionAccess {
-			c.stats.RegionReads++
+			c.tel.RegionReads.Inc()
 			// The hardware latches the pointer during the fill; recover
 			// it from the (already validated) image copies.
 			if ptr, ok := c.ck.PointerOf(image); ok {
@@ -539,37 +615,42 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 		rinfo.ValidCodewords = info.ValidCodewords
 		rinfo.Corrected = len(info.CorrectedSegments)
 		if err != nil {
-			c.stats.UncorrectableErrors++
+			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if len(info.CorrectedSegments) > 0 {
-			c.stats.CorrectedErrors++
+			c.tel.CorrectedErrors.Inc()
 		}
 		line.Data = block
 	case ECCRegion:
-		c.stats.RegionReads++
+		c.tel.RegionReads.Inc()
 		rinfo.RegionAccess = true
 		block, corrected, err := check523(image, c.regECC[addr])
 		if err != nil {
-			c.stats.UncorrectableErrors++
+			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, err
 		}
 		if corrected {
 			rinfo.Corrected = 1
-			c.stats.CorrectedErrors++
+			c.tel.CorrectedErrors.Inc()
 		}
 		line.Data = block
 	case ECCDIMM:
 		block, corrected, err := dimmDecode(image, c.dimmECC[addr])
 		rinfo.Corrected = corrected
 		if err != nil {
-			c.stats.UncorrectableErrors++
+			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, err
 		}
 		if corrected > 0 {
-			c.stats.CorrectedErrors++
+			c.tel.CorrectedErrors.Inc()
 		}
 		line.Data = block
+	}
+	if rinfo.ValidCodewords > 0 {
+		// COP-family decode verdict: how many of the nine code words had a
+		// zero syndrome (the paper's compressed-vs-raw discriminator).
+		c.tel.ValidCodewords.Observe(uint64(rinfo.ValidCodewords))
 	}
 	c.setAliasBit(&line)
 	return line, rinfo, nil
@@ -600,7 +681,8 @@ func (c *Controller) Flush() error {
 			// keeps them in a side list: re-inserting would fight the
 			// flush (FlushAll invalidates the set entry after this
 			// callback, dropping the line), so record as retained.
-			c.stats.AliasRetained++
+			c.tel.AliasRetained.Inc()
+			c.emit("alias-retained", l.Addr, 0)
 			c.aliasSpill = append(c.aliasSpill, l)
 			return
 		}
@@ -660,7 +742,7 @@ func (c *Controller) Settle(addr uint64) error {
 // EverIncompressibleBlocks returns how many distinct blocks were ever
 // written to DRAM uncompressed — the quantity Figure 12's storage
 // comparison charges COP-ER for.
-func (c *Controller) EverIncompressibleBlocks() uint64 { return c.stats.EverIncompressible }
+func (c *Controller) EverIncompressibleBlocks() uint64 { return c.tel.EverIncompressible.Load() }
 
 // --- helpers -----------------------------------------------------------
 

@@ -29,20 +29,64 @@ import (
 	"sync/atomic"
 
 	"cop/internal/memctrl"
+	"cop/internal/telemetry"
 )
 
 // BlockBytes is the access granularity, re-exported for convenience.
 const BlockBytes = memctrl.BlockBytes
 
 // Config parameterizes a sharded controller.
+//
+// LLC capacity rule — stated once, here, for every front-end that embeds
+// this config (cop.ShardedMemoryConfig included): Mem.LLCBytes is the
+// TOTAL cache capacity of the logical memory; each shard receives exactly
+// LLCBytes/Shards. A sharded and an unsharded controller built from the
+// same Mem therefore model the same silicon, and single-threaded replays
+// produce identical hit/miss behavior (see the package comment).
 type Config struct {
 	// Mem configures every per-shard controller. Mem.LLCBytes is the
-	// TOTAL cache capacity: each shard receives 1/Shards of it.
+	// TOTAL capacity (see the Config comment); zero selects the paper's
+	// 4 MB / 16-way LLC.
 	Mem memctrl.Config
-	// Shards is the stripe count. It is rounded up to a power of two and
-	// clamped so each shard's LLC slice keeps at least one set; zero means
-	// the smallest power of two >= GOMAXPROCS.
+	// Shards is the stripe count and must be a power of two no larger
+	// than the LLC set count (so each shard's slice keeps at least one
+	// set). Zero means auto: the smallest power of two >= GOMAXPROCS,
+	// clamped to the set count. Anything else is a configuration error —
+	// Normalize reports it; New panics on it.
 	Shards int
+}
+
+// Normalize validates cfg and returns it with defaults applied (LLC
+// geometry filled in, auto shard count resolved). It is the single
+// validation path for sharded configs: an explicit Shards that is not a
+// power of two, or that exceeds the LLC set count, is an error — never
+// silently rounded.
+func (cfg Config) Normalize() (Config, error) {
+	if cfg.Mem.LLCBytes == 0 {
+		cfg.Mem.LLCBytes = 4 << 20
+	}
+	if cfg.Mem.LLCWays == 0 {
+		cfg.Mem.LLCWays = 16
+	}
+	totalSets := cfg.Mem.LLCBytes / (cfg.Mem.LLCWays * BlockBytes)
+	if totalSets <= 0 || totalSets&(totalSets-1) != 0 {
+		return Config{}, fmt.Errorf("shard: LLC of %d bytes / %d ways is not a power-of-two set count", cfg.Mem.LLCBytes, cfg.Mem.LLCWays)
+	}
+	switch n := cfg.Shards; {
+	case n < 0:
+		return Config{}, fmt.Errorf("shard: negative shard count %d", n)
+	case n == 0:
+		auto := nextPow2(runtime.GOMAXPROCS(0))
+		if auto > totalSets {
+			auto = totalSets
+		}
+		cfg.Shards = auto
+	case n&(n-1) != 0:
+		return Config{}, fmt.Errorf("shard: shard count %d is not a power of two", n)
+	case n > totalSets:
+		return Config{}, fmt.Errorf("shard: %d shards exceed the %d LLC sets (each shard needs at least one set)", n, totalSets)
+	}
+	return cfg, nil
 }
 
 // shardSlot pairs one controller with its lock and a lock-free op counter.
@@ -64,40 +108,43 @@ type Controller struct {
 }
 
 // New builds a sharded controller. The zero Config (beyond Mem.Mode) gives
-// the paper's 4 MB / 16-way LLC split across GOMAXPROCS-many shards.
+// the paper's 4 MB / 16-way LLC split across GOMAXPROCS-many shards. New
+// panics on an invalid config (see Config.Normalize); NewChecked reports
+// the error instead.
 func New(cfg Config) *Controller {
-	mem := cfg.Mem
-	if mem.LLCBytes == 0 {
-		mem.LLCBytes = 4 << 20
+	c, err := NewChecked(cfg)
+	if err != nil {
+		panic(err.Error())
 	}
-	if mem.LLCWays == 0 {
-		mem.LLCWays = 16
+	return c
+}
+
+// NewChecked builds a sharded controller, returning an error for an
+// invalid config instead of panicking.
+func NewChecked(cfg Config) (*Controller, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
 	}
 	n := cfg.Shards
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	n = nextPow2(n)
-	totalSets := mem.LLCBytes / (mem.LLCWays * BlockBytes)
-	if totalSets <= 0 || totalSets&(totalSets-1) != 0 {
-		panic(fmt.Sprintf("shard: LLC of %d bytes / %d ways is not a power-of-two set count", mem.LLCBytes, mem.LLCWays))
-	}
-	if n > totalSets {
-		n = totalSets // every shard keeps at least one set
-	}
-	perShard := mem
-	perShard.LLCBytes = mem.LLCBytes / n
+	perShard := cfg.Mem
+	perShard.LLCBytes = cfg.Mem.LLCBytes / n
 	c := &Controller{
 		shards: make([]*shardSlot, n),
 		mask:   uint64(n - 1),
 		logN:   log2(n),
-		mode:   mem.Mode,
+		mode:   cfg.Mem.Mode,
 	}
 	for i := range c.shards {
 		c.shards[i] = &shardSlot{ctrl: memctrl.New(perShard)}
 	}
-	return c
+	return c, nil
 }
+
+// NextPow2 returns the smallest power of two >= n (1 for n <= 0): the
+// helper callers use to turn an arbitrary worker count into a valid
+// Shards value when they genuinely want rounding.
+func NextPow2(n int) int { return nextPow2(n) }
 
 func nextPow2(n int) int {
 	p := 1
@@ -278,10 +325,10 @@ func (c *Controller) InDRAM(addr uint64) bool {
 	return s.ctrl.InDRAM(inner)
 }
 
-// Stats aggregates every shard's counters. Each shard is snapshotted under
-// its own lock — there is no global lock, so a stats read never stalls
-// traffic on more than one shard at a time — and the sum is a per-shard-
-// consistent (not globally instantaneous) view.
+// Stats aggregates every shard's counters.
+//
+// Deprecated: thin wrapper over the merged telemetry snapshot; use
+// Snapshot in new code.
 func (c *Controller) Stats() memctrl.Stats {
 	var total memctrl.Stats
 	for _, s := range c.shards {
@@ -289,6 +336,26 @@ func (c *Controller) Stats() memctrl.Stats {
 		st := s.ctrl.Stats()
 		s.mu.Unlock()
 		total.Add(st)
+	}
+	return total
+}
+
+// Snapshot merges every shard's telemetry tree into one Snapshot. All
+// section fields are monotonic sums (histograms merge bucket-wise) and
+// derived rates are recomputed after the merge, so a sharded and an
+// unsharded run of the same single-threaded trace produce byte-identical
+// JSON snapshots. Shards are snapshotted lock-free (the counters are
+// atomics), so a snapshot never stalls traffic; the result is per-shard
+// consistent, not globally instantaneous.
+func (c *Controller) Snapshot() telemetry.Snapshot {
+	var total telemetry.Snapshot
+	for i, s := range c.shards {
+		snap := s.ctrl.Snapshot()
+		if i == 0 {
+			total = snap
+		} else {
+			total.Merge(snap)
+		}
 	}
 	return total
 }

@@ -38,20 +38,51 @@ func newUnsharded(m memctrl.Mode) *memctrl.Controller {
 }
 
 func TestShardCountNormalization(t *testing.T) {
-	for _, tc := range []struct {
-		shards, want int
-	}{
-		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8},
-		// 64 KB / 8 ways = 128 sets total: 1024 shards clamp to 128.
-		{1024, 128},
-	} {
-		c := New(Config{Mem: memctrl.Config{Mode: memctrl.COP, LLCBytes: 64 * 1024, LLCWays: 8}, Shards: tc.shards})
-		if got := c.NumShards(); got != tc.want {
-			t.Errorf("Shards=%d: got %d shards, want %d", tc.shards, got, tc.want)
+	mem := memctrl.Config{Mode: memctrl.COP, LLCBytes: 64 * 1024, LLCWays: 8}
+	// Valid explicit counts are taken exactly as given.
+	for _, n := range []int{1, 2, 8, 128} {
+		c, err := NewChecked(Config{Mem: mem, Shards: n})
+		if err != nil {
+			t.Fatalf("Shards=%d: unexpected error %v", n, err)
+		}
+		if got := c.NumShards(); got != n {
+			t.Errorf("Shards=%d: got %d shards", n, got)
 		}
 	}
-	if def := New(Config{Mem: memctrl.Config{Mode: memctrl.COP}}); def.NumShards()&(def.NumShards()-1) != 0 {
-		t.Errorf("default shard count %d is not a power of two", def.NumShards())
+	// Invalid explicit counts are errors, never silently rounded:
+	// non-powers of two, more shards than the 128 LLC sets, negatives.
+	for _, n := range []int{3, 5, 6, 7, 256, 1024, -1} {
+		if _, err := NewChecked(Config{Mem: mem, Shards: n}); err == nil {
+			t.Errorf("Shards=%d: want error, got nil", n)
+		}
+	}
+	// A non-power-of-two set geometry is also an error.
+	bad := memctrl.Config{Mode: memctrl.COP, LLCBytes: 96 * 1024, LLCWays: 8}
+	if _, err := NewChecked(Config{Mem: bad, Shards: 2}); err == nil {
+		t.Error("non-power-of-two set count: want error, got nil")
+	}
+	// New panics where NewChecked errors.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(Shards=3): want panic")
+			}
+		}()
+		New(Config{Mem: mem, Shards: 3})
+	}()
+	// Shards=0 auto-selects a power of two clamped to the set count.
+	def, err := NewChecked(Config{Mem: memctrl.Config{Mode: memctrl.COP}})
+	if err != nil {
+		t.Fatalf("auto shard count: %v", err)
+	}
+	if n := def.NumShards(); n <= 0 || n&(n-1) != 0 {
+		t.Errorf("default shard count %d is not a power of two", n)
+	}
+	// NextPow2 is the sanctioned rounding helper for free worker counts.
+	for in, want := range map[int]int{0: 1, 1: 1, 3: 4, 5: 8, 8: 8} {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
 	}
 }
 
@@ -523,5 +554,81 @@ func TestShardedStatsAggregation(t *testing.T) {
 	}
 	if manual != st {
 		t.Fatalf("Stats() != sum of shard stats:\n%+v\n%+v", st, manual)
+	}
+	// The merged telemetry snapshot agrees with the legacy wrappers.
+	snap := c.Snapshot()
+	if snap.Controller.Loads != st.Loads || snap.Controller.Stores != st.Stores {
+		t.Fatalf("Snapshot() disagrees with Stats():\n%+v\n%+v", snap.Controller, st)
+	}
+	if snap.Scheme != memctrl.COP.String() {
+		t.Fatalf("scheme = %q", snap.Scheme)
+	}
+}
+
+// TestShardedSnapshotUnderTraffic drives concurrent mixed traffic while
+// other goroutines repeatedly take merged snapshots — the race detector
+// (CI race job) verifies the lock-free counter reads, and monotonicity of
+// the observed load count verifies snapshots never go backwards.
+func TestShardedSnapshotUnderTraffic(t *testing.T) {
+	c := newSharded(memctrl.COP)
+	rng := rand.New(rand.NewSource(11))
+	const blocks = 512
+	for i := 0; i < blocks; i++ {
+		if err := c.Write(uint64(i)*BlockBytes, compressibleData(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := 4000
+	if testing.Short() {
+		ops = 800
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wr := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				if _, err := c.Read(uint64(wr.Intn(blocks)) * BlockBytes); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var last uint64
+		for {
+			s := c.Snapshot()
+			if s.Controller.Loads < last {
+				snapErr = fmt.Errorf("loads went backwards: %d -> %d", last, s.Controller.Loads)
+				return
+			}
+			last = s.Controller.Loads
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	if got := c.Snapshot().Controller.Loads; got != uint64(4*ops) {
+		t.Fatalf("final loads = %d, want %d", got, 4*ops)
 	}
 }

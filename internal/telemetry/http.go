@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Registry is a swappable Source holder: long-running binaries start one
+// HTTP server up front and point the registry at whichever memory instance
+// is currently live (a benchmark's sharded controller, a campaign's
+// target). A registry with no source serves empty snapshots.
+type Registry struct {
+	mu  sync.RWMutex
+	src Source
+}
+
+// Set points the registry at src (nil detaches).
+func (r *Registry) Set(src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.src = src
+}
+
+// Snapshot returns the current source's snapshot (zero Snapshot when
+// detached), so a Registry is itself a Source.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	src := r.src
+	r.mu.RUnlock()
+	if src == nil {
+		return Snapshot{}
+	}
+	return src.Snapshot()
+}
+
+// Handler serves the observability endpoints for src:
+//
+//	/metrics     — Prometheus text exposition
+//	/snapshot    — the full Snapshot tree as indented JSON
+//	/debug/vars  — expvar (includes a "cop" var with the snapshot)
+//	/debug/pprof — the standard pprof index, profile, trace, symbol
+//
+// The handler reads src on every request, so it always reflects live
+// counters. Pass a *Registry to swap sources after the server starts.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = src.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := src.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvarPublishOnce guards the process-global expvar name.
+var expvarPublishOnce sync.Once
+
+// PublishExpvar exposes src's snapshot as the expvar "cop" (visible at
+// /debug/vars). expvar names are process-global, so only the first call's
+// source wins; pass a *Registry to retarget later.
+func PublishExpvar(src Source) {
+	expvarPublishOnce.Do(func() {
+		expvar.Publish("cop", expvar.Func(func() any { return src.Snapshot() }))
+	})
+}

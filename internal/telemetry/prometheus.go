@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters become `cop_<section>_<name>_total`,
+// gauges become `cop_<section>_<name>`, and histograms become the usual
+// cumulative `_bucket{le="..."}` / `_sum` / `_count` triple with
+// power-of-two le bounds. The scheme travels as a `scheme` label so one
+// scrape endpoint can serve multiple schemes over time.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	p := promWriter{w: w, scheme: s.Scheme}
+
+	p.counter("controller_loads", "block loads issued to the controller", s.Controller.Loads)
+	p.counter("controller_stores", "block stores issued to the controller", s.Controller.Stores)
+	p.counter("controller_fills", "LLC miss fills decoded from DRAM", s.Controller.Fills)
+	p.counter("controller_writebacks", "dirty lines written back to DRAM", s.Controller.Writebacks)
+	p.counter("controller_stored_compressed", "writebacks stored compressed with inline ECC", s.Controller.StoredCompressed)
+	p.counter("controller_stored_raw", "writebacks stored raw", s.Controller.StoredRaw)
+	p.counter("controller_alias_retained", "writebacks rejected as incompressible aliases", s.Controller.AliasRetained)
+	p.counter("controller_corrected_errors", "fills with at least one corrected error", s.Controller.CorrectedErrors)
+	p.counter("controller_uncorrectable_errors", "fills that raised an uncorrectable error", s.Controller.UncorrectableErrors)
+	p.counter("controller_region_reads", "ECC-region metadata block accesses", s.Controller.RegionReads)
+	p.counter("controller_scrubs", "corrected images rewritten to DRAM", s.Controller.Scrubs)
+	p.counter("controller_ever_incompressible", "distinct blocks ever stored raw", s.Controller.EverIncompressible)
+	p.counter("controller_dimm_check_bytes_written", "ECC-DIMM ninth-chip bytes written", s.Controller.DIMMCheckBytesWritten)
+	p.histogram("controller_valid_codewords", "decoder zero-syndrome code-word count per fill", s.Controller.ValidCodewords)
+
+	p.counter("cache_hits", "LLC hits", s.Cache.Hits)
+	p.counter("cache_misses", "LLC misses", s.Cache.Misses)
+	p.counter("cache_evictions", "LLC evictions", s.Cache.Evictions)
+	p.counter("cache_writebacks", "dirty LLC evictions handed to the controller", s.Cache.Writebacks)
+	p.counter("cache_alias_pins", "victim selections that skipped an alias line", s.Cache.AliasPins)
+	p.counter("cache_spills", "alias lines spilled to set overflow lists", s.Cache.Spills)
+	p.counter("cache_overflow_searches", "misses that walked an overflow list", s.Cache.OverflowSearches)
+	p.counter("cache_overflow_hits", "overflow-list hits", s.Cache.OverflowHits)
+	p.histogram("cache_overflow_occupancy", "overflow-list length observed at each spill", s.Cache.OverflowOccupancy)
+
+	if r := s.Region; r != nil {
+		p.counter("region_reads", "region block reads", r.Reads)
+		p.counter("region_writes", "region block writes", r.Writes)
+		p.counter("region_allocs", "region entries allocated", r.Allocs)
+		p.counter("region_frees", "region entries freed", r.Frees)
+		p.gauge("region_live_entries", "currently live region entries", float64(r.Live))
+		p.gauge("region_high_water_entries", "maximum simultaneously live region entries", float64(r.HighWater))
+		p.gauge("region_blocks_used", "64-byte blocks occupied by the region", float64(r.BlocksUsed))
+	}
+
+	if d := s.DRAM; d != nil {
+		p.counter("dram_reads", "DRAM read accesses", d.Reads)
+		p.counter("dram_writes", "DRAM write accesses", d.Writes)
+		p.counter("dram_row_hits", "row-buffer hits", d.RowHits)
+		p.counter("dram_row_misses", "row-buffer misses", d.RowMisses)
+		p.counter("dram_row_conflicts", "row misses that also required a precharge", d.RowConflicts)
+		p.counter("dram_total_latency_cycles", "summed access latency in memory-bus cycles", d.TotalLatency)
+		p.counter("dram_total_queue_delay_cycles", "summed queue delay in memory-bus cycles", d.TotalQueueDelay)
+		p.gauge("dram_max_concurrent", "largest batch of simultaneous requests observed", float64(d.MaxConcurrent))
+		p.histogram("dram_access_latency_cycles", "per-access latency in memory-bus cycles", d.AccessLatency)
+		p.histogram("dram_queue_delay_cycles", "per-access queue delay in memory-bus cycles", d.QueueDelay)
+	}
+
+	p.gauge("derived_llc_hit_rate", "cache hits over lookups", s.Derived.LLCHitRate)
+	p.gauge("derived_compressed_fraction", "compressed writebacks over all stored blocks", s.Derived.CompressedFraction)
+	p.gauge("derived_corrected_per_million_loads", "corrected errors per million loads", s.Derived.CorrectedPerMillionLoads)
+	p.gauge("derived_row_hit_rate", "DRAM row-buffer hit rate", s.Derived.RowHitRate)
+	p.gauge("derived_avg_access_latency_cycles", "mean DRAM access latency", s.Derived.AvgAccessLatency)
+	return p.err
+}
+
+type promWriter struct {
+	w      io.Writer
+	scheme string
+	err    error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) label() string { return `{scheme="` + p.scheme + `"}` }
+
+func (p *promWriter) counter(name, help string, v uint64) {
+	full := "cop_" + name + "_total"
+	p.printf("# HELP %s %s\n# TYPE %s counter\n%s%s %d\n", full, help, full, full, p.label(), v)
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	full := "cop_" + name
+	p.printf("# HELP %s %s\n# TYPE %s gauge\n%s%s %s\n",
+		full, help, full, full, p.label(), strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (p *promWriter) histogram(name, help string, h HistogramSnapshot) {
+	full := "cop_" + name
+	p.printf("# HELP %s %s\n# TYPE %s histogram\n", full, help, full)
+	cum := uint64(0)
+	for i, c := range h.Buckets {
+		cum += c
+		p.printf("%s_bucket{scheme=%q,le=%q} %d\n", full, p.scheme, strconv.FormatUint(BucketBound(i), 10), cum)
+	}
+	p.printf("%s_bucket{scheme=%q,le=\"+Inf\"} %d\n", full, p.scheme, h.Count)
+	p.printf("%s_sum%s %d\n%s_count%s %d\n", full, p.label(), h.Sum, full, p.label(), h.Count)
+}

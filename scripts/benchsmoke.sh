@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# benchsmoke.sh — fail on a >5% throughput regression in the sharded
+# memory hot path (BenchmarkShardedThroughput, telemetry always on).
+#
+# Primary comparison is self-calibrating: the same benchmark is built and
+# run from the merge-base commit in a temporary git worktree on the SAME
+# machine, so CI-runner speed differences cancel out ("before/after").
+# When no merge-base is available (shallow clone, first commit), the
+# committed reference number in scripts/benchsmoke.baseline is used
+# instead; that number was measured on the reference dev container, so
+# BENCHSMOKE_TOLERANCE_PCT can be raised for slower machines.
+#
+# Environment knobs:
+#   BENCHSMOKE_TOLERANCE_PCT  allowed regression percentage (default 5)
+#   BENCHSMOKE_COUNT          bench repetitions, best-of (default 5)
+#   BENCHSMOKE_BENCHTIME      go test -benchtime (default 1s)
+set -euo pipefail
+
+BENCH='BenchmarkShardedThroughput/sharded-8g'
+TOL="${BENCHSMOKE_TOLERANCE_PCT:-5}"
+COUNT="${BENCHSMOKE_COUNT:-5}"
+BENCHTIME="${BENCHSMOKE_BENCHTIME:-1s}"
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+
+# run_bench DIR — print the best (minimum) ns/op over COUNT runs.
+run_bench() {
+    (cd "$1" && go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" .) |
+        awk '$1 ~ /sharded-8g/ { print $3 }' | sort -n | head -n1
+}
+
+after="$(run_bench "$REPO")"
+if [ -z "$after" ]; then
+    echo "benchsmoke: no benchmark output for $BENCH" >&2
+    exit 1
+fi
+echo "benchsmoke: HEAD        $after ns/op (best of $COUNT)"
+
+before=""
+base_desc=""
+base="$(git -C "$REPO" merge-base HEAD origin/main 2>/dev/null || git -C "$REPO" rev-parse HEAD~1 2>/dev/null || true)"
+if [ -n "$base" ] && [ "$base" != "$(git -C "$REPO" rev-parse HEAD)" ]; then
+    wt="$(mktemp -d)"
+    trap 'git -C "$REPO" worktree remove --force "$wt" >/dev/null 2>&1 || rm -rf "$wt"' EXIT
+    if git -C "$REPO" worktree add --detach "$wt" "$base" >/dev/null 2>&1; then
+        # The benchmark predates the telemetry layer in old enough bases;
+        # a base that cannot run it simply falls through to the baseline.
+        before="$(run_bench "$wt" 2>/dev/null || true)"
+        base_desc="merge-base $(git -C "$REPO" rev-parse --short "$base")"
+    fi
+fi
+
+if [ -z "$before" ]; then
+    before="$(grep -v '^#' "$REPO/scripts/benchsmoke.baseline" | head -n1 | tr -d '[:space:]')"
+    base_desc="committed baseline"
+fi
+echo "benchsmoke: $base_desc  $before ns/op"
+
+# Fail when HEAD is more than TOL percent slower than the reference.
+limit=$(( before + before * TOL / 100 ))
+if [ "${after%.*}" -gt "$limit" ]; then
+    echo "benchsmoke: FAIL — $after ns/op exceeds $base_desc $before ns/op by more than ${TOL}% (limit $limit)" >&2
+    exit 1
+fi
+echo "benchsmoke: OK — within ${TOL}% of $base_desc"
