@@ -43,6 +43,31 @@ func NewWriter(capBits int) *Writer {
 // Len returns the number of bits written so far.
 func (w *Writer) Len() int { return w.nbit }
 
+// Reset truncates the writer to zero bits while retaining its buffer
+// (growing it when capBits exceeds the current capacity), so one Writer can
+// serve many compression attempts without reallocating.
+func (w *Writer) Reset(capBits int) {
+	if need := (capBits + 7) / 8; cap(w.buf) < need {
+		w.buf = make([]byte, 0, need)
+	}
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Truncate discards every bit written after position n — the rollback a
+// hybrid scheme needs when a speculative sub-scheme attempt overruns its
+// budget. It panics if fewer than n bits have been written.
+func (w *Writer) Truncate(n int) {
+	if n < 0 || n > w.nbit {
+		panic(fmt.Sprintf("bitio: Truncate(%d) with %d bits written", n, w.nbit))
+	}
+	w.buf = w.buf[:(n+7)/8]
+	if n&7 != 0 {
+		w.buf[n>>3] &= byte(0xFF) << uint(8-n&7)
+	}
+	w.nbit = n
+}
+
 // WriteBit appends a single bit.
 func (w *Writer) WriteBit(v int) {
 	if w.nbit&7 == 0 {
@@ -54,14 +79,35 @@ func (w *Writer) WriteBit(v int) {
 	w.nbit++
 }
 
+var zeroBytes [9]byte
+
 // WriteBits appends the low n bits of v, most significant first. n must be
-// in [0, 64].
+// in [0, 64]. Bits are moved in byte-sized chunks, not one at a time.
 func (w *Writer) WriteBits(v uint64, n int) {
 	if n < 0 || n > 64 {
 		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
 	}
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(int(v>>uint(i)) & 1)
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	if grow := (w.nbit+n+7)/8 - len(w.buf); grow > 0 {
+		w.buf = append(w.buf, zeroBytes[:grow]...)
+	}
+	pos, rem := w.nbit, n
+	w.nbit += n
+	for rem > 0 {
+		space := 8 - pos&7
+		take := rem
+		if take > space {
+			take = space
+		}
+		chunk := byte(v>>uint(rem-take)) & (0xFF >> uint(8-take))
+		w.buf[pos>>3] |= chunk << uint(space-take)
+		pos += take
+		rem -= take
 	}
 }
 
@@ -102,6 +148,14 @@ type Reader struct {
 // NewReader returns a Reader over buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset points the reader at buf and rewinds it, clearing the error flag.
+// It lets a caller-owned Reader value be reused without allocating.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.errd = false
+}
+
 // Pos returns the current bit offset.
 func (r *Reader) Pos() int { return r.pos }
 
@@ -122,16 +176,33 @@ func (r *Reader) ReadBit() int {
 	return v
 }
 
-// ReadBits reads n bits (n ≤ 64) as an unsigned value, MSB-first.
+// ReadBits reads n bits (n ≤ 64) as an unsigned value, MSB-first. Bits are
+// moved in byte-sized chunks; an overrun sets the error flag and, as with
+// ReadBit, yields zero bits for the missing tail.
 func (r *Reader) ReadBits(n int) uint64 {
 	if n < 0 || n > 64 {
 		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
 	}
-	var v uint64
-	for i := 0; i < n; i++ {
-		v = v<<1 | uint64(r.ReadBit())
+	take := n
+	if avail := 8*len(r.buf) - r.pos; take > avail {
+		take = avail
+		r.errd = true
 	}
-	return v
+	var v uint64
+	rem := take
+	for rem > 0 {
+		space := 8 - r.pos&7
+		c := rem
+		if c > space {
+			c = space
+		}
+		chunk := r.buf[r.pos>>3] >> uint(space-c) & (0xFF >> uint(8-c))
+		v = v<<uint(c) | uint64(chunk)
+		r.pos += c
+		rem -= c
+	}
+	// Overrun: the old bit-by-bit reader shifted in zeros for missing bits.
+	return v << uint(n-take)
 }
 
 // ReadBytes reads 8*n bits into a fresh n-byte slice.
@@ -152,19 +223,54 @@ func (r *Reader) ReadBytes(n int) []byte {
 // buffer, left-aligned (bit 0 of the result is src bit off).
 func ExtractBits(src []byte, off, n int) []byte {
 	out := make([]byte, (n+7)/8)
-	for i := 0; i < n; i++ {
-		if Bit(src, off+i) != 0 {
-			SetBit(out, i, 1)
-		}
-	}
+	ExtractBitsInto(out, src, off, n)
 	return out
 }
 
+// ExtractBitsInto is the allocation-free ExtractBits: the n bits of src at
+// bit offset off are written left-aligned into dst, whose first ceil(n/8)
+// bytes are overwritten (tail pad bits zero). Bits move by whole bytes with
+// shift-and-mask, not one at a time.
+func ExtractBitsInto(dst, src []byte, off, n int) {
+	if n <= 0 {
+		return
+	}
+	outBytes := (n + 7) / 8
+	sb, sh := off>>3, uint(off&7)
+	if sh == 0 {
+		copy(dst[:outBytes], src[sb:sb+outBytes])
+	} else {
+		for i := 0; i < outBytes; i++ {
+			b := src[sb+i] << sh
+			if sb+i+1 < len(src) {
+				b |= src[sb+i+1] >> (8 - sh)
+			}
+			dst[i] = b
+		}
+	}
+	if n&7 != 0 {
+		dst[outBytes-1] &= byte(0xFF) << uint(8-n&7)
+	}
+}
+
 // DepositBits copies the first n bits of src into dst starting at bit offset
-// off.
+// off, preserving the surrounding bits of dst. Bits move by whole bytes.
 func DepositBits(dst []byte, off int, src []byte, n int) {
-	for i := 0; i < n; i++ {
-		SetBit(dst, off+i, Bit(src, i))
+	for i := 0; n > 0; i++ {
+		take := n
+		if take > 8 {
+			take = 8
+		}
+		mask := byte(0xFF) << uint(8-take)
+		b := src[i] & mask
+		sh := uint(off & 7)
+		bi := off >> 3
+		dst[bi] = dst[bi]&^(mask>>sh) | b>>sh
+		if int(sh)+take > 8 {
+			dst[bi+1] = dst[bi+1]&^(mask<<(8-sh)) | b<<(8-sh)
+		}
+		off += take
+		n -= take
 	}
 }
 

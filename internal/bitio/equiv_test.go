@@ -1,0 +1,151 @@
+package bitio
+
+// Equivalence tests pinning the byte-chunked fast paths (WriteBits,
+// ReadBits, ExtractBitsInto, DepositBits) to a per-bit reference, and
+// locking the Reset/Truncate reuse semantics the zero-allocation codec
+// datapath depends on.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestWriteBitsMatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 2000; trial++ {
+		fast := NewWriter(0)
+		slow := NewWriter(0)
+		for op := 0; op < 20; op++ {
+			n := rng.Intn(65)
+			v := rng.Uint64()
+			fast.WriteBits(v, n)
+			for j := n - 1; j >= 0; j-- {
+				slow.WriteBit(int(v >> uint(j) & 1))
+			}
+		}
+		if fast.Len() != slow.Len() || !bytes.Equal(fast.Bytes(), slow.Bytes()) {
+			t.Fatalf("trial %d: fast writer diverged from per-bit writer", trial)
+		}
+	}
+}
+
+func TestReadBitsMatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, 1+rng.Intn(24))
+		rng.Read(buf)
+		fast := NewReader(buf)
+		slow := NewReader(buf)
+		for op := 0; op < 12; op++ {
+			n := rng.Intn(65)
+			got := fast.ReadBits(n)
+			var want uint64
+			for j := 0; j < n; j++ {
+				want = want<<1 | uint64(slow.ReadBit())
+			}
+			if got != want {
+				t.Fatalf("trial %d op %d: ReadBits(%d) = %#x, per-bit %#x", trial, op, n, got, want)
+			}
+			if fast.Pos() != slow.Pos() || fast.Err() != slow.Err() {
+				t.Fatalf("trial %d op %d: reader state diverged (pos %d/%d err %v/%v)",
+					trial, op, fast.Pos(), slow.Pos(), fast.Err(), slow.Err())
+			}
+		}
+	}
+}
+
+func TestExtractDepositMatchPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	getBit := func(buf []byte, i int) int { return int(buf[i>>3] >> (7 - uint(i&7)) & 1) }
+	for trial := 0; trial < 3000; trial++ {
+		src := make([]byte, 64)
+		rng.Read(src)
+		n := rng.Intn(200)
+		off := rng.Intn(8*len(src) - n + 1)
+
+		want := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if getBit(src, off+i) != 0 {
+				want[i>>3] |= 1 << (7 - uint(i&7))
+			}
+		}
+		got := make([]byte, (n+7)/8)
+		rng.Read(got) // ExtractBitsInto must fully overwrite dst
+		ExtractBitsInto(got, src, off, n)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: ExtractBitsInto(off=%d, n=%d) diverged", trial, off, n)
+		}
+
+		dst := make([]byte, 64)
+		rng.Read(dst)
+		wantDst := make([]byte, 64)
+		copy(wantDst, dst)
+		payload := make([]byte, (n+7)/8)
+		rng.Read(payload)
+		for i := 0; i < n; i++ {
+			// Reference semantics: every bit inside the window is written
+			// (set or cleared); bits outside the window are untouched.
+			mask := byte(1) << (7 - uint((off+i)&7))
+			if getBit(payload, i) != 0 {
+				wantDst[(off+i)>>3] |= mask
+			} else {
+				wantDst[(off+i)>>3] &^= mask
+			}
+		}
+		DepositBits(dst, off, payload, n)
+		if !bytes.Equal(dst, wantDst) {
+			t.Fatalf("trial %d: DepositBits(off=%d, n=%d) diverged", trial, off, n)
+		}
+	}
+}
+
+func TestWriterResetReusesBuffer(t *testing.T) {
+	w := NewWriter(128)
+	w.WriteBits(0xDEAD, 16)
+	first := &w.Bytes()[0]
+	w.Reset(128)
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.WriteBits(0xBEEF, 16)
+	if &w.Bytes()[0] != first {
+		t.Fatal("Reset did not retain the buffer")
+	}
+	if w.Bytes()[0] != 0xBE || w.Bytes()[1] != 0xEF {
+		t.Fatalf("bytes after Reset+write = %x", w.Bytes())
+	}
+}
+
+func TestWriterTruncateRollsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 500; trial++ {
+		w := NewWriter(0)
+		pre := rng.Intn(40)
+		for i := 0; i < pre; i++ {
+			w.WriteBit(rng.Intn(2))
+		}
+		mark := w.Len()
+		snapshot := append([]byte(nil), w.Bytes()...)
+		for i := 0; i < rng.Intn(100); i++ {
+			w.WriteBits(rng.Uint64(), rng.Intn(33))
+		}
+		w.Truncate(mark)
+		if w.Len() != mark {
+			t.Fatalf("trial %d: Len after Truncate = %d, want %d", trial, w.Len(), mark)
+		}
+		if !bytes.Equal(w.Bytes(), snapshot) {
+			t.Fatalf("trial %d: Truncate left stale bits: %x vs %x", trial, w.Bytes(), snapshot)
+		}
+		// Writes after the rollback must behave as if the discarded bits
+		// never existed (the partial tail byte must have been masked).
+		w.WriteBits(0, 7)
+		w.Truncate(mark)
+		w.WriteBits(^uint64(0), 3)
+		check := NewReader(w.Bytes())
+		check.ReadBits(mark)
+		if got := check.ReadBits(3); got != 7 {
+			t.Fatalf("trial %d: bits after Truncate+write = %#x, want 7", trial, got)
+		}
+	}
+}

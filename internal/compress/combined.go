@@ -45,40 +45,64 @@ func (c *Combined) Name() string {
 // first that fits wins (compression quality is identical for COP — the
 // only question is fit).
 func (c *Combined) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	w := bitio.NewWriter(maxBits)
+	nbits, ok := c.CompressTo(w, block, maxBits)
+	if !ok {
+		return nil, 0, false
+	}
+	return w.Bytes(), nbits, true
+}
+
+// CompressTo implements CompressorTo. The selector is written before each
+// attempt and rolled back with Truncate when the sub-scheme declines, so
+// one caller-owned writer serves the whole try loop. Schemes with a sound
+// pre-screen are skipped without running.
+func (c *Combined) CompressTo(w *bitio.Writer, block []byte, maxBits int) (int, bool) {
 	checkBlock(block)
 	inner := maxBits - combinedSelectorBits
 	if inner <= 0 {
-		return nil, 0, false
+		return 0, false
 	}
+	mark := w.Len()
 	for sel, s := range c.schemes {
-		payload, nbits, ok := s.Compress(block, inner)
-		if !ok {
+		if ps, ok := s.(prescreener); ok && ps.CannotFit(block, inner) {
 			continue
 		}
-		w := bitio.NewWriter(combinedSelectorBits + nbits)
 		w.WriteBits(uint64(sel), combinedSelectorBits)
-		r := bitio.NewReader(payload)
-		for i := 0; i < nbits; i++ {
-			w.WriteBit(r.ReadBit())
+		nbits, ok := CompressToWriter(s, w, block, inner)
+		if !ok {
+			w.Truncate(mark)
+			continue
 		}
-		return w.Bytes(), w.Len(), true
+		return combinedSelectorBits + nbits, true
 	}
-	return nil, 0, false
+	return 0, false
 }
 
 // Decompress implements Scheme.
 func (c *Combined) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	block := make([]byte, BlockBytes)
+	var r bitio.Reader
+	r.Reset(payload)
+	if err := c.DecompressInto(block, &r, nbits, maxBits); err != nil {
+		return nil, err
+	}
+	return block, nil
+}
+
+// DecompressInto implements DecompressorInto: the selector and the inner
+// payload are consumed from the same reader, so the sub-scheme decodes the
+// mid-byte tail directly with no ExtractBits copy.
+func (c *Combined) DecompressInto(dst []byte, r *bitio.Reader, nbits, maxBits int) error {
 	if nbits < combinedSelectorBits {
-		return nil, ErrIncompressible
+		return ErrIncompressible
 	}
-	r := bitio.NewReader(payload)
 	sel := int(r.ReadBits(combinedSelectorBits))
-	if sel >= len(c.schemes) {
-		return nil, ErrIncompressible
+	if r.Err() || sel >= len(c.schemes) {
+		return ErrIncompressible
 	}
-	innerBits := nbits - combinedSelectorBits
-	inner := bitio.ExtractBits(payload, combinedSelectorBits, innerBits)
-	return c.schemes[sel].Decompress(inner, innerBits, maxBits-combinedSelectorBits)
+	return DecompressIntoBlock(c.schemes[sel], dst, r,
+		nbits-combinedSelectorBits, maxBits-combinedSelectorBits)
 }
 
 // Schemes returns the sub-schemes in selector order.

@@ -16,6 +16,8 @@ package compress
 import (
 	"errors"
 	"fmt"
+
+	"cop/internal/bitio"
 )
 
 const (
@@ -55,6 +57,72 @@ type Scheme interface {
 	Name() string
 	Compress(block []byte, maxBits int) (payload []byte, nbits int, ok bool)
 	Decompress(payload []byte, nbits, maxBits int) ([]byte, error)
+}
+
+// CompressorTo is an optional Scheme refinement for the zero-allocation
+// datapath: the payload is appended to a caller-owned bitio.Writer instead
+// of a fresh slice. The contract mirrors Compress — on ok the writer gained
+// exactly nbits bits holding the same image Compress would have produced;
+// on !ok the writer is unchanged.
+type CompressorTo interface {
+	CompressTo(w *bitio.Writer, block []byte, maxBits int) (nbits int, ok bool)
+}
+
+// DecompressorInto is an optional Scheme refinement for the zero-allocation
+// datapath: the block is reconstructed into a caller-owned BlockBytes
+// buffer, reading the payload from r — which may be positioned mid-byte, as
+// when a hybrid scheme has just consumed its selector. nbits counts the
+// payload bits available from r's current position. The result must be
+// identical to Decompress on the same bits.
+type DecompressorInto interface {
+	DecompressInto(dst []byte, r *bitio.Reader, nbits, maxBits int) error
+}
+
+// prescreener is an optional refinement: CannotFit returns true when the
+// scheme provably cannot represent block within maxBits, letting hybrid
+// drivers skip the full attempt. It must be sound — a false positive would
+// change encoded images; a false negative merely wastes the attempt.
+type prescreener interface {
+	CannotFit(block []byte, maxBits int) bool
+}
+
+// CompressToWriter runs s.CompressTo when implemented, falling back to
+// Compress plus a bit copy into w (so callers can rely on the writer-based
+// contract for any scheme).
+func CompressToWriter(s Scheme, w *bitio.Writer, block []byte, maxBits int) (int, bool) {
+	if ct, ok := s.(CompressorTo); ok {
+		return ct.CompressTo(w, block, maxBits)
+	}
+	payload, nbits, ok := s.Compress(block, maxBits)
+	if !ok {
+		return 0, false
+	}
+	for i := 0; i < nbits/8; i++ {
+		w.WriteBits(uint64(payload[i]), 8)
+	}
+	if tail := nbits & 7; tail != 0 {
+		w.WriteBits(uint64(payload[nbits/8]>>uint(8-tail)), tail)
+	}
+	return nbits, true
+}
+
+// DecompressIntoBlock runs s.DecompressInto when implemented, falling back
+// to Decompress plus a copy into dst. r must be positioned at the start of
+// the payload; dst must be BlockBytes long.
+func DecompressIntoBlock(s Scheme, dst []byte, r *bitio.Reader, nbits, maxBits int) error {
+	if di, ok := s.(DecompressorInto); ok {
+		return di.DecompressInto(dst, r, nbits, maxBits)
+	}
+	buf := make([]byte, (nbits+7)/8)
+	for i := range buf {
+		buf[i] = byte(r.ReadBits(8))
+	}
+	block, err := s.Decompress(buf, nbits, maxBits)
+	if err != nil {
+		return err
+	}
+	copy(dst, block)
+	return nil
 }
 
 func checkBlock(block []byte) {

@@ -250,9 +250,10 @@ func TestRLEPickOrderNotOffsetSorted(t *testing.T) {
 
 	// All three runs are needed (35 >= 34) and the 3-byte run is picked
 	// first despite its higher offset.
-	picked := selectRuns(findRuns(b), need(MaxBitsCOP4))
-	if len(picked) != 3 {
-		t.Fatalf("picked %d runs, want 3", len(picked))
+	var runs, picked [maxRuns]run
+	nPicked := selectRuns(&runs, findRuns(b, &runs), need(MaxBitsCOP4), &picked)
+	if nPicked != 3 {
+		t.Fatalf("picked %d runs, want 3", nPicked)
 	}
 	if got := []int{picked[0].off, picked[1].off, picked[2].off}; got[0] != 10 || got[1] != 0 || got[2] != 4 {
 		t.Fatalf("pick order %v, want [10 0 4] (3-byte class first)", got)

@@ -86,12 +86,22 @@ func (s MSB) Compressible(block []byte, maxBits int) bool {
 // words 1..7 the surviving bits: bit 0 first when shifted, followed by the
 // low 64-m (shifted: 63-m) bits.
 func (s MSB) Compress(block []byte, maxBits int) ([]byte, int, bool) {
-	if !s.Compressible(block, maxBits) {
+	out := bitio.NewWriter(BlockBits)
+	nbits, ok := s.CompressTo(out, block, maxBits)
+	if !ok {
 		return nil, 0, false
+	}
+	return out.Bytes(), nbits, true
+}
+
+// CompressTo implements CompressorTo.
+func (s MSB) CompressTo(out *bitio.Writer, block []byte, maxBits int) (int, bool) {
+	if !s.Compressible(block, maxBits) {
+		return 0, false
 	}
 	m := s.width(maxBits)
 	w := loadWords(block)
-	out := bitio.NewWriter(BlockBits - 7*m)
+	start := out.Len()
 	out.WriteBits(w[0], 64)
 	for i := 1; i < msbWords; i++ {
 		if s.Shifted {
@@ -101,17 +111,27 @@ func (s MSB) Compress(block []byte, maxBits int) ([]byte, int, bool) {
 			out.WriteBits(w[i]&((uint64(1)<<(64-uint(m)))-1), 64-m)
 		}
 	}
-	return out.Bytes(), out.Len(), true
+	return out.Len() - start, true
 }
 
 // Decompress implements Scheme.
 func (s MSB) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	block := make([]byte, BlockBytes)
+	var r bitio.Reader
+	r.Reset(payload)
+	if err := s.DecompressInto(block, &r, nbits, maxBits); err != nil {
+		return nil, err
+	}
+	return block, nil
+}
+
+// DecompressInto implements DecompressorInto.
+func (s MSB) DecompressInto(dst []byte, r *bitio.Reader, nbits, maxBits int) error {
 	m := s.width(maxBits)
 	want := 64 + (msbWords-1)*(64-m)
 	if nbits < want {
-		return nil, ErrIncompressible
+		return ErrIncompressible
 	}
-	r := bitio.NewReader(payload)
 	var w [msbWords]uint64
 	w[0] = r.ReadBits(64)
 	shared := w[0] & s.sharedMask(m)
@@ -125,11 +145,10 @@ func (s MSB) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
 		}
 	}
 	if r.Err() {
-		return nil, ErrIncompressible
+		return ErrIncompressible
 	}
-	block := make([]byte, BlockBytes)
 	for i, v := range w {
-		binary.BigEndian.PutUint64(block[8*i:], v)
+		binary.BigEndian.PutUint64(dst[8*i:], v)
 	}
-	return block, nil
+	return nil
 }

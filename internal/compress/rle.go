@@ -1,6 +1,11 @@
 package compress
 
-import "cop/internal/bitio"
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"cop/internal/bitio"
+)
 
 // RLE implements the paper's simplified run-length encoding (§3.2.3). Runs
 // of 0x00 or 0xFF bytes, 2 or 3 bytes long and aligned to 16-bit word
@@ -27,12 +32,18 @@ type run struct {
 	saved int // net freed bits: 8*len - 7
 }
 
+// maxRuns bounds the runs a scan can yield (one per 16-bit word) and the
+// runs a decode can consume (each frees at least 9 bits of a 512-bit
+// block), so both sides fit in fixed stack arrays.
+const maxRuns = BlockBytes / 2
+
 // findRuns scans the block for the disjoint candidate runs a sequential
 // hardware scanner would find: at each 16-bit-aligned offset, take a 3-byte
 // run if possible, else a 2-byte run, then continue past it at the next
-// aligned offset.
-func findRuns(block []byte) []run {
-	var runs []run
+// aligned offset. Runs are written into the caller's array; the count is
+// returned.
+func findRuns(block []byte, runs *[maxRuns]run) int {
+	n := 0
 	for b := 0; b < BlockBytes-1; {
 		if b%2 != 0 {
 			b++
@@ -47,30 +58,31 @@ func findRuns(block []byte) []run {
 		if b+2 < BlockBytes && block[b+2] == v {
 			length = 3
 		}
-		runs = append(runs, run{off: b, len: length, ones: v == 0xFF, saved: 8*length - 7})
+		runs[n] = run{off: b, len: length, ones: v == 0xFF, saved: 8*length - 7}
+		n++
 		b += length
 		if b%2 != 0 {
 			b++
 		}
 	}
-	return runs
+	return n
 }
 
 // selectRuns picks runs (3-byte first, preserving scan order within each
-// class) until the net savings reach needBits, returning them in that
-// greedy pick order — NOT sorted by offset: a picked 3-byte run can sit at
-// a higher offset than a picked 2-byte run — or nil if the target is
-// unreachable.
-func selectRuns(runs []run, needBits int) []run {
-	var picked []run
-	total := 0
+// class) until the net savings reach needBits, writing them in that greedy
+// pick order — NOT sorted by offset: a picked 3-byte run can sit at a
+// higher offset than a picked 2-byte run. It returns the picked count, or
+// -1 if the target is unreachable.
+func selectRuns(runs *[maxRuns]run, nRuns, needBits int, picked *[maxRuns]run) int {
+	nPicked, total := 0, 0
 	for pass := 0; pass < 2 && total < needBits; pass++ {
 		wantLen := 3 - pass
-		for _, r := range runs {
+		for _, r := range runs[:nRuns] {
 			if r.len != wantLen {
 				continue
 			}
-			picked = append(picked, r)
+			picked[nPicked] = r
+			nPicked++
 			total += r.saved
 			if total >= needBits {
 				break
@@ -78,26 +90,59 @@ func selectRuns(runs []run, needBits int) []run {
 		}
 	}
 	if total < needBits {
-		return nil
+		return -1
 	}
 	// Metadata order must match the decoder's stopping rule: the decoder
 	// stops as soon as cumulative savings reach the target, so keep the
 	// greedy pick order (which satisfies exactly that prefix property)
 	// rather than re-sorting.
-	return picked
+	return nPicked
+}
+
+// CannotFit implements the hybrid driver's pre-screen: count the 0x00 and
+// 0xFF bytes with two SWAR zero-byte tests per word and compare an upper
+// bound on the achievable savings against the target. A run of L bytes
+// frees 8L-7 ≤ 17L/3 bits (equality at the 3-byte maximum), so z candidate
+// bytes can never free more than ⌊17z/3⌋ bits — sound, and cheap enough to
+// skip the full run scan on blocks with no 0x00/0xFF content.
+func (RLE) CannotFit(block []byte, maxBits int) bool {
+	z := 0
+	for i := 0; i < BlockBytes; i += 8 {
+		w := binary.BigEndian.Uint64(block[i:])
+		z += zeroByteCount(w) + zeroByteCount(^w)
+	}
+	return z*17/3 < need(maxBits)
+}
+
+// zeroByteCount returns how many of w's eight bytes are zero (SWAR: a
+// byte's high marker bit survives only when the byte is 0x00).
+func zeroByteCount(w uint64) int {
+	const lsb, msb = 0x0101010101010101, 0x8080808080808080
+	return bits.OnesCount64((w - lsb) & ^w & msb)
 }
 
 // Compress implements Scheme.
-func (RLE) Compress(block []byte, maxBits int) ([]byte, int, bool) {
-	checkBlock(block)
-	needBits := need(maxBits)
-	picked := selectRuns(findRuns(block), needBits)
-	if picked == nil {
+func (s RLE) Compress(block []byte, maxBits int) ([]byte, int, bool) {
+	w := bitio.NewWriter(maxBits)
+	nbits, ok := s.CompressTo(w, block, maxBits)
+	if !ok {
 		return nil, 0, false
 	}
-	covered := make([]bool, BlockBytes)
-	w := bitio.NewWriter(maxBits)
-	for _, r := range picked {
+	return w.Bytes(), nbits, true
+}
+
+// CompressTo implements CompressorTo.
+func (RLE) CompressTo(w *bitio.Writer, block []byte, maxBits int) (int, bool) {
+	checkBlock(block)
+	needBits := need(maxBits)
+	var runs, picked [maxRuns]run
+	nPicked := selectRuns(&runs, findRuns(block, &runs), needBits, &picked)
+	if nPicked < 0 {
+		return 0, false
+	}
+	var covered [BlockBytes]bool
+	start := w.Len()
+	for _, r := range picked[:nPicked] {
 		v := 0
 		if r.ones {
 			v = 1
@@ -114,47 +159,61 @@ func (RLE) Compress(block []byte, maxBits int) ([]byte, int, bool) {
 			w.WriteBits(uint64(block[b]), 8)
 		}
 	}
-	return w.Bytes(), w.Len(), true
+	return w.Len() - start, true
 }
 
 // Decompress implements Scheme.
-func (RLE) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+func (s RLE) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
+	block := make([]byte, BlockBytes)
+	var r bitio.Reader
+	r.Reset(payload)
+	if err := s.DecompressInto(block, &r, nbits, maxBits); err != nil {
+		return nil, err
+	}
+	return block, nil
+}
+
+// DecompressInto implements DecompressorInto.
+func (RLE) DecompressInto(dst []byte, r *bitio.Reader, nbits, maxBits int) error {
 	needBits := need(maxBits)
-	r := bitio.NewReader(payload)
-	var runs []run
-	freed := 0
+	start := r.Pos()
+	var runs [maxRuns]run
+	nRuns, freed := 0, 0
 	for freed < needBits {
 		ones := r.ReadBit() == 1
 		length := 2 + r.ReadBit()
 		off := 2 * int(r.ReadBits(5))
-		if r.Err() || off+length > BlockBytes {
-			return nil, ErrIncompressible
+		if r.Err() || off+length > BlockBytes || nRuns == maxRuns {
+			return ErrIncompressible
 		}
-		runs = append(runs, run{off: off, len: length, ones: ones})
+		runs[nRuns] = run{off: off, len: length, ones: ones}
+		nRuns++
 		freed += 8*length - 7
 	}
-	block := make([]byte, BlockBytes)
-	covered := make([]bool, BlockBytes)
-	for _, rn := range runs {
+	for i := range dst[:BlockBytes] {
+		dst[i] = 0
+	}
+	var covered [BlockBytes]bool
+	for _, rn := range runs[:nRuns] {
 		v := byte(0x00)
 		if rn.ones {
 			v = 0xFF
 		}
 		for i := 0; i < rn.len; i++ {
 			if covered[rn.off+i] {
-				return nil, ErrIncompressible // overlapping runs are never emitted
+				return ErrIncompressible // overlapping runs are never emitted
 			}
 			covered[rn.off+i] = true
-			block[rn.off+i] = v
+			dst[rn.off+i] = v
 		}
 	}
 	for b := 0; b < BlockBytes; b++ {
 		if !covered[b] {
-			block[b] = byte(r.ReadBits(8))
+			dst[b] = byte(r.ReadBits(8))
 		}
 	}
-	if r.Err() || r.Pos() > nbits {
-		return nil, ErrIncompressible
+	if r.Err() || r.Pos()-start > nbits {
+		return ErrIncompressible
 	}
-	return block, nil
+	return nil
 }

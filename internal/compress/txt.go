@@ -1,6 +1,10 @@
 package compress
 
-import "cop/internal/bitio"
+import (
+	"encoding/binary"
+
+	"cop/internal/bitio"
+)
 
 // TXT implements the paper's text compression (§3.2.4). ASCII is a 7-bit
 // encoding stored one character per byte with a zero most significant bit,
@@ -16,40 +20,67 @@ func (TXT) Name() string { return "txt" }
 
 const txtBits = BlockBytes * 7
 
-// Compressible reports whether every byte is in the ASCII range.
+// Compressible reports whether every byte is in the ASCII range: the eight
+// 64-bit words of the block are OR-ed together and the combined high bits
+// tested in one mask — a single wide gate, as in the hardware.
 func (TXT) Compressible(block []byte) bool {
-	var acc byte
-	for _, b := range block {
-		acc |= b
+	var acc uint64
+	for i := 0; i < BlockBytes; i += 8 {
+		acc |= binary.BigEndian.Uint64(block[i:])
 	}
-	return acc < 0x80
+	return acc&0x8080808080808080 == 0
+}
+
+// CannotFit implements the hybrid driver's pre-screen. For TXT the full
+// fit test is itself one OR-reduction, so the screen is exact.
+func (t TXT) CannotFit(block []byte, maxBits int) bool {
+	return txtBits > maxBits || !t.Compressible(block)
 }
 
 // Compress implements Scheme.
 func (t TXT) Compress(block []byte, maxBits int) ([]byte, int, bool) {
-	checkBlock(block)
-	if txtBits > maxBits || !t.Compressible(block) {
+	w := bitio.NewWriter(txtBits)
+	nbits, ok := t.CompressTo(w, block, maxBits)
+	if !ok {
 		return nil, 0, false
 	}
-	w := bitio.NewWriter(txtBits)
+	return w.Bytes(), nbits, true
+}
+
+// CompressTo implements CompressorTo.
+func (t TXT) CompressTo(w *bitio.Writer, block []byte, maxBits int) (int, bool) {
+	checkBlock(block)
+	if t.CannotFit(block, maxBits) {
+		return 0, false
+	}
+	start := w.Len()
 	for _, b := range block {
 		w.WriteBits(uint64(b), 7)
 	}
-	return w.Bytes(), w.Len(), true
+	return w.Len() - start, true
 }
 
 // Decompress implements Scheme.
-func (TXT) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
-	if nbits < txtBits || txtBits > maxBits {
-		return nil, ErrIncompressible
-	}
-	r := bitio.NewReader(payload)
+func (t TXT) Decompress(payload []byte, nbits, maxBits int) ([]byte, error) {
 	block := make([]byte, BlockBytes)
-	for i := range block {
-		block[i] = byte(r.ReadBits(7))
-	}
-	if r.Err() {
-		return nil, ErrIncompressible
+	var r bitio.Reader
+	r.Reset(payload)
+	if err := t.DecompressInto(block, &r, nbits, maxBits); err != nil {
+		return nil, err
 	}
 	return block, nil
+}
+
+// DecompressInto implements DecompressorInto.
+func (TXT) DecompressInto(dst []byte, r *bitio.Reader, nbits, maxBits int) error {
+	if nbits < txtBits || txtBits > maxBits {
+		return ErrIncompressible
+	}
+	for i := 0; i < BlockBytes; i++ {
+		dst[i] = byte(r.ReadBits(7))
+	}
+	if r.Err() {
+		return ErrIncompressible
+	}
+	return nil
 }

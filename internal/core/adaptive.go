@@ -77,6 +77,21 @@ func (a *AdaptiveCodec) Encode(block []byte) (image []byte, format AdaptiveForma
 	}
 }
 
+// WouldReject reports whether Encode would return RejectedAlias, without
+// building any image. Every RejectedAlias path in Encode requires the raw
+// block to alias at least one tier's format, so the cheap valid-code-word
+// counts screen out the overwhelming majority of blocks before any
+// compression runs; only the rare screened-in blocks pay for the full
+// Encode decision.
+func (a *AdaptiveCodec) WouldReject(block []byte) bool {
+	if a.strong.CountValidCodewords(block) < a.strong.cfg.Threshold &&
+		a.standard.CountValidCodewords(block) < a.standard.cfg.Threshold {
+		return false
+	}
+	_, _, status := a.Encode(block)
+	return status == RejectedAlias
+}
+
 // Decode detects the format (strong first) and recovers the block.
 func (a *AdaptiveCodec) Decode(image []byte) (block []byte, format AdaptiveFormat, info DecodeInfo, err error) {
 	if a.strong.CountValidCodewords(image) >= a.strong.cfg.Threshold {

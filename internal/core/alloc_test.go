@@ -1,0 +1,54 @@
+package core
+
+// Allocation guards for the scratch-based datapath: the steady-state write
+// and read paths must not touch the heap. A regression here silently
+// reintroduces GC pressure on every memory access the simulator models, so
+// the budget is pinned at exactly zero.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCodecZeroAlloc(t *testing.T) {
+	for _, tc := range testConfigs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			codec := NewCodec(tc.cfg)
+			sc := codec.NewScratch()
+			rng := rand.New(rand.NewSource(7))
+
+			// A block every config compresses via MSB: all eight words share
+			// their top three bytes (24 bits ≥ any config's width).
+			comp := randomBlock(rng)
+			for w := 1; w < 8; w++ {
+				copy(comp[8*w:8*w+3], comp[0:3])
+			}
+			raw := incompressibleBlock(rng, codec)
+
+			dst := make([]byte, BlockBytes)
+			out := make([]byte, BlockBytes)
+			if st := codec.EncodeInto(dst, comp, sc); st != StoredCompressed {
+				t.Fatalf("setup: compressible block encoded as %v", st)
+			}
+			compImg := append([]byte(nil), dst...)
+
+			cases := []struct {
+				name string
+				fn   func()
+			}{
+				{"EncodeInto/compressed", func() { codec.EncodeInto(dst, comp, sc) }},
+				{"EncodeInto/raw", func() { codec.EncodeInto(dst, raw, sc) }},
+				{"DecodeInto/compressed", func() { codec.DecodeInto(out, compImg, sc) }},
+				{"DecodeInto/raw", func() { codec.DecodeInto(out, raw, sc) }},
+				{"CountValidCodewords", func() { codec.CountValidCodewords(raw) }},
+			}
+			for _, c := range cases {
+				c.fn() // warm every lazily-grown buffer before measuring
+				if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+					t.Errorf("%s: %.1f allocs/op, want 0", c.name, allocs)
+				}
+			}
+		})
+	}
+}

@@ -13,9 +13,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
+	"cop/internal/bitio"
 	"cop/internal/compress"
 	"cop/internal/ecc"
 )
@@ -137,11 +140,23 @@ var ErrCorrupt = errors.New("core: protected block payload failed to decompress"
 // Codec encodes and decodes DRAM block images for one Config. It is
 // stateless apart from precomputed tables and safe for concurrent use.
 type Codec struct {
-	cfg    Config
-	hash   *ecc.HashMasks
-	cwLen  int // code word length in bytes
-	kBits  int // data bits per code word
-	segOff []int
+	cfg      Config
+	hash     *ecc.HashMasks
+	cwLen    int // code word length in bytes
+	kBits    int // data bits per code word
+	capBits  int // DataCapacityBits()
+	capBytes int // ceil(capBits/8)
+	segOff   []int
+
+	// Word-parallel datapath, used when code words are exactly one or two
+	// uint64 lanes wide (the COP-4 and COP-8 geometries). Each segment's
+	// hash mask is prefolded into lanes; kMaskLo/kMaskHi select the k data
+	// bits of a corrected code word.
+	wordOK           bool
+	kMaskLo, kMaskHi uint64
+	hashLo, hashHi   []uint64
+
+	pool sync.Pool // *CodecScratch for the allocating compatibility APIs
 }
 
 // NewCodec builds a Codec, panicking on an invalid Config (configs are
@@ -151,20 +166,79 @@ func NewCodec(cfg Config) *Codec {
 		panic(err)
 	}
 	c := &Codec{
-		cfg:   cfg,
-		hash:  ecc.NewHashMasks(cfg.Segments, cfg.Code.CodewordBytes()),
-		cwLen: cfg.Code.CodewordBytes(),
-		kBits: cfg.Code.K(),
+		cfg:      cfg,
+		hash:     ecc.NewHashMasks(cfg.Segments, cfg.Code.CodewordBytes()),
+		cwLen:    cfg.Code.CodewordBytes(),
+		kBits:    cfg.Code.K(),
+		capBits:  cfg.DataCapacityBits(),
+		capBytes: (cfg.DataCapacityBits() + 7) / 8,
 	}
 	c.segOff = make([]int, cfg.Segments)
 	for i := range c.segOff {
 		c.segOff[i] = i * c.cwLen
 	}
+	c.wordOK = cfg.Code.WordParallel() && (c.cwLen == 8 || c.cwLen == 16)
+	if c.wordOK {
+		if c.kBits <= 64 {
+			c.kMaskLo = ^uint64(0) << uint(64-c.kBits)
+		} else {
+			c.kMaskLo = ^uint64(0)
+			c.kMaskHi = ^uint64(0) << uint(128-c.kBits)
+		}
+		c.hashLo = make([]uint64, cfg.Segments)
+		c.hashHi = make([]uint64, cfg.Segments)
+		if !cfg.DisableHash {
+			for s := 0; s < cfg.Segments; s++ {
+				c.hashLo[s], c.hashHi[s] = c.hash.Words(s)
+			}
+		}
+	}
+	c.pool.New = func() any { return c.NewScratch() }
 	return c
 }
 
 // Config returns the codec's configuration.
 func (c *Codec) Config() Config { return c.cfg }
+
+// CodecScratch holds every buffer the zero-allocation entry points need.
+// One scratch serves one codec at a time; it is not safe for concurrent
+// use, but may be reused across calls and across codecs indefinitely.
+type CodecScratch struct {
+	w       bitio.Writer
+	rd      bitio.Reader
+	payload []byte // BlockBytes long; capBytes of it carry payload, rest stays zero
+	corr    []int  // corrected-segment indices, capacity Segments
+	data    []byte // generic (non-word) path: one segment's data bits
+	cw      []byte // generic (non-word) path: one code word
+}
+
+// NewScratch allocates a scratch sized for this codec's geometry. Callers
+// on the hot path hold one per worker; the allocating wrappers draw from an
+// internal pool.
+func (c *Codec) NewScratch() *CodecScratch {
+	sc := &CodecScratch{
+		payload: make([]byte, BlockBytes),
+		corr:    make([]int, 0, c.cfg.Segments),
+		data:    make([]byte, (c.kBits+7)/8),
+		cw:      make([]byte, c.cwLen),
+	}
+	sc.w.Reset(c.capBits)
+	return sc
+}
+
+// fit regrows the per-segment buffers when a scratch built for a smaller
+// geometry is handed to this codec (payload is always BlockBytes).
+func (c *Codec) fit(sc *CodecScratch) {
+	if cap(sc.corr) < c.cfg.Segments {
+		sc.corr = make([]int, 0, c.cfg.Segments)
+	}
+	if len(sc.data) < (c.kBits+7)/8 {
+		sc.data = make([]byte, (c.kBits+7)/8)
+	}
+	if len(sc.cw) < c.cwLen {
+		sc.cw = make([]byte, c.cwLen)
+	}
+}
 
 // Encode converts a 64-byte plaintext block into its DRAM image.
 //
@@ -174,34 +248,72 @@ func (c *Codec) Config() Config { return c.cfg }
 // and status is StoredRaw. For incompressible aliases no image is produced
 // (status RejectedAlias): the caller must keep the block in the LLC.
 func (c *Codec) Encode(block []byte) (image []byte, status StoreStatus) {
-	if len(block) != BlockBytes {
-		panic("core: Encode: block must be 64 bytes")
+	sc := c.pool.Get().(*CodecScratch)
+	image = make([]byte, BlockBytes)
+	status = c.EncodeInto(image, block, sc)
+	c.pool.Put(sc)
+	if status == RejectedAlias {
+		return nil, status
 	}
-	payload, nbits, ok := c.cfg.Scheme.Compress(block, c.cfg.DataCapacityBits())
+	return image, status
+}
+
+// EncodeInto is the zero-allocation Encode: the DRAM image is written into
+// dst (BlockBytes long) using only sc's buffers. On RejectedAlias dst's
+// contents are unspecified. The image bytes are identical to Encode's.
+func (c *Codec) EncodeInto(dst, block []byte, sc *CodecScratch) StoreStatus {
+	if len(block) != BlockBytes || len(dst) != BlockBytes {
+		panic("core: EncodeInto: dst and block must be 64 bytes")
+	}
+	c.fit(sc)
+	sc.w.Reset(c.capBits)
+	nbits, ok := compress.CompressToWriter(c.cfg.Scheme, &sc.w, block, c.capBits)
 	if !ok {
 		if c.CountValidCodewords(block) >= c.cfg.Threshold {
-			return nil, RejectedAlias
+			return RejectedAlias
 		}
-		image = make([]byte, BlockBytes)
-		copy(image, block)
-		return image, StoredRaw
+		copy(dst, block)
+		return StoredRaw
 	}
 
 	// Zero-pad the payload to the full data capacity and cut it into
 	// Segments chunks of K bits each.
-	padded := make([]byte, (c.cfg.DataCapacityBits()+7)/8)
-	copy(padded, payload[:(nbits+7)/8])
-	image = make([]byte, BlockBytes)
-	data := make([]byte, (c.kBits+7)/8)
+	padded := sc.payload[:BlockBytes]
+	n := copy(padded, sc.w.Bytes()[:(nbits+7)/8])
+	for i := n; i < BlockBytes; i++ {
+		padded[i] = 0
+	}
+	if c.wordOK {
+		var pw [9]uint64
+		for i := 0; i < 8; i++ {
+			pw[i] = binary.BigEndian.Uint64(padded[8*i:])
+		}
+		for s := 0; s < c.cfg.Segments; s++ {
+			o := s * c.kBits
+			dataLo := get64(&pw, o) & c.kMaskLo
+			var dataHi uint64
+			if c.kBits > 64 {
+				dataHi = get64(&pw, o+64) & c.kMaskHi
+			}
+			lo, hi := c.cfg.Code.EncodeWords(dataLo, dataHi)
+			binary.BigEndian.PutUint64(dst[c.segOff[s]:], lo^c.hashLo[s])
+			if c.cwLen == 16 {
+				binary.BigEndian.PutUint64(dst[c.segOff[s]+8:], hi^c.hashHi[s])
+			}
+		}
+		return StoredCompressed
+	}
+
+	data := sc.data[:(c.kBits+7)/8]
 	for s := 0; s < c.cfg.Segments; s++ {
 		extractBitsInto(data, padded, s*c.kBits, c.kBits)
-		cw := image[c.segOff[s] : c.segOff[s]+c.cwLen]
+		cw := dst[c.segOff[s] : c.segOff[s]+c.cwLen]
 		c.cfg.Code.EncodeInto(cw, data)
 		if !c.cfg.DisableHash {
 			c.hash.Apply(s, cw)
 		}
 	}
-	return image, StoredCompressed
+	return StoredCompressed
 }
 
 // Decode converts a DRAM image back into the plaintext block, applying the
@@ -212,15 +324,38 @@ func (c *Codec) Encode(block []byte) (image []byte, status StoreStatus) {
 // reported an uncorrectable error or whose payload failed to decompress;
 // info is always populated.
 func (c *Codec) Decode(image []byte) (block []byte, info DecodeInfo, err error) {
-	if len(image) != BlockBytes {
-		panic("core: Decode: image must be 64 bytes")
+	sc := c.pool.Get().(*CodecScratch)
+	block = make([]byte, BlockBytes)
+	info, err = c.DecodeInto(block, image, sc)
+	// info.CorrectedSegments aliases sc; copy it before the scratch is
+	// reused (keeping nil when no corrections happened).
+	if len(info.CorrectedSegments) > 0 {
+		info.CorrectedSegments = append([]int(nil), info.CorrectedSegments...)
 	}
-	work := make([]byte, BlockBytes)
-	copy(work, image)
+	c.pool.Put(sc)
+	if err != nil {
+		return nil, info, err
+	}
+	return block, info, nil
+}
+
+// DecodeInto is the zero-allocation Decode: the plaintext block is written
+// into dst (BlockBytes long) using only sc's buffers. On error dst's
+// contents are unspecified. info.CorrectedSegments, when non-empty, aliases
+// sc and is valid only until sc's next use.
+func (c *Codec) DecodeInto(dst, image []byte, sc *CodecScratch) (info DecodeInfo, err error) {
+	if len(image) != BlockBytes || len(dst) != BlockBytes {
+		panic("core: DecodeInto: dst and image must be 64 bytes")
+	}
+	c.fit(sc)
+	if c.wordOK {
+		return c.decodeWords(dst, image, sc)
+	}
 
 	valid := 0
 	for s := 0; s < c.cfg.Segments; s++ {
-		cw := work[c.segOff[s] : c.segOff[s]+c.cwLen]
+		cw := sc.cw[:c.cwLen]
+		copy(cw, image[c.segOff[s]:c.segOff[s]+c.cwLen])
 		if !c.cfg.DisableHash {
 			c.hash.Apply(s, cw)
 		}
@@ -230,20 +365,28 @@ func (c *Codec) Decode(image []byte) (block []byte, info DecodeInfo, err error) 
 	}
 	info.ValidCodewords = valid
 	if valid < c.cfg.Threshold {
-		// Unprotected raw data: pass through unmodified (hash was only
-		// applied to the scratch copy).
-		block = make([]byte, BlockBytes)
-		copy(block, image)
-		return block, info, nil
+		// Unprotected raw data: pass through unmodified.
+		copy(dst, image)
+		return info, nil
 	}
 
 	info.Compressed = true
-	padded := make([]byte, (c.cfg.DataCapacityBits()+7)/8)
+	padded := sc.payload[:c.capBytes]
+	for i := range padded {
+		padded[i] = 0
+	}
 	for s := 0; s < c.cfg.Segments; s++ {
-		cw := work[c.segOff[s] : c.segOff[s]+c.cwLen]
+		cw := sc.cw[:c.cwLen]
+		copy(cw, image[c.segOff[s]:c.segOff[s]+c.cwLen])
+		if !c.cfg.DisableHash {
+			c.hash.Apply(s, cw)
+		}
 		res, _ := c.cfg.Code.Decode(cw)
 		switch res {
 		case ecc.Corrected:
+			if info.CorrectedSegments == nil {
+				info.CorrectedSegments = sc.corr[:0]
+			}
 			info.CorrectedSegments = append(info.CorrectedSegments, s)
 		case ecc.Uncorrectable:
 			info.Uncorrectable = true
@@ -251,13 +394,72 @@ func (c *Codec) Decode(image []byte) (block []byte, info DecodeInfo, err error) 
 		depositBits(padded, s*c.kBits, cw, c.kBits)
 	}
 	if info.Uncorrectable {
-		return nil, info, ErrUncorrectable
+		return info, ErrUncorrectable
 	}
-	block, derr := c.cfg.Scheme.Decompress(padded, c.cfg.DataCapacityBits(), c.cfg.DataCapacityBits())
-	if derr != nil {
-		return nil, info, ErrCorrupt
+	return info, c.decompressPayload(dst, sc)
+}
+
+// decodeWords is DecodeInto's hot path: each code word lives in one or two
+// uint64 lanes, the hash unmask is a lane XOR, syndromes are wide parity
+// folds, and the corrected data bits move into the payload with
+// shift-and-mask word deposits — no per-bit loops anywhere.
+func (c *Codec) decodeWords(dst, image []byte, sc *CodecScratch) (info DecodeInfo, err error) {
+	var los, his [8]uint64
+	var syn [8]uint16
+	valid := 0
+	for s := 0; s < c.cfg.Segments; s++ {
+		lo := binary.BigEndian.Uint64(image[c.segOff[s]:]) ^ c.hashLo[s]
+		var hi uint64
+		if c.cwLen == 16 {
+			hi = binary.BigEndian.Uint64(image[c.segOff[s]+8:]) ^ c.hashHi[s]
+		}
+		los[s], his[s] = lo, hi
+		syn[s] = c.cfg.Code.SyndromeWords(lo, hi)
+		if syn[s] == 0 {
+			valid++
+		}
 	}
-	return block, info, nil
+	info.ValidCodewords = valid
+	if valid < c.cfg.Threshold {
+		copy(dst, image)
+		return info, nil
+	}
+
+	info.Compressed = true
+	var pw [9]uint64
+	for s := 0; s < c.cfg.Segments; s++ {
+		lo, hi, res, _ := c.cfg.Code.CorrectWords(los[s], his[s], syn[s])
+		switch res {
+		case ecc.Corrected:
+			if info.CorrectedSegments == nil {
+				info.CorrectedSegments = sc.corr[:0]
+			}
+			info.CorrectedSegments = append(info.CorrectedSegments, s)
+		case ecc.Uncorrectable:
+			info.Uncorrectable = true
+		}
+		o := s * c.kBits
+		put64(&pw, o, lo&c.kMaskLo)
+		if c.kBits > 64 {
+			put64(&pw, o+64, hi&c.kMaskHi)
+		}
+	}
+	if info.Uncorrectable {
+		return info, ErrUncorrectable
+	}
+	for i := 0; i < 8; i++ {
+		binary.BigEndian.PutUint64(sc.payload[8*i:], pw[i])
+	}
+	return info, c.decompressPayload(dst, sc)
+}
+
+// decompressPayload inverts the compression over sc.payload into dst.
+func (c *Codec) decompressPayload(dst []byte, sc *CodecScratch) error {
+	sc.rd.Reset(sc.payload[:c.capBytes])
+	if compress.DecompressIntoBlock(c.cfg.Scheme, dst, &sc.rd, c.capBits, c.capBits) != nil {
+		return ErrCorrupt
+	}
+	return nil
 }
 
 // Classify reports how Encode would dispose of a block without building
@@ -266,13 +468,34 @@ func (c *Codec) Classify(block []byte) StoreStatus {
 	if len(block) != BlockBytes {
 		panic("core: Classify: block must be 64 bytes")
 	}
-	if _, _, ok := c.cfg.Scheme.Compress(block, c.cfg.DataCapacityBits()); ok {
+	sc := c.pool.Get().(*CodecScratch)
+	sc.w.Reset(c.capBits)
+	_, ok := compress.CompressToWriter(c.cfg.Scheme, &sc.w, block, c.capBits)
+	c.pool.Put(sc)
+	if ok {
 		return StoredCompressed
 	}
 	if c.CountValidCodewords(block) >= c.cfg.Threshold {
 		return RejectedAlias
 	}
 	return StoredRaw
+}
+
+// WouldReject reports whether Encode would return RejectedAlias — the only
+// bit the LLC's proactive alias check actually needs. Unlike Classify it
+// runs the cheap valid-code-word count first and compresses only on the
+// rare blocks that alias in raw form (~one in tens of thousands for random
+// data), so callers that previously ran a full Classify (or worse, a full
+// Encode) before every real Encode no longer compress each block twice.
+func (c *Codec) WouldReject(block []byte) bool {
+	if c.CountValidCodewords(block) < c.cfg.Threshold {
+		return false
+	}
+	sc := c.pool.Get().(*CodecScratch)
+	sc.w.Reset(c.capBits)
+	_, ok := compress.CompressToWriter(c.cfg.Scheme, &sc.w, block, c.capBits)
+	c.pool.Put(sc)
+	return !ok
 }
 
 // CountValidCodewords counts how many of the block's segments would look
@@ -283,7 +506,21 @@ func (c *Codec) CountValidCodewords(block []byte) int {
 		panic("core: CountValidCodewords: block must be 64 bytes")
 	}
 	valid := 0
-	cw := make([]byte, c.cwLen)
+	if c.wordOK {
+		for s := 0; s < c.cfg.Segments; s++ {
+			lo := binary.BigEndian.Uint64(block[c.segOff[s]:]) ^ c.hashLo[s]
+			var hi uint64
+			if c.cwLen == 16 {
+				hi = binary.BigEndian.Uint64(block[c.segOff[s]+8:]) ^ c.hashHi[s]
+			}
+			if c.cfg.Code.SyndromeWords(lo, hi) == 0 {
+				valid++
+			}
+		}
+		return valid
+	}
+	var buf [64]byte
+	cw := buf[:c.cwLen]
 	for s := 0; s < c.cfg.Segments; s++ {
 		copy(cw, block[c.segOff[s]:c.segOff[s]+c.cwLen])
 		if !c.cfg.DisableHash {
@@ -300,6 +537,29 @@ func (c *Codec) CountValidCodewords(block []byte) int {
 // protected block.
 func (c *Codec) IsAlias(block []byte) bool {
 	return c.CountValidCodewords(block) >= c.cfg.Threshold
+}
+
+// get64 reads the 64 bits at bit offset o from a block held as eight
+// big-endian uint64 words (plus a zero guard word for the shifted reads
+// near the end). This is the shift-and-mask replacement for the per-bit
+// extract loop on the 120-bit and 56-bit segment strides.
+func get64(w *[9]uint64, o int) uint64 {
+	i, sh := o>>6, uint(o&63)
+	v := w[i] << sh
+	if sh != 0 {
+		v |= w[i+1] >> (64 - sh)
+	}
+	return v
+}
+
+// put64 ORs the 64 bits of v into the block at bit offset o (the deposit
+// dual of get64; callers pre-mask v so untouched bits are zero).
+func put64(w *[9]uint64, o int, v uint64) {
+	i, sh := o>>6, uint(o&63)
+	w[i] |= v >> sh
+	if sh != 0 {
+		w[i+1] |= v << (64 - sh)
+	}
 }
 
 // extractBitsInto copies n bits of src starting at bit off into dst

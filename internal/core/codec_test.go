@@ -466,6 +466,41 @@ func TestCompressedImageDiffersFromPlaintext(t *testing.T) {
 
 var sinkImage []byte
 
+// BenchmarkEncode / BenchmarkDecode are the codec microbenchmarks gated by
+// scripts/benchsmoke.sh (sub-benchmark per configuration); see
+// BENCH_codec.json for the committed before/after snapshot.
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	block := pointerBlock(rng)
+	for _, tc := range testConfigs {
+		codec := NewCodec(tc.cfg)
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(BlockBytes)
+			for i := 0; i < b.N; i++ {
+				sinkImage, _ = codec.Encode(block)
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	block := pointerBlock(rng)
+	for _, tc := range testConfigs {
+		codec := NewCodec(tc.cfg)
+		image, status := codec.Encode(block)
+		if status != StoredCompressed {
+			b.Fatalf("%s: bench block did not compress", tc.name)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(BlockBytes)
+			for i := 0; i < b.N; i++ {
+				sinkImage, _, _ = codec.Decode(image)
+			}
+		})
+	}
+}
+
 func BenchmarkEncodeCompressible(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	codec := NewCodec(NewConfig4())

@@ -1,0 +1,707 @@
+package core
+
+// Differential oracle for the word-parallel codec datapath: a deliberately
+// slow, bit-at-a-time reference implementation of the whole pipeline
+// (compression, segment slicing, ECC, hashing, detection, correction,
+// decompression) is run against the production Codec over millions of
+// random and adversarial blocks. The encoded DRAM image must be
+// byte-identical, DecodeInfo identical, and every alias verdict identical —
+// the rewrite's contract is "same bytes, fewer nanoseconds".
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cop/internal/compress"
+	"cop/internal/ecc"
+)
+
+// --- bit-at-a-time writer/reader (one byte per bit) ---------------------
+
+type refWriter struct{ bits []byte }
+
+func (w *refWriter) writeBit(v int) { w.bits = append(w.bits, byte(v&1)) }
+
+func (w *refWriter) writeBits(v uint64, n int) {
+	for j := n - 1; j >= 0; j-- {
+		w.writeBit(int(v >> uint(j) & 1))
+	}
+}
+
+func (w *refWriter) len() int { return len(w.bits) }
+
+func (w *refWriter) bytes() []byte {
+	out := make([]byte, (len(w.bits)+7)/8)
+	for i, b := range w.bits {
+		if b != 0 {
+			out[i>>3] |= 1 << (7 - uint(i&7))
+		}
+	}
+	return out
+}
+
+type refReader struct {
+	bits []byte
+	pos  int
+	errd bool
+}
+
+func newRefReader(buf []byte) *refReader {
+	r := &refReader{bits: make([]byte, 8*len(buf))}
+	for i := range r.bits {
+		r.bits[i] = buf[i>>3] >> (7 - uint(i&7)) & 1
+	}
+	return r
+}
+
+func (r *refReader) readBit() int {
+	if r.pos >= len(r.bits) {
+		r.errd = true
+		return 0
+	}
+	v := int(r.bits[r.pos])
+	r.pos++
+	return v
+}
+
+func (r *refReader) readBits(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.readBit())
+	}
+	return v
+}
+
+// --- reference compression schemes --------------------------------------
+
+func refNeed(maxBits int) int { return 8*BlockBytes - maxBits }
+
+type refScheme interface {
+	compress(w *refWriter, block []byte, maxBits int) bool
+	decompress(r *refReader, nbits, maxBits int) ([]byte, bool)
+}
+
+type refMSB struct{ shifted bool }
+
+func (s refMSB) width(maxBits int) int {
+	m := (refNeed(maxBits) + 6) / 7
+	max := 63
+	if !s.shifted {
+		max = 64
+	}
+	if m > max {
+		m = max
+	}
+	return m
+}
+
+func (s refMSB) mask(m int) uint64 {
+	mask := ^uint64(0) << uint(64-m)
+	if s.shifted {
+		mask >>= 1
+	}
+	return mask
+}
+
+func (s refMSB) words(block []byte) [8]uint64 {
+	var w [8]uint64
+	for i := range w {
+		for j := 0; j < 8; j++ {
+			w[i] = w[i]<<8 | uint64(block[8*i+j])
+		}
+	}
+	return w
+}
+
+func (s refMSB) compress(out *refWriter, block []byte, maxBits int) bool {
+	m := s.width(maxBits)
+	if 7*m < refNeed(maxBits) {
+		return false
+	}
+	w := s.words(block)
+	mask := s.mask(m)
+	for i := 1; i < 8; i++ {
+		if w[i]&mask != w[0]&mask {
+			return false
+		}
+	}
+	out.writeBits(w[0], 64)
+	for i := 1; i < 8; i++ {
+		if s.shifted {
+			out.writeBits(w[i]>>63, 1)
+			out.writeBits(w[i]&((uint64(1)<<(63-uint(m)))-1), 63-m)
+		} else {
+			out.writeBits(w[i]&((uint64(1)<<(64-uint(m)))-1), 64-m)
+		}
+	}
+	return true
+}
+
+func (s refMSB) decompress(r *refReader, nbits, maxBits int) ([]byte, bool) {
+	m := s.width(maxBits)
+	if nbits < 64+7*(64-m) {
+		return nil, false
+	}
+	var w [8]uint64
+	w[0] = r.readBits(64)
+	shared := w[0] & s.mask(m)
+	for i := 1; i < 8; i++ {
+		if s.shifted {
+			sign := r.readBits(1)
+			w[i] = sign<<63 | shared | r.readBits(63-m)
+		} else {
+			w[i] = shared | r.readBits(64-m)
+		}
+	}
+	if r.errd {
+		return nil, false
+	}
+	block := make([]byte, BlockBytes)
+	for i, v := range w {
+		for j := 0; j < 8; j++ {
+			block[8*i+j] = byte(v >> uint(56-8*j))
+		}
+	}
+	return block, true
+}
+
+type refRun struct {
+	off, length int
+	ones        bool
+}
+
+type refRLE struct{}
+
+func (refRLE) compress(w *refWriter, block []byte, maxBits int) bool {
+	var runs []refRun
+	for b := 0; b < BlockBytes-1; {
+		if b%2 != 0 {
+			b++
+			continue
+		}
+		v := block[b]
+		if (v != 0x00 && v != 0xFF) || block[b+1] != v {
+			b += 2
+			continue
+		}
+		length := 2
+		if b+2 < BlockBytes && block[b+2] == v {
+			length = 3
+		}
+		runs = append(runs, refRun{off: b, length: length, ones: v == 0xFF})
+		b += length
+		if b%2 != 0 {
+			b++
+		}
+	}
+	var picked []refRun
+	total := 0
+	for pass := 0; pass < 2 && total < refNeed(maxBits); pass++ {
+		for _, r := range runs {
+			if r.length != 3-pass {
+				continue
+			}
+			picked = append(picked, r)
+			total += 8*r.length - 7
+			if total >= refNeed(maxBits) {
+				break
+			}
+		}
+	}
+	if total < refNeed(maxBits) {
+		return false
+	}
+	covered := make([]bool, BlockBytes)
+	for _, r := range picked {
+		v := 0
+		if r.ones {
+			v = 1
+		}
+		w.writeBits(uint64(v), 1)
+		w.writeBits(uint64(r.length-2), 1)
+		w.writeBits(uint64(r.off/2), 5)
+		for i := 0; i < r.length; i++ {
+			covered[r.off+i] = true
+		}
+	}
+	for b := 0; b < BlockBytes; b++ {
+		if !covered[b] {
+			w.writeBits(uint64(block[b]), 8)
+		}
+	}
+	return true
+}
+
+func (refRLE) decompress(r *refReader, nbits, maxBits int) ([]byte, bool) {
+	start := r.pos
+	var runs []refRun
+	freed := 0
+	for freed < refNeed(maxBits) {
+		ones := r.readBit() == 1
+		length := 2 + r.readBit()
+		off := 2 * int(r.readBits(5))
+		if r.errd || off+length > BlockBytes {
+			return nil, false
+		}
+		runs = append(runs, refRun{off: off, length: length, ones: ones})
+		freed += 8*length - 7
+	}
+	block := make([]byte, BlockBytes)
+	covered := make([]bool, BlockBytes)
+	for _, rn := range runs {
+		v := byte(0x00)
+		if rn.ones {
+			v = 0xFF
+		}
+		for i := 0; i < rn.length; i++ {
+			if covered[rn.off+i] {
+				return nil, false
+			}
+			covered[rn.off+i] = true
+			block[rn.off+i] = v
+		}
+	}
+	for b := 0; b < BlockBytes; b++ {
+		if !covered[b] {
+			block[b] = byte(r.readBits(8))
+		}
+	}
+	if r.errd || r.pos-start > nbits {
+		return nil, false
+	}
+	return block, true
+}
+
+type refTXT struct{}
+
+func (refTXT) compress(w *refWriter, block []byte, maxBits int) bool {
+	if 7*BlockBytes > maxBits {
+		return false
+	}
+	for _, b := range block {
+		if b&0x80 != 0 {
+			return false
+		}
+	}
+	for _, b := range block {
+		w.writeBits(uint64(b), 7)
+	}
+	return true
+}
+
+func (refTXT) decompress(r *refReader, nbits, maxBits int) ([]byte, bool) {
+	if nbits < 7*BlockBytes || 7*BlockBytes > maxBits {
+		return nil, false
+	}
+	block := make([]byte, BlockBytes)
+	for i := range block {
+		block[i] = byte(r.readBits(7))
+	}
+	return block, !r.errd
+}
+
+// refSchemesFor mirrors the production hybrid's sub-scheme list by name.
+func refSchemesFor(s compress.Scheme) []refScheme {
+	comb, ok := s.(*compress.Combined)
+	if !ok {
+		panic("differential oracle: scheme must be a Combined")
+	}
+	var out []refScheme
+	for _, sub := range comb.Schemes() {
+		switch sub.Name() {
+		case "msb":
+			out = append(out, refMSB{shifted: true})
+		case "msb-unshifted":
+			out = append(out, refMSB{shifted: false})
+		case "rle":
+			out = append(out, refRLE{})
+		case "txt":
+			out = append(out, refTXT{})
+		default:
+			panic("differential oracle: no reference for scheme " + sub.Name())
+		}
+	}
+	return out
+}
+
+func refCombinedCompress(schemes []refScheme, block []byte, maxBits int) ([]byte, int, bool) {
+	inner := maxBits - 2
+	if inner <= 0 {
+		return nil, 0, false
+	}
+	for sel, s := range schemes {
+		w := &refWriter{}
+		w.writeBits(uint64(sel), 2)
+		if !s.compress(w, block, inner) {
+			continue
+		}
+		return w.bytes(), w.len(), true
+	}
+	return nil, 0, false
+}
+
+func refCombinedDecompress(schemes []refScheme, payload []byte, nbits, maxBits int) ([]byte, bool) {
+	if nbits < 2 {
+		return nil, false
+	}
+	r := newRefReader(payload)
+	sel := int(r.readBits(2))
+	if sel >= len(schemes) {
+		return nil, false
+	}
+	return schemes[sel].decompress(r, nbits-2, maxBits-2)
+}
+
+// --- reference codec (the pre-rewrite per-bit pipeline) -----------------
+
+type refCodec struct {
+	cfg     Config
+	schemes []refScheme
+	hash    *ecc.HashMasks
+}
+
+func newRefCodec(cfg Config) *refCodec {
+	return &refCodec{
+		cfg:     cfg,
+		schemes: refSchemesFor(cfg.Scheme),
+		hash:    ecc.NewHashMasks(cfg.Segments, cfg.Code.CodewordBytes()),
+	}
+}
+
+func refBit(buf []byte, i int) int { return int(buf[i>>3] >> (7 - uint(i&7)) & 1) }
+
+func refSetBit(buf []byte, i, v int) {
+	if v != 0 {
+		buf[i>>3] |= 1 << (7 - uint(i&7))
+	}
+}
+
+func (rc *refCodec) countValid(block []byte) int {
+	cwLen := rc.cfg.Code.CodewordBytes()
+	valid := 0
+	for s := 0; s < rc.cfg.Segments; s++ {
+		cw := make([]byte, cwLen)
+		copy(cw, block[s*cwLen:(s+1)*cwLen])
+		if !rc.cfg.DisableHash {
+			rc.hash.Apply(s, cw)
+		}
+		if rc.cfg.Code.Valid(cw) {
+			valid++
+		}
+	}
+	return valid
+}
+
+func (rc *refCodec) encode(block []byte) ([]byte, StoreStatus) {
+	payload, nbits, ok := refCombinedCompress(rc.schemes, block, rc.cfg.DataCapacityBits())
+	if !ok {
+		if rc.countValid(block) >= rc.cfg.Threshold {
+			return nil, RejectedAlias
+		}
+		image := make([]byte, BlockBytes)
+		copy(image, block)
+		return image, StoredRaw
+	}
+	padded := make([]byte, (rc.cfg.DataCapacityBits()+7)/8)
+	copy(padded, payload[:(nbits+7)/8])
+	kBits := rc.cfg.Code.K()
+	cwLen := rc.cfg.Code.CodewordBytes()
+	image := make([]byte, BlockBytes)
+	for s := 0; s < rc.cfg.Segments; s++ {
+		data := make([]byte, (kBits+7)/8)
+		for i := 0; i < kBits; i++ {
+			refSetBit(data, i, refBit(padded, s*kBits+i))
+		}
+		cw := image[s*cwLen : (s+1)*cwLen]
+		rc.cfg.Code.EncodeInto(cw, data)
+		if !rc.cfg.DisableHash {
+			rc.hash.Apply(s, cw)
+		}
+	}
+	return image, StoredCompressed
+}
+
+func (rc *refCodec) decode(image []byte) ([]byte, DecodeInfo, error) {
+	cwLen := rc.cfg.Code.CodewordBytes()
+	kBits := rc.cfg.Code.K()
+	work := make([]byte, BlockBytes)
+	copy(work, image)
+	var info DecodeInfo
+	for s := 0; s < rc.cfg.Segments; s++ {
+		cw := work[s*cwLen : (s+1)*cwLen]
+		if !rc.cfg.DisableHash {
+			rc.hash.Apply(s, cw)
+		}
+		if rc.cfg.Code.Valid(cw) {
+			info.ValidCodewords++
+		}
+	}
+	if info.ValidCodewords < rc.cfg.Threshold {
+		block := make([]byte, BlockBytes)
+		copy(block, image)
+		return block, info, nil
+	}
+	info.Compressed = true
+	padded := make([]byte, (rc.cfg.DataCapacityBits()+7)/8)
+	for s := 0; s < rc.cfg.Segments; s++ {
+		cw := work[s*cwLen : (s+1)*cwLen]
+		res, _ := rc.cfg.Code.Decode(cw)
+		switch res {
+		case ecc.Corrected:
+			info.CorrectedSegments = append(info.CorrectedSegments, s)
+		case ecc.Uncorrectable:
+			info.Uncorrectable = true
+		}
+		for i := 0; i < kBits; i++ {
+			refSetBit(padded, s*kBits+i, refBit(cw, i))
+		}
+	}
+	if info.Uncorrectable {
+		return nil, info, ErrUncorrectable
+	}
+	block, ok := refCombinedDecompress(rc.schemes, padded, rc.cfg.DataCapacityBits(), rc.cfg.DataCapacityBits())
+	if !ok {
+		return nil, info, ErrCorrupt
+	}
+	return block, info, nil
+}
+
+// --- block generators ----------------------------------------------------
+
+func rleHeavyBlock(rng *rand.Rand) []byte {
+	b := randomBlock(rng)
+	for i := 0; i < 2+rng.Intn(6); i++ {
+		off := 2 * rng.Intn(BlockBytes/2)
+		v := byte(0x00)
+		if rng.Intn(2) == 1 {
+			v = 0xFF
+		}
+		n := 2 + rng.Intn(2)
+		for j := 0; j < n && off+j < BlockBytes; j++ {
+			b[off+j] = v
+		}
+	}
+	return b
+}
+
+func msbSimilarBlock(rng *rand.Rand) []byte {
+	b := make([]byte, BlockBytes)
+	rng.Read(b)
+	m := 1 + rng.Intn(16)
+	mask := byte(0xFF) << uint(8-min(8, m))
+	for w := 1; w < 8; w++ {
+		b[8*w] = b[8*w]&^mask | b[0]&mask
+		if m > 8 {
+			b[8*w+1] = b[1]
+		}
+	}
+	return b
+}
+
+func repeatedWordBlock(rng *rand.Rand) []byte {
+	b := make([]byte, BlockBytes)
+	var word [8]byte
+	rng.Read(word[:])
+	for w := 0; w < 8; w++ {
+		copy(b[8*w:], word[:])
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// diffAliasBlock builds a raw block whose first Threshold segments are
+// valid code words after the decoder's (possibly disabled) hash — the
+// adversarial regime where the alias verdicts matter. Unlike aliasBlock it
+// honors DisableHash and never panics: the oracle only needs agreement, so
+// an unlucky construction can fall back to a plain random block.
+func diffAliasBlock(rng *rand.Rand, cfg Config, hash *ecc.HashMasks) []byte {
+	cwLen := cfg.Code.CodewordBytes()
+	for attempt := 0; attempt < 100; attempt++ {
+		b := make([]byte, BlockBytes)
+		for s := 0; s < cfg.Segments; s++ {
+			cw := b[s*cwLen : (s+1)*cwLen]
+			if s < cfg.Threshold {
+				data := make([]byte, (cfg.Code.K()+7)/8)
+				rng.Read(data)
+				cfg.Code.EncodeInto(cw, data)
+				if !cfg.DisableHash {
+					hash.Apply(s, cw) // raw bytes must hash back to the code word
+				}
+			} else {
+				rng.Read(cw)
+			}
+		}
+		if _, _, ok := cfg.Scheme.Compress(b, cfg.DataCapacityBits()); ok {
+			continue // compressible blocks never reach the alias check
+		}
+		return b
+	}
+	return randomBlock(rng)
+}
+
+// --- the oracle ----------------------------------------------------------
+
+func TestDifferentialOracle(t *testing.T) {
+	perConfig := 550_000 // ×2 configs ≥ 1M blocks, the acceptance floor
+	if testing.Short() {
+		perConfig = 12_000
+	}
+	configs := append([]struct {
+		name string
+		cfg  Config
+	}{}, testConfigs...)
+	nohash := NewConfig4()
+	nohash.DisableHash = true
+	configs = append(configs, struct {
+		name string
+		cfg  Config
+	}{"COP-4-nohash", nohash})
+
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			n := perConfig
+			if tc.name == "COP-4-nohash" {
+				n = perConfig / 10 // ablation geometry: smaller share
+			}
+			codec := NewCodec(tc.cfg)
+			ref := newRefCodec(tc.cfg)
+			sc := codec.NewScratch()
+			rng := rand.New(rand.NewSource(0xD1FF))
+			gens := []func(*rand.Rand) []byte{
+				randomBlock, textBlock, pointerBlock,
+				rleHeavyBlock, msbSimilarBlock, repeatedWordBlock,
+			}
+			img2 := make([]byte, BlockBytes)
+			dec2 := make([]byte, BlockBytes)
+			for i := 0; i < n; i++ {
+				block := gens[i%len(gens)](rng)
+				if i%5000 == 4999 {
+					block = diffAliasBlock(rng, tc.cfg, ref.hash)
+				}
+
+				refImg, refSt := ref.encode(block)
+				img, st := codec.Encode(block)
+				if st != refSt {
+					t.Fatalf("block %d: Encode status %v, reference %v", i, st, refSt)
+				}
+				if !bytes.Equal(img, refImg) {
+					t.Fatalf("block %d: Encode image differs from reference\n got %x\nwant %x", i, img, refImg)
+				}
+				if got := codec.EncodeInto(img2, block, sc); got != st || (st != RejectedAlias && !bytes.Equal(img2, img)) {
+					t.Fatalf("block %d: EncodeInto (%v) disagrees with Encode (%v)", i, got, st)
+				}
+				if got, want := codec.WouldReject(block), refSt == RejectedAlias; got != want {
+					t.Fatalf("block %d: WouldReject = %v, reference %v", i, got, want)
+				}
+				if got := codec.Classify(block); got != refSt {
+					t.Fatalf("block %d: Classify = %v, reference %v", i, got, refSt)
+				}
+				if got, want := codec.CountValidCodewords(block), ref.countValid(block); got != want {
+					t.Fatalf("block %d: CountValidCodewords = %d, reference %d", i, got, want)
+				}
+				if st == RejectedAlias {
+					continue
+				}
+
+				// Decode differential, cycling through pristine, single-flip
+				// and double-flip images so correction and detection paths
+				// all run against the oracle.
+				trial := make([]byte, BlockBytes)
+				copy(trial, img)
+				for f := 0; f < i%3; f++ {
+					bit := rng.Intn(8 * BlockBytes)
+					trial[bit>>3] ^= 1 << (7 - uint(bit&7))
+				}
+				refBlk, refInfo, refErr := ref.decode(trial)
+				blk, info, err := codec.Decode(trial)
+				if err != refErr {
+					t.Fatalf("block %d: Decode err %v, reference %v", i, err, refErr)
+				}
+				if !reflect.DeepEqual(info, refInfo) {
+					t.Fatalf("block %d: DecodeInfo %+v, reference %+v", i, info, refInfo)
+				}
+				if !bytes.Equal(blk, refBlk) {
+					t.Fatalf("block %d: Decode output differs from reference\n got %x\nwant %x", i, blk, refBlk)
+				}
+				info2, err2 := codec.DecodeInto(dec2, trial, sc)
+				if err2 != refErr ||
+					info2.Compressed != refInfo.Compressed ||
+					info2.ValidCodewords != refInfo.ValidCodewords ||
+					info2.Uncorrectable != refInfo.Uncorrectable ||
+					len(info2.CorrectedSegments) != len(refInfo.CorrectedSegments) {
+					t.Fatalf("block %d: DecodeInto info/err (%+v, %v) disagrees with reference (%+v, %v)",
+						i, info2, err2, refInfo, refErr)
+				}
+				for j := range info2.CorrectedSegments {
+					if info2.CorrectedSegments[j] != refInfo.CorrectedSegments[j] {
+						t.Fatalf("block %d: DecodeInto corrected segments %v, reference %v",
+							i, info2.CorrectedSegments, refInfo.CorrectedSegments)
+					}
+				}
+				if err2 == nil && !bytes.Equal(dec2, refBlk) {
+					t.Fatalf("block %d: DecodeInto output differs from reference", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialArbitraryImages feeds raw random images (not produced by
+// Encode) through both decoders: the detection threshold, miscorrection,
+// and ErrCorrupt paths must agree bit for bit too.
+func TestDifferentialArbitraryImages(t *testing.T) {
+	n := 60_000
+	if testing.Short() {
+		n = 4_000
+	}
+	for _, tc := range testConfigs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			codec := NewCodec(tc.cfg)
+			ref := newRefCodec(tc.cfg)
+			sc := codec.NewScratch()
+			rng := rand.New(rand.NewSource(0xA11A5))
+			dec := make([]byte, BlockBytes)
+			for i := 0; i < n; i++ {
+				img := randomBlock(rng)
+				if i%3 == 1 {
+					// Bias toward the protected regime: make most segments
+					// valid code words, then flip a couple of bits.
+					enc, st := codec.Encode(textBlock(rng))
+					if st == StoredCompressed {
+						copy(img, enc)
+						for f := 0; f < rng.Intn(4); f++ {
+							bit := rng.Intn(8 * BlockBytes)
+							img[bit>>3] ^= 1 << (7 - uint(bit&7))
+						}
+					}
+				}
+				refBlk, refInfo, refErr := ref.decode(img)
+				blk, info, err := codec.Decode(img)
+				if err != refErr || !reflect.DeepEqual(info, refInfo) || !bytes.Equal(blk, refBlk) {
+					t.Fatalf("image %d: Decode (%v, %+v) disagrees with reference (%v, %+v)",
+						i, err, info, refErr, refInfo)
+				}
+				info2, err2 := codec.DecodeInto(dec, img, sc)
+				if err2 != refErr || info2.Compressed != refInfo.Compressed ||
+					info2.ValidCodewords != refInfo.ValidCodewords {
+					t.Fatalf("image %d: DecodeInto disagrees with reference", i)
+				}
+				if err2 == nil && !bytes.Equal(dec, refBlk) {
+					t.Fatalf("image %d: DecodeInto output differs from reference", i)
+				}
+			}
+		})
+	}
+}

@@ -6,7 +6,9 @@ import (
 )
 
 // FuzzEncodeDecode: any block either round-trips exactly through
-// Encode/Decode or is rejected as an alias — never silently mangled.
+// Encode/Decode or is rejected as an alias — never silently mangled — and
+// the scratch-based EncodeInto/DecodeInto paths must agree with the
+// allocating wrappers byte for byte on every input the fuzzer finds.
 // Beyond the inline seeds, testdata/fuzz/FuzzEncodeDecode holds a
 // committed corpus of boundary blocks (all-zero, all-ones, a known
 // alias, compressibility-threshold patterns) that plain `go test` always
@@ -18,27 +20,63 @@ func FuzzEncodeDecode(f *testing.F) {
 		seed[i] = byte(255 - i)
 	}
 	f.Add(seed)
+	// Non-byte-aligned-segment stress: an MSB-compressible block whose
+	// payload puts live bits on both sides of every 120-bit segment
+	// boundary, so the shift-and-mask extract/deposit runs with a mid-byte
+	// stride in COP-4 (segments 1..3 start at bits 120/240/360).
+	seed = make([]byte, BlockBytes)
+	for i := range seed {
+		seed[i] = 0xA5
+	}
+	for w := 0; w < 8; w++ {
+		seed[8*w+6] = byte(0x11 * w)
+		seed[8*w+7] = byte(0xFE - 0x11*w)
+	}
+	f.Add(seed)
 
 	codec4 := NewCodec(NewConfig4())
 	codec8 := NewCodec(NewConfig8())
+	sc4 := codec4.NewScratch()
+	sc8 := codec8.NewScratch()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) != BlockBytes {
 			return
 		}
-		for _, codec := range []*Codec{codec4, codec8} {
+		for i, codec := range []*Codec{codec4, codec8} {
+			sc := []*CodecScratch{sc4, sc8}[i]
 			image, status := codec.Encode(data)
+			into := make([]byte, BlockBytes)
+			if st := codec.EncodeInto(into, data, sc); st != status {
+				t.Fatalf("EncodeInto status %v, Encode %v", st, status)
+			}
 			if status == RejectedAlias {
 				if !codec.IsAlias(data) {
 					t.Fatal("rejection without alias")
 				}
 				continue
 			}
-			got, _, err := codec.Decode(image)
+			if !bytes.Equal(into, image) {
+				t.Fatal("EncodeInto image differs from Encode")
+			}
+			got, info, err := codec.Decode(image)
 			if err != nil {
 				t.Fatalf("decode of fresh image: %v", err)
 			}
 			if !bytes.Equal(got, data) {
 				t.Fatal("round trip mismatch")
+			}
+			gotInto := make([]byte, BlockBytes)
+			infoInto, err := codec.DecodeInto(gotInto, image, sc)
+			if err != nil {
+				t.Fatalf("DecodeInto of fresh image: %v", err)
+			}
+			if !bytes.Equal(gotInto, data) {
+				t.Fatal("DecodeInto round trip mismatch")
+			}
+			if infoInto.Compressed != info.Compressed ||
+				infoInto.ValidCodewords != info.ValidCodewords ||
+				len(infoInto.CorrectedSegments) != len(info.CorrectedSegments) {
+				t.Fatalf("DecodeInto info %+v, Decode info %+v", infoInto, info)
 			}
 		}
 	})

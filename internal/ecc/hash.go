@@ -21,6 +21,10 @@ func splitmix64(x uint64) uint64 {
 // HashMasks holds one mask per code word segment of a block.
 type HashMasks struct {
 	masks [][]byte
+	// Per-segment masks as big-endian uint64 lanes (mask byte 0 is the
+	// high byte of lo), precomputed for the word-parallel codec datapath.
+	// hi is zero when cwBytes ≤ 8; both cover at most the first 16 bytes.
+	lo, hi []uint64
 }
 
 // NewHashMasks derives segments fixed masks of cwBytes bytes each from a
@@ -48,7 +52,23 @@ func NewHashMasks(segments, cwBytes int) *HashMasks {
 		}
 		h.masks[s] = m
 	}
+	h.lo = make([]uint64, segments)
+	h.hi = make([]uint64, segments)
+	for s, m := range h.masks {
+		h.lo[s] = laneOf(m, 0)
+		h.hi[s] = laneOf(m, 8)
+	}
 	return h
+}
+
+// laneOf loads up to 8 bytes of m starting at off as a big-endian uint64
+// (left-aligned, missing bytes zero).
+func laneOf(m []byte, off int) uint64 {
+	var v uint64
+	for j := 0; j < 8 && off+j < len(m); j++ {
+		v |= uint64(m[off+j]) << uint(56-8*j)
+	}
+	return v
 }
 
 // Apply XORs segment seg's mask into cw in place. Apply is its own inverse.
@@ -61,3 +81,9 @@ func (h *HashMasks) Apply(seg int, cw []byte) {
 
 // Mask returns segment seg's mask (shared storage; callers must not mutate).
 func (h *HashMasks) Mask(seg int) []byte { return h.masks[seg] }
+
+// Words returns segment seg's mask as two big-endian uint64 lanes, matching
+// the lane layout of Code.SyndromeWords (hi is zero for masks of 8 bytes or
+// fewer). Defined for masks up to 16 bytes — the word-parallel codec
+// geometries.
+func (h *HashMasks) Words(seg int) (lo, hi uint64) { return h.lo[seg], h.hi[seg] }

@@ -64,12 +64,26 @@ type Code struct {
 	kind    Kind
 
 	cols []uint16 // parity-check column per code word bit position
-	pos  map[uint16]int
+
+	// posTab[s] is the code word bit position whose column equals syndrome
+	// s, or -1 when no single-bit error produces s (a flat-array stand-in
+	// for the map the decoder used to consult).
+	posTab []int16
 
 	// synTab[b][v] is the syndrome contribution of code word byte b
-	// holding value v; the encoder and decoder reduce to XORs of table
-	// lookups.
+	// holding value v; the byte-slice encoder and decoder reduce to XORs
+	// of table lookups.
 	synTab [][256]uint16
+
+	// Word-parallel datapath, built for n ≤ 128. A code word is held in
+	// two big-endian uint64 lanes: bit i (bitio MSB-first order) is bit
+	// 63-i of lane lo for i < 64, bit 127-i of lane hi otherwise.
+	// parLo/parHi[j] mask the lane bits feeding check bit j's parity tree
+	// (Hsiao's wide XOR, reduced with popcount); chkLo/chkHi[j] is the
+	// lane position of check bit j itself (position k+j).
+	wordOK       bool
+	parLo, parHi [16]uint64
+	chkLo, chkHi [16]uint64
 
 	nBytes    int  // ceil(n/8)
 	tailMask  byte // mask of valid bits in the final code word byte
@@ -95,17 +109,17 @@ func New(n, k int, kind Kind) *Code {
 
 	c := &Code{n: n, k: k, r: r, kind: kind}
 	c.cols = make([]uint16, n)
-	c.pos = make(map[uint16]int, n)
 
 	// Data bit columns: enumerate candidate columns in increasing weight
-	// then increasing value, skipping unit vectors. The order is fixed so
-	// that encoder and decoder (and any two builds) agree.
+	// then increasing value, skipping unit vectors (the loop starts at
+	// weight 2, so unit vectors never appear). The order is fixed so that
+	// encoder and decoder (and any two builds) agree.
 	assigned := 0
 	for w := 2; w <= r && assigned < k; w++ {
+		// Hsiao codes use odd-weight columns only: every even weight is
+		// skipped in one place, which is what makes all double errors
+		// land on even-weight (hence unmapped) syndromes.
 		if kind == Hsiao && w%2 == 0 {
-			continue
-		}
-		if kind == Hsiao && w == 1 {
 			continue
 		}
 		for v := uint16(0); int(v) < 1<<r && assigned < k; v++ {
@@ -123,8 +137,35 @@ func New(n, k int, kind Kind) *Code {
 	for j := 0; j < r; j++ {
 		c.cols[k+j] = 1 << uint(j)
 	}
+	c.posTab = make([]int16, 1<<r)
+	for s := range c.posTab {
+		c.posTab[s] = -1
+	}
 	for i, col := range c.cols {
-		c.pos[col] = i
+		c.posTab[col] = int16(i)
+	}
+
+	if n <= 128 {
+		c.wordOK = true
+		for i, col := range c.cols {
+			for j := 0; j < r; j++ {
+				if col>>uint(j)&1 == 0 {
+					continue
+				}
+				if i < 64 {
+					c.parLo[j] |= 1 << uint(63-i)
+				} else {
+					c.parHi[j] |= 1 << uint(127-i)
+				}
+			}
+		}
+		for j := 0; j < r; j++ {
+			if p := k + j; p < 64 {
+				c.chkLo[j] = 1 << uint(63-p)
+			} else {
+				c.chkHi[j] = 1 << uint(127-p)
+			}
+		}
 	}
 
 	c.nBytes = (n + 7) / 8
@@ -225,11 +266,64 @@ func (c *Code) Decode(cw []byte) (Result, int) {
 	if s == 0 {
 		return NoError, -1
 	}
-	if p, ok := c.pos[s]; ok {
-		bitio.FlipBit(cw, p)
-		return Corrected, p
+	if p := c.posTab[s]; p >= 0 {
+		bitio.FlipBit(cw, int(p))
+		return Corrected, int(p)
 	}
 	return Uncorrectable, -1
+}
+
+// WordParallel reports whether the two-uint64-lane fast path (SyndromeWords
+// / EncodeWords / CorrectWords) is available, i.e. n ≤ 128.
+func (c *Code) WordParallel() bool { return c.wordOK }
+
+// SyndromeWords computes the syndrome of the code word held in two
+// big-endian uint64 lanes: code word bit i (bitio MSB-first order) is bit
+// 63-i of lo for i < 64 and bit 127-i of hi otherwise; lane bits at or
+// beyond n must be zero. Each check bit is one wide parity tree — two
+// masked popcounts — exactly the Hsiao reduction the paper credits for
+// COP's cheap hardware. Only valid when WordParallel reports true.
+func (c *Code) SyndromeWords(lo, hi uint64) uint16 {
+	var s uint16
+	for j := 0; j < c.r; j++ {
+		s |= uint16((bits.OnesCount64(lo&c.parLo[j])+bits.OnesCount64(hi&c.parHi[j]))&1) << uint(j)
+	}
+	return s
+}
+
+// EncodeWords returns the code word lanes for k data bits held left-aligned
+// in (dataLo, dataHi) with every other lane bit zero. The data portion's
+// syndrome equals the needed check bits (unit-vector check columns), which
+// are OR-ed into their lane positions without any per-bit buffer writes.
+func (c *Code) EncodeWords(dataLo, dataHi uint64) (lo, hi uint64) {
+	s := c.SyndromeWords(dataLo, dataHi)
+	lo, hi = dataLo, dataHi
+	for s != 0 {
+		j := bits.TrailingZeros16(s)
+		lo |= c.chkLo[j]
+		hi |= c.chkHi[j]
+		s &= s - 1
+	}
+	return lo, hi
+}
+
+// CorrectWords applies single-error correction to the lanes given their
+// already-computed syndrome, returning the repaired lanes, the
+// classification, and (for Corrected) the flipped bit position.
+func (c *Code) CorrectWords(lo, hi uint64, s uint16) (uint64, uint64, Result, int) {
+	if s == 0 {
+		return lo, hi, NoError, -1
+	}
+	p := c.posTab[s]
+	if p < 0 {
+		return lo, hi, Uncorrectable, -1
+	}
+	if p < 64 {
+		lo ^= 1 << uint(63-p)
+	} else {
+		hi ^= 1 << uint(127-p)
+	}
+	return lo, hi, Corrected, int(p)
 }
 
 // Data extracts the k data bits of cw into a fresh ceil(k/8)-byte slice

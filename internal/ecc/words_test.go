@@ -1,0 +1,145 @@
+package ecc
+
+// Equivalence tests pinning the word-parallel lane datapath (SyndromeWords
+// / EncodeWords / CorrectWords) to the byte-table path it replaced. The two
+// implementations share nothing but the column assignment, so agreement
+// over random code words and every single-bit error is strong evidence the
+// lane masks encode the same parity-check matrix.
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// lanesOf packs a byte code word into the two big-endian uint64 lanes.
+func lanesOf(cw []byte) (lo, hi uint64) {
+	var buf [16]byte
+	copy(buf[:], cw)
+	return binary.BigEndian.Uint64(buf[:8]), binary.BigEndian.Uint64(buf[8:])
+}
+
+func wordCodes() []*Code {
+	return []*Code{SECDED128120, SECDED6456, SECDED7264, SEC3428}
+}
+
+func TestSyndromeWordsMatchesByteSyndrome(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, c := range wordCodes() {
+		if !c.WordParallel() {
+			t.Fatalf("(%d,%d): expected word-parallel support", c.N(), c.K())
+		}
+		for trial := 0; trial < 5000; trial++ {
+			cw := make([]byte, c.CodewordBytes())
+			rng.Read(cw)
+			// Zero bits beyond n: the lane contract requires it, and the
+			// byte path ignores them anyway.
+			if c.N()%8 != 0 {
+				cw[len(cw)-1] &= byte(0xFF) << uint(8-c.N()%8)
+			}
+			lo, hi := lanesOf(cw)
+			if got, want := c.SyndromeWords(lo, hi), c.Syndrome(cw); got != want {
+				t.Fatalf("(%d,%d) trial %d: SyndromeWords = %#x, Syndrome = %#x",
+					c.N(), c.K(), trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeWordsMatchesEncodeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, c := range wordCodes() {
+		for trial := 0; trial < 5000; trial++ {
+			data := make([]byte, (c.K()+7)/8)
+			rng.Read(data)
+			want := make([]byte, c.CodewordBytes())
+			c.EncodeInto(want, data)
+
+			// Build the data lanes exactly as a caller would: the code word
+			// with check bits zero.
+			dataCW := make([]byte, c.CodewordBytes())
+			copy(dataCW, want)
+			for j := 0; j < c.R(); j++ {
+				p := c.K() + j
+				dataCW[p>>3] &^= 1 << (7 - uint(p&7))
+			}
+			dLo, dHi := lanesOf(dataCW)
+			lo, hi := c.EncodeWords(dLo, dHi)
+			wLo, wHi := lanesOf(want)
+			if lo != wLo || hi != wHi {
+				t.Fatalf("(%d,%d) trial %d: EncodeWords = %#x,%#x want %#x,%#x",
+					c.N(), c.K(), trial, lo, hi, wLo, wHi)
+			}
+		}
+	}
+}
+
+func TestCorrectWordsMatchesDecodeEverySingleBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, c := range wordCodes() {
+		data := make([]byte, (c.K()+7)/8)
+		rng.Read(data)
+		clean := c.Encode(data)
+		for bit := 0; bit < c.N(); bit++ {
+			cw := make([]byte, len(clean))
+			copy(cw, clean)
+			cw[bit>>3] ^= 1 << (7 - uint(bit&7))
+			lo, hi := lanesOf(cw)
+			s := c.SyndromeWords(lo, hi)
+
+			wantCW := make([]byte, len(cw))
+			copy(wantCW, cw)
+			wantRes, wantPos := c.Decode(wantCW)
+
+			gotLo, gotHi, gotRes, gotPos := c.CorrectWords(lo, hi, s)
+			if gotRes != wantRes || gotPos != wantPos {
+				t.Fatalf("(%d,%d) bit %d: CorrectWords = (%v,%d), Decode = (%v,%d)",
+					c.N(), c.K(), bit, gotRes, gotPos, wantRes, wantPos)
+			}
+			wLo, wHi := lanesOf(wantCW)
+			if gotLo != wLo || gotHi != wHi {
+				t.Fatalf("(%d,%d) bit %d: corrected lanes %#x,%#x want %#x,%#x",
+					c.N(), c.K(), bit, gotLo, gotHi, wLo, wHi)
+			}
+		}
+		// Double errors: classification (not lanes) must agree.
+		for trial := 0; trial < 2000; trial++ {
+			b1, b2 := rng.Intn(c.N()), rng.Intn(c.N())
+			if b1 == b2 {
+				continue
+			}
+			cw := make([]byte, len(clean))
+			copy(cw, clean)
+			cw[b1>>3] ^= 1 << (7 - uint(b1&7))
+			cw[b2>>3] ^= 1 << (7 - uint(b2&7))
+			lo, hi := lanesOf(cw)
+			s := c.SyndromeWords(lo, hi)
+			wantCW := make([]byte, len(cw))
+			copy(wantCW, cw)
+			wantRes, _ := c.Decode(wantCW)
+			_, _, gotRes, _ := c.CorrectWords(lo, hi, s)
+			if gotRes != wantRes {
+				t.Fatalf("(%d,%d) bits %d+%d: CorrectWords = %v, Decode = %v",
+					c.N(), c.K(), b1, b2, gotRes, wantRes)
+			}
+		}
+	}
+}
+
+func TestHashMaskWordsMatchBytes(t *testing.T) {
+	for _, geom := range []struct{ segments, cwBytes int }{{4, 16}, {8, 8}} {
+		h := NewHashMasks(geom.segments, geom.cwBytes)
+		for s := 0; s < geom.segments; s++ {
+			m := h.Mask(s)
+			var buf [16]byte
+			copy(buf[:], m)
+			wLo := binary.BigEndian.Uint64(buf[:8])
+			wHi := binary.BigEndian.Uint64(buf[8:])
+			lo, hi := h.Words(s)
+			if lo != wLo || hi != wHi {
+				t.Fatalf("%d×%dB segment %d: Words = %#x,%#x want %#x,%#x",
+					geom.segments, geom.cwBytes, s, lo, hi, wLo, wHi)
+			}
+		}
+	}
+}

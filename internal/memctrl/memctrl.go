@@ -165,6 +165,7 @@ type Controller struct {
 	mode     Mode
 	scrub    bool
 	codec    *core.Codec
+	sc       *core.CodecScratch // codec scratch; controllers are single-threaded
 	er       *core.ERCodec
 	adaptive *core.AdaptiveCodec
 	ck       *chipkill.ERCodec
@@ -223,6 +224,7 @@ func New(cfg Config) *Controller {
 	switch cfg.Mode {
 	case COP:
 		c.codec = core.NewCodec(copCfg)
+		c.sc = c.codec.NewScratch()
 	case COPER:
 		c.er = core.NewERCodec(copCfg)
 		c.codec = c.er.Codec()
@@ -344,14 +346,15 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 }
 
 // setAliasBit implements the proactive LLC alias check (§3.1): dirty lines
-// that are incompressible aliases are pinned.
+// that are incompressible aliases are pinned. WouldReject runs the cheap
+// valid-code-word count first and compresses only the rare aliasing blocks,
+// so this check no longer doubles every store's compression work.
 func (c *Controller) setAliasBit(line *cache.Line) {
 	switch {
 	case c.mode == COP:
-		line.Alias = c.codec.Classify(line.Data) == core.RejectedAlias
+		line.Alias = c.codec.WouldReject(line.Data)
 	case c.mode == COPAdaptive:
-		_, _, status := c.adaptive.Encode(line.Data)
-		line.Alias = status == core.RejectedAlias
+		line.Alias = c.adaptive.WouldReject(line.Data)
 	default:
 		// COP-ER de-aliases every block via the region pointer; the
 		// remaining modes have no alias concept.
@@ -378,7 +381,14 @@ func (c *Controller) writeback(victim cache.Line) error {
 		c.kinds[addr] = StoredKindRaw
 		c.tel.StoredRaw.Inc()
 	case COP:
-		image, status := c.codec.Encode(victim.Data)
+		// Encode straight into the block's DRAM image buffer (reused across
+		// writebacks of the same address) via the controller's scratch: the
+		// steady-state write path allocates nothing.
+		image, ok := c.store[addr]
+		if !ok {
+			image = make([]byte, BlockBytes)
+		}
+		status := c.codec.EncodeInto(image, victim.Data, c.sc)
 		switch status {
 		case core.StoredCompressed:
 			c.store[addr] = image
@@ -551,7 +561,11 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 	case Unprotected:
 		line.Data = copyBlock(image)
 	case COP:
-		block, info, err := c.codec.Decode(image)
+		// The line needs its own buffer anyway; decode straight into it via
+		// the controller's scratch (CorrectedSegments aliases the scratch,
+		// so only its length is read here).
+		block := make([]byte, BlockBytes)
+		info, err := c.codec.DecodeInto(block, image, c.sc)
 		rinfo.DecodedCompressed = info.Compressed
 		rinfo.ValidCodewords = info.ValidCodewords
 		rinfo.Corrected = len(info.CorrectedSegments)
@@ -559,7 +573,7 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
-		if len(info.CorrectedSegments) > 0 {
+		if rinfo.Corrected > 0 {
 			c.tel.CorrectedErrors.Inc()
 		}
 		line.Data = block

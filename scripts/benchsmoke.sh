@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# benchsmoke.sh — fail on a >5% throughput regression in the sharded
-# memory hot path (BenchmarkShardedThroughput, telemetry always on).
+# benchsmoke.sh — fail on a >5% throughput regression in the guarded hot
+# paths: the sharded memory front-end (BenchmarkShardedThroughput,
+# telemetry always on) and the codec datapath (BenchmarkEncode /
+# BenchmarkDecode for the COP-4 and COP-8 geometries, the word-parallel
+# encode/decode the whole simulator sits on).
 #
-# Primary comparison is self-calibrating: the same benchmark is built and
+# Primary comparison is self-calibrating: the same benchmarks are built and
 # run from the merge-base commit in a temporary git worktree on the SAME
 # machine, so CI-runner speed differences cancel out ("before/after").
-# When no merge-base is available (shallow clone, first commit), the
-# committed reference number in scripts/benchsmoke.baseline is used
-# instead; that number was measured on the reference dev container, so
+# When no merge-base is available (shallow clone, first commit), or the
+# base predates a benchmark, the committed reference number in
+# scripts/benchsmoke.baseline is used for that benchmark instead; those
+# numbers were measured on the reference dev container, so
 # BENCHSMOKE_TOLERANCE_PCT can be raised for slower machines.
 #
 # Environment knobs:
@@ -16,49 +20,82 @@
 #   BENCHSMOKE_BENCHTIME      go test -benchtime (default 1s)
 set -euo pipefail
 
-BENCH='BenchmarkShardedThroughput/sharded-8g'
 TOL="${BENCHSMOKE_TOLERANCE_PCT:-5}"
 COUNT="${BENCHSMOKE_COUNT:-5}"
 BENCHTIME="${BENCHSMOKE_BENCHTIME:-1s}"
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 
-# run_bench DIR — print the best (minimum) ns/op over COUNT runs.
-run_bench() {
-    (cd "$1" && go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" .) |
-        awk '$1 ~ /sharded-8g/ { print $3 }' | sort -n | head -n1
+# Guarded benchmarks. Keys are the benchmark path minus the "Benchmark"
+# prefix and match both the output lines and scripts/benchsmoke.baseline.
+SHARD_KEYS="ShardedThroughput/sharded-8g"
+CODEC_KEYS="Encode/COP-4 Encode/COP-8 Decode/COP-4 Decode/COP-8"
+
+# bench_out DIR PKG PATTERN — run the benchmarks, print raw output.
+bench_out() {
+    (cd "$1" && go test -run '^$' -bench "$3" -benchtime "$BENCHTIME" -count "$COUNT" "$2" 2>/dev/null) || true
 }
 
-after="$(run_bench "$REPO")"
-if [ -z "$after" ]; then
-    echo "benchsmoke: no benchmark output for $BENCH" >&2
-    exit 1
-fi
-echo "benchsmoke: HEAD        $after ns/op (best of $COUNT)"
+# best FILE KEY — best (minimum) ns/op for KEY over all repetitions. The
+# name column is "Benchmark<key>" plus a "-<procs>" suffix that go test
+# omits when GOMAXPROCS is 1, so accept both forms.
+best() {
+    awk -v k="Benchmark$2" '$1 == k || index($1, k "-") == 1 { print $3 }' "$1" | sort -n | head -n1
+}
 
-before=""
-base_desc=""
+collect() { # collect DIR OUTFILE — run every guarded group in DIR
+    bench_out "$1" . 'BenchmarkShardedThroughput/sharded-8g' >"$2"
+    bench_out "$1" ./internal/core 'BenchmarkEncode$|BenchmarkDecode$' >>"$2"
+}
+
+after_out="$(mktemp)"
+before_out="$(mktemp)"
+trap 'rm -f "$after_out" "$before_out"' EXIT
+collect "$REPO" "$after_out"
+
+have_base=""
 base="$(git -C "$REPO" merge-base HEAD origin/main 2>/dev/null || git -C "$REPO" rev-parse HEAD~1 2>/dev/null || true)"
 if [ -n "$base" ] && [ "$base" != "$(git -C "$REPO" rev-parse HEAD)" ]; then
     wt="$(mktemp -d)"
-    trap 'git -C "$REPO" worktree remove --force "$wt" >/dev/null 2>&1 || rm -rf "$wt"' EXIT
+    trap 'git -C "$REPO" worktree remove --force "$wt" >/dev/null 2>&1 || rm -rf "$wt"; rm -f "$after_out" "$before_out"' EXIT
     if git -C "$REPO" worktree add --detach "$wt" "$base" >/dev/null 2>&1; then
-        # The benchmark predates the telemetry layer in old enough bases;
-        # a base that cannot run it simply falls through to the baseline.
-        before="$(run_bench "$wt" 2>/dev/null || true)"
-        base_desc="merge-base $(git -C "$REPO" rev-parse --short "$base")"
+        collect "$wt" "$before_out"
+        have_base="merge-base $(git -C "$REPO" rev-parse --short "$base")"
     fi
 fi
 
-if [ -z "$before" ]; then
-    before="$(grep -v '^#' "$REPO/scripts/benchsmoke.baseline" | head -n1 | tr -d '[:space:]')"
-    base_desc="committed baseline"
-fi
-echo "benchsmoke: $base_desc  $before ns/op"
+fail=0
+for key in $SHARD_KEYS $CODEC_KEYS; do
+    after="$(best "$after_out" "$key")"
+    if [ -z "$after" ]; then
+        echo "benchsmoke: no benchmark output for $key" >&2
+        fail=1
+        continue
+    fi
+    before=""
+    base_desc=""
+    if [ -n "$have_base" ]; then
+        # A base that predates this benchmark falls through to the baseline.
+        before="$(best "$before_out" "$key")"
+        base_desc="$have_base"
+    fi
+    if [ -z "$before" ]; then
+        before="$(awk -v k="$key" '$1 == k { print $2 }' "$REPO/scripts/benchsmoke.baseline")"
+        base_desc="committed baseline"
+    fi
+    if [ -z "$before" ]; then
+        echo "benchsmoke: no reference number for $key" >&2
+        fail=1
+        continue
+    fi
+    limit=$(( ${before%.*} + ${before%.*} * TOL / 100 ))
+    echo "benchsmoke: $key  HEAD $after ns/op  vs  $base_desc $before ns/op (best of $COUNT)"
+    if [ "${after%.*}" -gt "$limit" ]; then
+        echo "benchsmoke: FAIL — $key: $after ns/op exceeds $base_desc $before ns/op by more than ${TOL}% (limit $limit)" >&2
+        fail=1
+    fi
+done
 
-# Fail when HEAD is more than TOL percent slower than the reference.
-limit=$(( before + before * TOL / 100 ))
-if [ "${after%.*}" -gt "$limit" ]; then
-    echo "benchsmoke: FAIL — $after ns/op exceeds $base_desc $before ns/op by more than ${TOL}% (limit $limit)" >&2
+if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "benchsmoke: OK — within ${TOL}% of $base_desc"
+echo "benchsmoke: OK — all guarded benchmarks within ${TOL}% of reference"
