@@ -558,8 +558,8 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
-	b.Run("sharded-8g", func(b *testing.B) {
-		m := cop.NewShardedMemory(cop.ShardedMemoryConfig{Mem: memCfg, Shards: goroutines})
+	runSharded := func(b *testing.B, cfg cop.MemoryConfig) {
+		m := cop.NewShardedMemory(cop.ShardedMemoryConfig{Mem: cfg, Shards: goroutines})
 		b.SetBytes(cop.BlockBytes)
 		var wg sync.WaitGroup
 		errs := make(chan error, goroutines)
@@ -577,6 +577,15 @@ func BenchmarkShardedThroughput(b *testing.B) {
 		for err := range errs {
 			b.Fatal(err)
 		}
+	}
+	b.Run("sharded-8g", func(b *testing.B) { runSharded(b, memCfg) })
+	// Same traffic with an execution-trace recorder attached but not
+	// started: guards the promised disabled-tracing cost (one nil check +
+	// one atomic load per record site) against regressions.
+	b.Run("sharded-8g-traceoff", func(b *testing.B) {
+		cfg := memCfg
+		cfg.Tracer = cop.NewTracer(cop.TraceConfig{})
+		runSharded(b, cfg)
 	})
 }
 

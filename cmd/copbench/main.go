@@ -11,6 +11,8 @@
 //	copbench -parallel 8             # sharded-memory throughput comparison
 //	copbench -faults                 # fault-injection campaign (all schemes)
 //	copbench -faults -fault-scheme cop-er -fault-injections 20000
+//	copbench -trace-out trace.json   # traced demo workload -> Perfetto JSON
+//	copbench -faults -trace-out t.json -fault-scheme unprotected  # traced campaign
 package main
 
 import (
@@ -26,8 +28,10 @@ import (
 
 	"cop"
 	"cop/internal/cli"
+	"cop/internal/dram"
 	"cop/internal/shard"
 	"cop/internal/telemetry"
+	"cop/internal/workload"
 )
 
 func main() {
@@ -58,15 +62,24 @@ func run(args []string, stdout io.Writer) error {
 		fWorkers = cli.WorkersFlag(fs, "fault-workers", "concurrent campaign workers over disjoint footprint slices")
 		fLoad    = cli.WorkloadFlag(fs, "fault-workload", "gcc", "workload profile populating the footprint")
 		telAddr  = cli.TelemetryAddrFlag(fs)
+		traceOut = cli.TraceOutFlag(fs, "write a Chrome trace-event JSON execution trace here "+
+			"(alone: run the traced demo workload; with -faults: trace the campaign, black-box dumps land beside it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The flight recorder is shared by the trace demo, fault campaigns,
+	// and the /trace.* telemetry endpoints.
+	var tracer *cop.Tracer
+	if *traceOut != "" {
+		tracer = cop.NewTracer(cop.TraceConfig{Shards: traceDemoShards + 1})
+	}
+
 	// One observability server for the whole invocation; the registry is
 	// pointed at whichever memory is live (see runParallel / runFaults).
 	telReg := &telemetry.Registry{}
-	if bound, err := cli.ServeTelemetry(*telAddr, telReg); err != nil {
+	if bound, err := cli.ServeTelemetry(*telAddr, telReg, tracer); err != nil {
 		return err
 	} else if bound != "" {
 		fmt.Fprintf(stdout, "telemetry: http://%s/metrics /snapshot /debug/pprof\n", bound)
@@ -84,7 +97,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *faults {
-		return runFaults(stdout, telReg, *fScheme, *fSeed, *fInject, *fWorkers, *fLoad)
+		return runFaults(stdout, telReg, tracer, *traceOut, *fScheme, *fSeed, *fInject, *fWorkers, *fLoad)
+	}
+
+	if *traceOut != "" {
+		return runTraceDemo(stdout, telReg, tracer, *traceOut)
 	}
 
 	out := stdout
@@ -133,13 +150,28 @@ func run(args []string, stdout io.Writer) error {
 // runFaults runs the seeded fault-injection campaign (see
 // internal/faultsim) for each requested scheme and prints the per-failure-
 // mode outcome tables. The telemetry registry tracks the campaign in
-// flight (each campaign re-points it at its own memory).
-func runFaults(out io.Writer, telReg *telemetry.Registry, schemeArg string, seed uint64, injections, workers int, workloadName string) error {
+// flight (each campaign re-points it at its own memory). With a tracer,
+// each campaign records into a freshly reset flight recorder; the first
+// silent corruption freezes it and the black-box dump is written to
+// <traceOut>.<scheme>.dump, and the final campaign's full rings go to
+// traceOut as Chrome trace-event JSON.
+func runFaults(out io.Writer, telReg *telemetry.Registry, tracer *cop.Tracer, traceOut, schemeArg string, seed uint64, injections, workers int, workloadName string) error {
 	schemes, err := cli.ParseSchemes(schemeArg)
 	if err != nil {
 		return err
 	}
 	for _, sc := range schemes {
+		if tracer != nil {
+			dumpPath := fmt.Sprintf("%s.%s.dump", traceOut, sc.Name)
+			tracer.OnAnomaly(func(d *cop.TraceDump) {
+				if f, err := os.Create(dumpPath); err == nil {
+					_, _ = d.WriteTo(f)
+					f.Close()
+				}
+			})
+			tracer.Reset()
+			tracer.Start()
+		}
 		start := time.Now()
 		res, err := cop.FaultCampaign(cop.FaultCampaignConfig{
 			Mode:          sc.Mode,
@@ -149,14 +181,117 @@ func runFaults(out io.Writer, telReg *telemetry.Registry, schemeArg string, seed
 			Parallel:      workers > 1,
 			Workload:      workloadName,
 			ObserveMemory: telReg.Set,
+			Tracer:        tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("campaign %s: %v", sc.Name, err)
 		}
 		fmt.Fprint(out, res.Table())
+		if tracer != nil && res.TraceDumps > 0 {
+			fmt.Fprintf(out, "black-box dump (%d anomaly freeze(s)): %s.%s.dump\n", res.TraceDumps, traceOut, sc.Name)
+		}
 		fmt.Fprintf(out, "(%s in %v)\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
 	}
+	if tracer != nil {
+		tracer.Stop()
+		if err := writeChromeTrace(traceOut, tracer); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "execution trace: %s (open in https://ui.perfetto.dev or chrome://tracing)\n", traceOut)
+	}
 	return nil
+}
+
+// traceDemoShards is the shard count of the -trace-out demo memory; the
+// demo tracer reserves one extra ring for the DRAM command stream.
+const traceDemoShards = 4
+
+// runTraceDemo drives a short mixed workload through a traced sharded
+// memory plus a DRAM command-stream model and writes the resulting
+// execution trace as Chrome trace-event JSON: per-shard/per-layer tracks
+// in logical ticks, per-bank DRAM tracks in bus cycles, flow arrows
+// tying accesses across layers.
+func runTraceDemo(out io.Writer, telReg *telemetry.Registry, tracer *cop.Tracer, path string) error {
+	tracer.Start()
+	mem, err := cop.NewShardedMemoryChecked(cop.ShardedMemoryConfig{
+		Mem:    cop.MemoryConfig{Mode: cop.ModeCOP, LLCBytes: 64 * 1024, LLCWays: 8, Tracer: tracer},
+		Shards: traceDemoShards,
+	})
+	if err != nil {
+		return err
+	}
+	telReg.Set(mem)
+	p, err := workload.Get("gcc")
+	if err != nil {
+		return err
+	}
+	dramSys := dram.New(dram.DefaultConfig())
+	dramSys.AttachTracer(tracer.Handle(traceDemoShards))
+
+	// Footprint past the LLC so the trace carries misses, evictions, and
+	// writebacks, not just hits. Every eighth access also issues a DRAM
+	// request tagged with the access's flow id, so the bus-cycle tracks
+	// join the logical-tick tracks through flow arrows.
+	const blocks = 4096
+	const ops = 12000
+	var (
+		now   uint64
+		batch []dram.Request
+	)
+	flush := func() {
+		for _, fin := range dramSys.ServiceBatch(now, batch) {
+			if fin > now {
+				now = fin
+			}
+		}
+		batch = batch[:0]
+	}
+	for i := 0; i < blocks; i++ {
+		addr := uint64(i) * cop.BlockBytes
+		if err := mem.Write(addr, p.Block(addr, 0)); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(0x7ACE))
+	for i := 0; i < ops; i++ {
+		addr := uint64(rng.Intn(blocks)) * cop.BlockBytes
+		if i%3 == 0 {
+			if err := mem.Write(addr, p.Block(addr, uint32(i))); err != nil {
+				return err
+			}
+		} else if _, err := mem.Read(addr); err != nil {
+			return err
+		}
+		batch = append(batch, dram.Request{Addr: addr, Write: i%3 == 0, Flow: tracer.LastFlow()})
+		if len(batch) == 8 {
+			flush()
+		}
+	}
+	if len(batch) > 0 {
+		flush()
+	}
+	tracer.Stop()
+	if err := writeChromeTrace(path, tracer); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "execution trace: %d records (of %d recorded) -> %s\n",
+		len(tracer.Snapshot()), tracer.TotalRecords(), path)
+	fmt.Fprintln(out, "open in https://ui.perfetto.dev or chrome://tracing")
+	return nil
+}
+
+// writeChromeTrace exports the tracer's ring contents to path as Chrome
+// trace-event JSON.
+func writeChromeTrace(path string, tracer *cop.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cop.ExportChromeTrace(f, tracer.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runParallel measures aggregate throughput of the sharded memory model

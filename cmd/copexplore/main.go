@@ -1,6 +1,8 @@
 // Command copexplore serves the experiment suite over HTTP: browse every
 // reproducible table and figure, regenerate them live with custom
 // fidelity, download CSVs, and classify your own data through COP's eyes.
+// It also hosts a live traced demo memory, so /metrics, /snapshot, and the
+// /trace.* flight-recorder endpoints have real content to serve.
 //
 // Usage:
 //
@@ -15,6 +17,7 @@ import (
 	"net/http"
 
 	"cop"
+	"cop/internal/telemetry"
 	"cop/internal/webui"
 )
 
@@ -30,6 +33,44 @@ func main() {
 	srv := webui.NewServer(cop.ExperimentOptions{
 		Samples: *samples, Epochs: *epochs, AliasSamples: *aliasN,
 	})
-	fmt.Printf("copexplore: serving %d experiments on %s\n", len(cop.Experiments()), *addr)
+	reg, tracer, err := demoMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Attach(reg, tracer)
+	fmt.Printf("copexplore: serving %d experiments on %s (live metrics: /snapshot, trace: /trace.json)\n",
+		len(cop.Experiments()), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// demoMemory builds a small traced COP memory and runs a short workload
+// through it, so the observability endpoints serve non-empty data the
+// moment the explorer starts. /trace/start re-arms the recorder for
+// fresh captures.
+func demoMemory() (*telemetry.Registry, *cop.Tracer, error) {
+	tracer := cop.NewTracer(cop.TraceConfig{})
+	tracer.Start()
+	mem := cop.NewMemory(cop.MemoryConfig{
+		Mode: cop.ModeCOP, LLCBytes: 64 * 1024, LLCWays: 8, Tracer: tracer,
+	})
+	p, err := cop.Workload("gcc")
+	if err != nil {
+		return nil, nil, err
+	}
+	const blocks = 2048
+	for i := 0; i < blocks; i++ {
+		addr := uint64(i) * cop.BlockBytes
+		if err := mem.Write(addr, p.Block(addr, 0)); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < 2*blocks; i++ {
+		addr := uint64(i*7%blocks) * cop.BlockBytes
+		if _, err := mem.Read(addr); err != nil {
+			return nil, nil, err
+		}
+	}
+	reg := &telemetry.Registry{}
+	reg.Set(mem)
+	return reg, tracer, nil
 }

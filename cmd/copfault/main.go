@@ -8,6 +8,7 @@
 //	copfault                                   # defaults: gcc, all modes
 //	copfault -bench lbm -blocks 4096 -flips 5000
 //	copfault -mode cop-er -seed 7
+//	copfault -trace-out trace.json             # + execution trace & black-box dumps
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"cop"
 	"cop/internal/cli"
 	"cop/internal/memctrl"
+	"cop/internal/trace"
 	"cop/internal/workload"
 )
 
@@ -40,9 +42,15 @@ func run(args []string, stdout io.Writer) error {
 		mode     = fs.String("mode", "all", "protection mode or 'all' ("+cli.SchemeNames()+")")
 		seed     = cli.SeedFlag(fs, "seed", 0xFA117, "injection PRNG seed")
 		chipFail = fs.Bool("chipfail", false, "inject whole-chip failures instead of single-bit flips")
+		traceOut = cli.TraceOutFlag(fs, "write a Chrome trace-event JSON execution trace of the campaigns here; "+
+			"the first silent corruption per mode freezes a black-box dump beside it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{})
 	}
 	p, err := workload.Get(*bench)
 	if err != nil {
@@ -61,13 +69,44 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "workload=%s blocks=%d faults=%d (%s) seed=%#x\n\n", p.Name, *blocks, *flips, kind, *seed)
 	fmt.Fprintf(stdout, "%-14s %10s %10s %10s %12s\n", "mode", "corrected", "silent", "detected", "silent rate")
 	for _, sc := range schemes {
-		res, err := campaign(p, sc.Mode, *blocks, *flips, *seed, *chipFail)
+		var dumpsBefore uint64
+		if tracer != nil {
+			dumpsBefore = tracer.Dumps()
+			dumpPath := fmt.Sprintf("%s.%s.dump", *traceOut, sc.Name)
+			tracer.OnAnomaly(func(d *trace.Dump) {
+				if f, err := os.Create(dumpPath); err == nil {
+					_, _ = d.WriteTo(f)
+					f.Close()
+				}
+			})
+			tracer.Reset()
+			tracer.Start()
+		}
+		res, err := campaign(p, sc.Mode, *blocks, *flips, *seed, *chipFail, tracer)
 		if err != nil {
 			return err
 		}
 		total := res.corrected + res.silent + res.detected
 		fmt.Fprintf(stdout, "%-14s %10d %10d %10d %11.2f%%\n",
 			sc.Name, res.corrected, res.silent, res.detected, 100*float64(res.silent)/float64(total))
+		if tracer != nil && tracer.Dumps() > dumpsBefore {
+			fmt.Fprintf(stdout, "%-14s black-box dump: %s.%s.dump\n", "", *traceOut, sc.Name)
+		}
+	}
+	if tracer != nil {
+		tracer.Stop()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.ExportChromeJSON(f, tracer.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nexecution trace: %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
 	return nil
 }
@@ -86,8 +125,8 @@ func (r *rng) next() uint64 {
 	return r.s
 }
 
-func campaign(p *workload.Profile, mode memctrl.Mode, blocks, flips int, seed uint64, chipFail bool) (campaignResult, error) {
-	mem := cop.NewMemory(cop.MemoryConfig{Mode: mode, LLCBytes: 64 * 1024, LLCWays: 8})
+func campaign(p *workload.Profile, mode memctrl.Mode, blocks, flips int, seed uint64, chipFail bool, tracer *trace.Tracer) (campaignResult, error) {
+	mem := cop.NewMemory(cop.MemoryConfig{Mode: mode, LLCBytes: 64 * 1024, LLCWays: 8, Tracer: tracer})
 	ref := make(map[uint64][]byte, blocks)
 	for i := 0; i < blocks; i++ {
 		addr := uint64(i) * cop.BlockBytes
@@ -120,6 +159,9 @@ func campaign(p *workload.Profile, mode memctrl.Mode, blocks, flips int, seed ui
 			res.detected++
 		case !bytes.Equal(got, ref[addr]):
 			res.silent++
+			// Wrong data, no error: the flight-recorder black box for
+			// exactly this moment (first silent corruption wins).
+			tracer.TriggerAnomaly(trace.ReasonSilentCorruption, addr)
 		case mem.Stats().CorrectedErrors > before:
 			res.corrected++
 		}

@@ -2,6 +2,13 @@
 // the experiments run on (the repo's substitute for Pin/Sniper captures of
 // SPEC CPU2006 and PARSEC).
 //
+// Terminology: a *workload trace* (this command) is an input — the
+// addresses and block contents a benchmark would drive through the model.
+// An *execution trace* (copbench/copfault -trace-out, cmd/copdump,
+// internal/trace) is an output — the flight-recorder record of what the
+// hierarchy did while serving those accesses. They share nothing but the
+// word "trace".
+//
 // Usage:
 //
 //	coptrace -list                    # registered benchmarks

@@ -23,6 +23,7 @@
 package cop
 
 import (
+	"io"
 	"net/http"
 
 	"cop/internal/chipkill"
@@ -33,6 +34,7 @@ import (
 	"cop/internal/reliability"
 	"cop/internal/shard"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 	"cop/internal/workload"
 )
 
@@ -138,6 +140,45 @@ type (
 // TelemetryHandler serves /metrics (Prometheus text), /snapshot (JSON),
 // /debug/vars (expvar), and /debug/pprof for src.
 func TelemetryHandler(src TelemetrySource) http.Handler { return telemetry.Handler(src) }
+
+// Execution tracing, re-exported from internal/trace: a per-shard
+// flight recorder of fixed-size binary records covering the full access
+// lifecycle (shard route → cache → codec → DRAM commands → ECC region).
+// Distinct from workload traces (coptrace): a workload trace is an
+// address/content *input* to the model; an execution trace is a record of
+// what the model *did*.
+type (
+	// Tracer owns the ring buffers. Attach one to a Memory or
+	// ShardedMemory via MemoryConfig.Tracer, call Start, and drain with
+	// Snapshot / ExportChromeJSON, or let an anomaly freeze the rings and
+	// cut a black-box TraceDump.
+	Tracer = trace.Tracer
+	// TraceConfig sizes the rings and selects the anomaly triggers.
+	TraceConfig = trace.Config
+	// TraceRecord is one fixed-size (64-byte) execution-trace record.
+	TraceRecord = trace.Record
+	// TraceDump is a frozen black-box excerpt: the trigger record plus
+	// the last records of every ring.
+	TraceDump = trace.Dump
+)
+
+// NewTracer builds an execution-trace flight recorder (disabled until
+// Start; a disabled tracer costs one atomic load per potential record).
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// ExportChromeTrace writes records as Chrome trace-event JSON that
+// Perfetto and chrome://tracing load directly: one track per shard and
+// layer in logical-tick time, one track per DRAM bank in bus-cycle time,
+// flow arrows tying each access across layers.
+func ExportChromeTrace(w io.Writer, recs []TraceRecord) error {
+	return trace.ExportChromeJSON(w, recs)
+}
+
+// TelemetryHandlerWithTrace is TelemetryHandler plus the /trace/start,
+// /trace/stop, /trace.json, and /trace.bin flight-recorder endpoints.
+func TelemetryHandlerWithTrace(src TelemetrySource, tr *Tracer) http.Handler {
+	return telemetry.HandlerWithTracer(src, tr)
+}
 
 // ShardedMemory is a concurrency-safe protected-memory model: block
 // addresses are striped across independent per-shard controllers (one lock

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // Line is one cache block's metadata (and optionally contents).
@@ -65,6 +66,7 @@ type Cache struct {
 	ways     int
 	tick     uint64
 	tel      telemetry.CacheCounters
+	th       *trace.Handle
 }
 
 // New builds a cache of sizeBytes capacity with the given associativity
@@ -120,6 +122,21 @@ func (c *Cache) Stats() Stats {
 // Telemetry returns the cache's section of the unified snapshot tree.
 func (c *Cache) Telemetry() telemetry.CacheStats { return c.tel.Snapshot() }
 
+// SetTracer attaches an execution-trace handle (nil detaches). The cache
+// shares its owner's handle so its records join the access's flow.
+func (c *Cache) SetTracer(h *trace.Handle) { c.th = h }
+
+func lineFlags(l Line) trace.Flags {
+	var f trace.Flags
+	if l.Dirty {
+		f |= trace.FlagDirty
+	}
+	if l.Alias {
+		f |= trace.FlagAlias
+	}
+	return f
+}
+
 func (c *Cache) setIdx(addr uint64) int {
 	return int((addr >> c.shift) & c.setMask)
 }
@@ -144,6 +161,9 @@ func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit boo
 			c.tick++
 			w.lru = c.tick
 			c.tel.Hits.Inc()
+			if c.th.Enabled() {
+				c.th.Record(trace.KindCacheHit, addr, 0, trace.FlagHit|lineFlags(w.line), 0, 0, 0)
+			}
 			return &w.line, Line{}, false, true
 		}
 	}
@@ -161,6 +181,10 @@ func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit boo
 					delete(c.overflow, si)
 				}
 				c.tel.Hits.Inc()
+				if c.th.Enabled() {
+					c.th.Record(trace.KindCacheHit, addr, 0,
+						trace.FlagHit|trace.FlagOverflow|lineFlags(promoted), 0, 0, 0)
+				}
 				victim, writeback = c.insertInto(si, promoted)
 				for j := range c.sets[si] {
 					w := &c.sets[si][j]
@@ -173,6 +197,9 @@ func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit boo
 		}
 	}
 	c.tel.Misses.Inc()
+	if c.th.Enabled() {
+		c.th.Record(trace.KindCacheMiss, addr, 0, 0, 0, 0, 0)
+	}
 	return nil, Line{}, false, false
 }
 
@@ -238,10 +265,16 @@ func (c *Cache) insertInto(si int, line Line) (victim Line, writeback bool) {
 	if vi >= 0 {
 		if c.anyAlias(set) {
 			c.tel.AliasPins.Inc()
+			if c.th.Enabled() {
+				c.th.Record(trace.KindCacheAliasPin, line.Addr, 0, trace.FlagAlias, 0, 0, 0)
+			}
 		}
 		victim = set[vi].line
 		set[vi] = way{valid: true, line: line, lru: c.tick}
 		c.tel.Evictions.Inc()
+		if c.th.Enabled() {
+			c.th.Record(trace.KindCacheEvict, victim.Addr, 0, lineFlags(victim), 0, 0, 0)
+		}
 		if victim.Dirty {
 			c.tel.Writebacks.Inc()
 			return victim, true
@@ -256,6 +289,10 @@ func (c *Cache) insertInto(si int, line Line) (victim Line, writeback bool) {
 		}
 	}
 	c.tel.Spills.Inc()
+	if c.th.Enabled() {
+		c.th.Record(trace.KindCacheSpill, set[li].line.Addr, 0,
+			trace.FlagOverflow|lineFlags(set[li].line), 0, 0, 0)
+	}
 	c.overflow[si] = append(c.overflow[si], set[li].line)
 	c.tel.OverflowOccupancy.Observe(uint64(len(c.overflow[si])))
 	set[li] = way{valid: true, line: line, lru: c.tick}
@@ -284,6 +321,9 @@ func (c *Cache) Evict(addr uint64) (Line, bool, bool) {
 			c.tel.Evictions.Inc()
 			if line.Dirty {
 				c.tel.Writebacks.Inc()
+			}
+			if c.th.Enabled() {
+				c.th.Record(trace.KindCacheEvict, addr, 0, lineFlags(line), 0, 0, 0)
 			}
 			return line, line.Dirty, true
 		}

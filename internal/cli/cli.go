@@ -15,6 +15,7 @@ import (
 
 	"cop/internal/memctrl"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // Scheme pairs a command-line scheme name with its protection mode.
@@ -109,12 +110,21 @@ func TelemetryAddrFlag(fs *flag.FlagSet) *string {
 		"serve /metrics, /snapshot, /debug/vars, and /debug/pprof on this address (e.g. :8080; empty: disabled)")
 }
 
+// TraceOutFlag defines the -trace-out flag shared by copbench and
+// copfault: a Chrome-trace-event JSON destination for the execution
+// flight recorder (empty: tracing disabled).
+func TraceOutFlag(fs *flag.FlagSet, usage string) *string {
+	return fs.String("trace-out", "", usage)
+}
+
 // ServeTelemetry starts the observability server on addr, serving reg
 // (point reg at live memories with Registry.Set), and additionally
-// publishes reg under expvar. It returns the bound address — useful with
-// ":0" — and never blocks; the server runs for the life of the process.
-// An empty addr is a no-op returning "".
-func ServeTelemetry(addr string, reg *telemetry.Registry) (string, error) {
+// publishes reg under expvar. A non-nil tr adds the /trace/start,
+// /trace/stop, /trace.json, and /trace.bin flight-recorder endpoints. It
+// returns the bound address — useful with ":0" — and never blocks; the
+// server runs for the life of the process. An empty addr is a no-op
+// returning "".
+func ServeTelemetry(addr string, reg *telemetry.Registry, tr *trace.Tracer) (string, error) {
 	if addr == "" {
 		return "", nil
 	}
@@ -123,7 +133,7 @@ func ServeTelemetry(addr string, reg *telemetry.Registry) (string, error) {
 		return "", fmt.Errorf("telemetry-addr %q: %v", addr, err)
 	}
 	telemetry.PublishExpvar(reg)
-	srv := &http.Server{Handler: telemetry.Handler(reg)}
+	srv := &http.Server{Handler: telemetry.HandlerWithTracer(reg, tr)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

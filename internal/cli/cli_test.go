@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"flag"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 
 	"cop/internal/memctrl"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 func TestParseSchemes(t *testing.T) {
@@ -55,21 +57,48 @@ func TestSeedFlag(t *testing.T) {
 }
 
 func TestServeTelemetry(t *testing.T) {
-	if addr, err := ServeTelemetry("", nil); addr != "" || err != nil {
+	if addr, err := ServeTelemetry("", nil, nil); addr != "" || err != nil {
 		t.Fatalf("empty addr: %q, %v", addr, err)
 	}
 	reg := &telemetry.Registry{}
-	addr, err := ServeTelemetry("127.0.0.1:0", reg)
+	tr := trace.New(trace.Config{RingSize: 64})
+	addr, err := ServeTelemetry("127.0.0.1:0", reg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get("http://" + addr + "/snapshot")
-	if err != nil {
-		t.Fatal(err)
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != 200 || !strings.Contains(string(body), "scheme") {
-		t.Errorf("/snapshot: %d %s", resp.StatusCode, body)
+	if code, body := get("/snapshot"); code != 200 || !strings.Contains(string(body), "scheme") {
+		t.Errorf("/snapshot: %d %s", code, body)
+	}
+	if code, _ := get("/trace/start"); code != 200 {
+		t.Errorf("/trace/start: %d", code)
+	}
+	if !tr.Enabled() {
+		t.Error("tracer not enabled after /trace/start")
+	}
+	tr.Handle(0).Record(trace.KindLoad, 0x40, 0, 0, 0, 0, 0)
+	if code, body := get("/trace.json"); code != 200 {
+		t.Errorf("/trace.json: %d", code)
+	} else if n, err := trace.ValidateChromeJSON(body); err != nil || n == 0 {
+		t.Errorf("/trace.json: %d events, %v", n, err)
+	}
+	if code, body := get("/trace.bin"); code != 200 {
+		t.Errorf("/trace.bin: %d", code)
+	} else if d, err := trace.ReadDump(bytes.NewReader(body)); err != nil || len(d.Records) != 1 {
+		t.Errorf("/trace.bin: %v (dump %+v)", err, d)
+	}
+	if code, _ := get("/trace/stop"); code != 200 {
+		t.Errorf("/trace/stop: %d", code)
+	}
+	if tr.Enabled() {
+		t.Error("tracer still enabled after /trace/stop")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // CPUCyclesPerMemCycle converts memory cycles to 3.2 GHz CPU cycles.
@@ -133,6 +134,10 @@ type Stats struct {
 type Request struct {
 	Addr  uint64 // byte address
 	Write bool
+	// Flow optionally carries the execution-trace flow id of the access
+	// that caused this request, so the command stream links back to it in
+	// exported traces. 0 means untracked.
+	Flow uint64
 }
 
 type bank struct {
@@ -150,10 +155,16 @@ type System struct {
 	cfg   Config
 	chans []channel
 	tel   telemetry.DRAMCounters
+	th    *trace.Handle
 
 	blocksPerRow uint64
 	banksPerChan uint64
 }
+
+// AttachTracer attaches an execution-trace handle; DRAM command records
+// (ACT/PRE/RD/WR with issue and finish bus cycles) are written through it
+// (nil detaches).
+func (s *System) AttachTracer(h *trace.Handle) { s.th = h }
 
 // New builds a System; zero-value fields of cfg fall back to defaults.
 func New(cfg Config) *System {
@@ -316,16 +327,19 @@ func (s *System) Access(now uint64, addr uint64, write bool) uint64 {
 	start = tm.refreshDelay(start)
 
 	var colReadyAt uint64
+	conflict, activate := false, false
 	switch {
 	case b.openRow == row:
 		s.tel.RowHits.Inc()
 		colReadyAt = start
 	case b.openRow == -1:
 		s.tel.RowMisses.Inc()
+		activate = true
 		colReadyAt = start + tm.RCD
 	default:
 		s.tel.RowMisses.Inc()
 		s.tel.RowConflicts.Inc()
+		conflict, activate = true, true
 		colReadyAt = start + tm.RP + tm.RCD
 	}
 	if s.cfg.Page == ClosedPage {
@@ -362,6 +376,29 @@ func (s *System) Access(now uint64, addr uint64, write bool) uint64 {
 	s.tel.TotalQueueDelay.Add(start - now)
 	s.tel.AccessLatency.Observe(finish - now)
 	s.tel.QueueDelay.Observe(start - now)
+
+	if s.th.Enabled() {
+		// Bank readiness is monotonic (readyAt never decreases), so the
+		// issue cycles recorded per bank track are monotonic too.
+		aux := trace.PackBank(ch, int(bi)/s.cfg.BanksPerRank, int(bi)%s.cfg.BanksPerRank)
+		var wf trace.Flags
+		kind := trace.KindDRAMRead
+		if write {
+			wf = trace.FlagWrite
+			kind = trace.KindDRAMWrite
+		}
+		if conflict {
+			s.th.Record(trace.KindDRAMPre, addr, aux, wf, start, start+tm.RP, uint64(row))
+		}
+		if activate {
+			act := start
+			if conflict {
+				act += tm.RP
+			}
+			s.th.Record(trace.KindDRAMAct, addr, aux, wf, act, act+tm.RCD, uint64(row))
+		}
+		s.th.Record(kind, addr, aux, wf, dataStart, finish, uint64(row))
+	}
 	return finish
 }
 
@@ -394,6 +431,7 @@ func (s *System) ServiceBatch(now uint64, reqs []Request) []uint64 {
 			})
 		}
 		for _, i := range idxs {
+			s.th.SetFlow(reqs[i].Flow)
 			finish[i] = s.Access(now, reqs[i].Addr, reqs[i].Write)
 		}
 	}

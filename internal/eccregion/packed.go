@@ -7,6 +7,7 @@ import (
 	"cop/internal/bitio"
 	"cop/internal/ecc"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // PackedStore is the generic engine behind the ECC region: fixed-size
@@ -27,7 +28,12 @@ type PackedStore struct {
 
 	mruL3 int
 	tel   telemetry.RegionCounters
+	th    *trace.Handle
 }
+
+// AttachTracer shares the owning controller's execution-trace handle so
+// entry alloc/free events join the access's flow (nil detaches).
+func (r *PackedStore) AttachTracer(h *trace.Handle) { r.th = h }
 
 // validBitCode protects the 501 valid bits of each tree block.
 var validBitCode = ecc.New(512, ValidBitsPerBlock, ecc.Hsiao)
@@ -283,7 +289,11 @@ func (r *PackedStore) AllocatePayload(payload []byte, accept func(ptr uint32) bo
 	if r.blockFull(b) {
 		r.setL3(b, true)
 	}
-	return r.join(b, s), nil
+	ptr := r.join(b, s)
+	if r.th.Enabled() {
+		r.th.Record(trace.KindRegionAlloc, 0, 0, 0, uint64(ptr), uint64(r.tel.Live.Load()), 0)
+	}
+	return ptr, nil
 }
 
 // setL3 updates entry block b's L3 bit and propagates fullness up the tree.
@@ -376,6 +386,9 @@ func (r *PackedStore) Free(ptr uint32) error {
 	r.tel.Writes.Inc()
 	r.tel.Frees.Inc()
 	r.tel.Live.Add(-1)
+	if r.th.Enabled() {
+		r.th.Record(trace.KindRegionFree, 0, 0, 0, uint64(ptr), uint64(r.tel.Live.Load()), 0)
+	}
 	if wasFull {
 		r.setL3(b, false)
 	}

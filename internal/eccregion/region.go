@@ -28,6 +28,7 @@ import (
 
 	"cop/internal/bitio"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 const (
@@ -82,6 +83,10 @@ func (r *Region) Stats() Stats { return r.store.Stats() }
 
 // Telemetry returns the region section of the unified snapshot tree.
 func (r *Region) Telemetry() telemetry.RegionStats { return r.store.Telemetry() }
+
+// AttachTracer shares the owning controller's execution-trace handle with
+// the backing store (nil detaches).
+func (r *Region) AttachTracer(h *trace.Handle) { r.store.AttachTracer(h) }
 
 // BlocksUsed returns the total 64-byte blocks the region occupies: entry
 // blocks plus all levels of the valid-bit tree. This is COP-ER's storage

@@ -36,6 +36,7 @@ import (
 	"cop/internal/reliability"
 	"cop/internal/shard"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 	"cop/internal/workload"
 )
 
@@ -128,6 +129,12 @@ type Config struct {
 	// long-running drivers point a telemetry.Registry (and hence a live
 	// /metrics endpoint) at the campaign in flight.
 	ObserveMemory func(telemetry.Source)
+	// Tracer, when non-nil, attaches the execution-trace flight recorder
+	// to the campaign memory. Every injected fault is labeled with a
+	// KindFaultInject record (failure mode + bits flipped), and the first
+	// silent corruption or oracle mismatch freezes the rings and cuts a
+	// black-box dump whose tail identifies the fault's block address.
+	Tracer *trace.Tracer
 }
 
 // CampaignGeometry is the default physical mapping for campaigns: 2
@@ -195,6 +202,9 @@ type Result struct {
 	// Memory is the campaign memory's final telemetry snapshot (merged
 	// across shards when Workers > 1).
 	Memory telemetry.Snapshot
+	// TraceDumps counts black-box dumps the attached Tracer cut during
+	// the campaign (0 when no Tracer was configured or nothing froze).
+	TraceDumps uint64
 }
 
 // TotalFaults sums the injected fault events.
@@ -504,7 +514,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Blocks < cfg.Workers {
 		return nil, fmt.Errorf("faultsim: %d blocks cannot feed %d workers", cfg.Blocks, cfg.Workers)
 	}
-	memCfg := memctrl.Config{Mode: cfg.Mode, LLCBytes: cfg.LLCBytes, LLCWays: cfg.LLCWays}
+	memCfg := memctrl.Config{Mode: cfg.Mode, LLCBytes: cfg.LLCBytes, LLCWays: cfg.LLCWays, Tracer: cfg.Tracer}
 	var mem target
 	if cfg.Workers > 1 {
 		// Workers is a free worker count; shard counts must be powers of
@@ -547,8 +557,25 @@ func Run(cfg Config) (*Result, error) {
 	bgMiss := make([]int, cfg.Workers)
 	errs := make([]error, cfg.Workers)
 
+	// Per-worker trace handles: injections are labeled from the worker's
+	// own ring (ring appends are mutex-safe; the flow state is untouched).
+	var traceHandles []*trace.Handle
+	var dumpsBefore uint64
+	if cfg.Tracer != nil {
+		dumpsBefore = cfg.Tracer.Dumps()
+		cfg.Tracer.EnsureShards(cfg.Workers)
+		traceHandles = make([]*trace.Handle, cfg.Workers)
+		for w := range traceHandles {
+			traceHandles[w] = cfg.Tracer.Handle(w)
+		}
+	}
+
 	runWorker := func(w int) {
 		lo, hi := uint64(w)*blocksPer, uint64(w+1)*blocksPer
+		var th *trace.Handle
+		if traceHandles != nil {
+			th = traceHandles[w]
+		}
 		rows := make([]ModeOutcomes, len(cfg.Modes))
 		for mi, mode := range cfg.Modes {
 			rows[mi].Mode = mode
@@ -574,6 +601,10 @@ func Run(cfg Config) (*Result, error) {
 					if !live[i] {
 						rows[mi].Skipped++
 						continue
+					}
+					if th.Enabled() {
+						th.Record(trace.KindFaultInject, a, uint32(mode), 0,
+							uint64(len(ev.bits[i])), uint64(trial), 0)
 					}
 					for _, bit := range ev.bits[i] {
 						if !mem.InjectBitFlip(a, bit) {
@@ -601,6 +632,11 @@ func Run(cfg Config) (*Result, error) {
 					rows[mi].Counts[out]++
 					if om {
 						rows[mi].OracleMismatches++
+					}
+					if (out == Silent || out == FalseAlias || om) && cfg.Tracer != nil {
+						// Silent corruption: freeze the flight recorder
+						// and cut the black-box dump (first one wins).
+						cfg.Tracer.TriggerAnomaly(trace.ReasonSilentCorruption, a)
 					}
 					if errs[w] = mem.Write(a, want); errs[w] != nil {
 						return
@@ -674,6 +710,9 @@ func Run(cfg Config) (*Result, error) {
 		res.BackgroundMismatches += bgMiss[w]
 	}
 	res.Memory = mem.Snapshot()
+	if cfg.Tracer != nil {
+		res.TraceDumps = cfg.Tracer.Dumps() - dumpsBefore
+	}
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"cop/internal/memctrl"
 	"cop/internal/reliability"
+	"cop/internal/trace"
 )
 
 // TestCampaignDeterministic is the acceptance campaign: >=10k injections
@@ -187,5 +188,67 @@ func TestTableShape(t *testing.T) {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
+	}
+}
+
+// TestCampaignBlackBoxDump is the flight-recorder acceptance test: a
+// campaign on an unprotected memory must hit silent corruption, freeze the
+// attached tracer, and cut a dump whose tail identifies the injected
+// fault — a KindFaultInject record at the same block address as the
+// anomaly trigger, followed by the read that observed the corruption.
+func TestCampaignBlackBoxDump(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	tr.Start()
+	res, err := Run(Config{Mode: memctrl.Unprotected, Seed: 0xC0FFEE, Injections: 500, Tracer: tr})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if res.Outcomes(Silent) == 0 {
+		t.Fatal("unprotected campaign produced no silent corruption — test premise broken")
+	}
+	if res.TraceDumps != 1 {
+		t.Fatalf("TraceDumps = %d, want 1 (first freeze wins)", res.TraceDumps)
+	}
+	if !tr.Frozen() {
+		t.Error("tracer not frozen after silent corruption")
+	}
+	d := tr.LastDump()
+	if d == nil {
+		t.Fatal("no dump recorded")
+	}
+	if d.Reason != trace.ReasonSilentCorruption {
+		t.Errorf("dump reason = %s, want silent-corruption", d.Reason)
+	}
+	if d.Trigger.Kind != trace.KindAnomaly || d.Trigger.Flags&trace.FlagTrigger == 0 {
+		t.Errorf("trigger record = %+v", d.Trigger)
+	}
+	faulty := d.Trigger.Addr
+	var sawInject, sawRead bool
+	// The blast radius must be in the dump's tail: the injection into the
+	// corrupted block and the load that read it back.
+	for _, r := range d.Records {
+		if r.Addr == faulty && r.Kind == trace.KindFaultInject {
+			sawInject = true
+		}
+		if r.Addr == faulty && sawInject && r.Kind == trace.KindLoad {
+			sawRead = true
+		}
+	}
+	if !sawInject || !sawRead {
+		t.Errorf("dump tail does not identify the injected fault at %#x (inject=%v read=%v, %d records)",
+			faulty, sawInject, sawRead, len(d.Records))
+	}
+	// Once frozen, the rings stop moving: a second campaign over the same
+	// tracer must not cut another dump until Reset.
+	res2, err := Run(Config{Mode: memctrl.Unprotected, Seed: 0xBEEF, Injections: 200, Tracer: tr})
+	if err != nil {
+		t.Fatalf("campaign 2: %v", err)
+	}
+	if res2.TraceDumps != 0 {
+		t.Errorf("frozen tracer cut %d more dumps", res2.TraceDumps)
+	}
+	tr.Reset()
+	if tr.Frozen() {
+		t.Error("Reset did not unfreeze")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"cop/internal/core"
 	"cop/internal/ecc"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // BlockBytes is the access granularity.
@@ -180,6 +181,7 @@ type Controller struct {
 	aliasSpill []cache.Line          // alias lines parked during Flush
 	tel        telemetry.ControllerCounters
 	hooks      *telemetry.Hooks // nil until the first Subscribe
+	th         *trace.Handle    // nil until AttachTracer; nil-safe
 }
 
 // Config parameterizes the controller.
@@ -199,6 +201,11 @@ type Config struct {
 	// controllers implement this as demand scrubbing; the paper does
 	// not model it, so it defaults off.
 	ScrubOnCorrect bool
+	// Tracer attaches an execution-trace flight recorder (ring 0; sharded
+	// front-ends re-attach per-shard handles). Until the tracer is
+	// started, the hot path pays one nil check plus one atomic load and
+	// never allocates.
+	Tracer *trace.Tracer
 }
 
 // New builds a controller.
@@ -237,8 +244,30 @@ func New(cfg Config) *Controller {
 	case COPChipkill:
 		c.ck = chipkill.NewER()
 	}
+	if cfg.Tracer != nil {
+		c.AttachTracer(cfg.Tracer.Handle(0))
+	}
 	return c
 }
+
+// AttachTracer binds an execution-trace handle to the controller and every
+// layer it owns (LLC, ECC-region store), so the whole access lifecycle
+// shares one flow id per operation. Pass nil to detach. The handle's flow
+// state is mutated on the accessing goroutine, so attach before traffic or
+// under the same lock that serializes the controller.
+func (c *Controller) AttachTracer(h *trace.Handle) {
+	c.th = h
+	c.llc.SetTracer(h)
+	if c.er != nil {
+		c.er.Region().AttachTracer(h)
+	}
+	if c.ck != nil {
+		c.ck.Store().AttachTracer(h)
+	}
+}
+
+// Tracer returns the attached trace handle (nil when tracing is unwired).
+func (c *Controller) Tracer() *trace.Handle { return c.th }
 
 // Mode returns the protection mode.
 func (c *Controller) Mode() Mode { return c.mode }
@@ -322,11 +351,20 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 	}
 	addr = align(addr)
 	c.tel.Stores.Inc()
-	buf := make([]byte, BlockBytes)
-	copy(buf, data)
+	if c.th.Enabled() {
+		c.th.Begin()
+		c.th.Record(trace.KindStore, addr, 0, trace.FlagWrite, 0, 0, 0)
+	}
 
 	if line, victim, wb, hit := c.llc.Lookup(addr); hit {
-		line.Data = buf
+		// Refresh the resident buffer in place: fills and misses always
+		// give lines their own buffers (DRAM images are never re-entered
+		// into the cache), so nothing else aliases it and the steady-state
+		// store path allocates nothing.
+		if line.Data == nil {
+			line.Data = make([]byte, BlockBytes)
+		}
+		copy(line.Data, data)
 		line.Dirty = true
 		c.setAliasBit(line)
 		// The lookup may have promoted a spilled overflow line, evicting a
@@ -337,6 +375,8 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 		}
 		return nil
 	}
+	buf := make([]byte, BlockBytes)
+	copy(buf, data)
 	line := cache.Line{Addr: addr, Dirty: true, Data: buf}
 	// Preserve an existing COP-ER entry association across the miss: the
 	// "was uncompressed" state would have been captured at fill time; a
@@ -359,6 +399,16 @@ func (c *Controller) setAliasBit(line *cache.Line) {
 		// COP-ER de-aliases every block via the region pointer; the
 		// remaining modes have no alias concept.
 		line.Alias = false
+		return
+	}
+	if c.th.Enabled() {
+		compressible := uint32(1)
+		var f trace.Flags
+		if line.Alias {
+			compressible = 0
+			f = trace.FlagAlias
+		}
+		c.th.Record(trace.KindClassify, line.Addr, compressible, f, 0, uint64(c.mode), 0)
 	}
 }
 
@@ -408,6 +458,7 @@ func (c *Controller) writeback(victim cache.Line) error {
 			// another rejected writeback of the same line.
 			c.tel.AliasRetained.Inc()
 			c.emit("alias-retained", addr, 0)
+			c.traceAliasRetained(addr)
 			victim.Alias = true
 			return c.insert(victim)
 		}
@@ -473,6 +524,7 @@ func (c *Controller) writeback(victim cache.Line) error {
 		case core.RejectedAlias:
 			c.tel.AliasRetained.Inc()
 			c.emit("alias-retained", addr, 0)
+			c.traceAliasRetained(addr)
 			victim.Alias = true
 			return c.insert(victim)
 		}
@@ -489,7 +541,22 @@ func (c *Controller) writeback(victim cache.Line) error {
 		c.tel.StoredCompressed.Inc() // protected, inline — closest bucket
 		c.tel.DIMMCheckBytesWritten.Add(8)
 	}
+	if c.th.Enabled() {
+		f := trace.FlagWrite
+		if c.kinds[addr] == StoredKindCompressed {
+			f |= trace.FlagCompressed
+		}
+		c.th.Record(trace.KindEncode, addr, uint32(c.kinds[addr]), f, 0, uint64(c.mode), 0)
+	}
 	return nil
+}
+
+// traceAliasRetained records a writeback rejected by the alias check and
+// feeds the tracer's alias-burst anomaly trigger.
+func (c *Controller) traceAliasRetained(addr uint64) {
+	if c.th.Enabled() {
+		c.th.Record(trace.KindAliasRetained, addr, 0, trace.FlagAlias|trace.FlagWrite, 0, uint64(c.mode), 0)
+	}
 }
 
 func kindOf(compressed bool) StoredKind {
@@ -510,42 +577,66 @@ func (c *Controller) Read(addr uint64) ([]byte, error) {
 // corrected? region consulted?) instead of inferring them from Stats
 // deltas.
 func (c *Controller) ReadWithInfo(addr uint64) ([]byte, ReadInfo, error) {
+	out := make([]byte, BlockBytes)
+	info, err := c.ReadInto(out, addr)
+	if err != nil {
+		return nil, info, err
+	}
+	return out, info, nil
+}
+
+// ReadInto reads the block holding addr into dst (at least BlockBytes
+// long), allocating nothing on the steady-state LLC-hit path. It is the
+// zero-copy core of Read/ReadWithInfo.
+func (c *Controller) ReadInto(dst []byte, addr uint64) (ReadInfo, error) {
+	if len(dst) < BlockBytes {
+		return ReadInfo{}, fmt.Errorf("memctrl: ReadInto needs %d bytes", BlockBytes)
+	}
 	addr = align(addr)
 	c.tel.Loads.Inc()
+	if c.th.Enabled() {
+		c.th.Begin()
+		c.th.Record(trace.KindLoad, addr, 0, 0, 0, 0, 0)
+	}
 	if line, victim, wb, hit := c.llc.Lookup(addr); hit {
-		out := make([]byte, BlockBytes)
-		copy(out, line.Data)
+		copy(dst, line.Data)
 		// An overflow promotion during the lookup may have evicted a dirty
 		// line; its writeback must not be dropped.
 		if wb {
 			if err := c.writeback(victim); err != nil {
-				return nil, ReadInfo{}, err
+				return ReadInfo{}, err
 			}
 		}
-		return out, ReadInfo{LLCHit: true}, nil
+		return ReadInfo{LLCHit: true}, nil
 	}
 	c.tel.Fills.Inc()
 	line, info, err := c.fill(addr)
 	if err != nil {
 		c.emit("uncorrectable", addr, 0)
-		return nil, info, err
+		if c.th.Enabled() {
+			c.th.Record(trace.KindUncorrectable, addr, uint32(info.ValidCodewords), 0,
+				uint64(info.Corrected), uint64(c.mode), 0)
+		}
+		return info, err
 	}
 	if info.corrected() {
 		c.emit("corrected", addr, uint64(info.Corrected))
 	}
 	if c.scrub && info.corrected() {
 		if serr := c.scrubBlock(addr, line.Data); serr != nil {
-			return nil, info, serr
+			return info, serr
 		}
 		c.tel.Scrubs.Inc()
 		c.emit("scrub", addr, 0)
+		if c.th.Enabled() {
+			c.th.Record(trace.KindScrub, addr, 0, trace.FlagWrite, 0, uint64(c.mode), 0)
+		}
 	}
-	out := make([]byte, BlockBytes)
-	copy(out, line.Data)
+	copy(dst, line.Data)
 	if ierr := c.insert(line); ierr != nil {
-		return nil, info, ierr
+		return info, ierr
 	}
-	return out, info, nil
+	return info, nil
 }
 
 // fill decodes the DRAM image at addr into a cache line.
@@ -557,6 +648,7 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 	}
 	rinfo := ReadInfo{FromDRAM: true}
 	line := cache.Line{Addr: addr}
+	var segMask uint64 // bitmask of corrected code-word segments (COP modes)
 	switch c.mode {
 	case Unprotected:
 		line.Data = copyBlock(image)
@@ -569,6 +661,7 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 		rinfo.DecodedCompressed = info.Compressed
 		rinfo.ValidCodewords = info.ValidCodewords
 		rinfo.Corrected = len(info.CorrectedSegments)
+		segMask = segmentMask(info.CorrectedSegments)
 		if err != nil {
 			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
@@ -628,6 +721,7 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 		rinfo.DecodedCompressed = info.Compressed
 		rinfo.ValidCodewords = info.ValidCodewords
 		rinfo.Corrected = len(info.CorrectedSegments)
+		segMask = segmentMask(info.CorrectedSegments)
 		if err != nil {
 			c.tel.UncorrectableErrors.Inc()
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
@@ -666,8 +760,29 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 		// zero syndrome (the paper's compressed-vs-raw discriminator).
 		c.tel.ValidCodewords.Observe(uint64(rinfo.ValidCodewords))
 	}
+	if c.th.Enabled() {
+		var f trace.Flags
+		if rinfo.DecodedCompressed {
+			f |= trace.FlagCompressed
+		}
+		c.th.Record(trace.KindDecode, addr, uint32(rinfo.ValidCodewords), f,
+			uint64(rinfo.Corrected), uint64(c.mode), segMask)
+	}
 	c.setAliasBit(&line)
 	return line, rinfo, nil
+}
+
+// segmentMask folds the corrected code-word indices into a bitmask for the
+// decode trace record (segments beyond 63 saturate into bit 63).
+func segmentMask(segs []int) uint64 {
+	var m uint64
+	for _, s := range segs {
+		if s > 63 {
+			s = 63
+		}
+		m |= 1 << uint(s)
+	}
+	return m
 }
 
 // pointerOf re-derives the region pointer embedded in a raw COP-ER image
@@ -683,6 +798,8 @@ func (c *Controller) pointerOf(image []byte) uint32 {
 // error is returned — an early return would silently drop the remaining
 // dirty lines, whose cache entries FlushAll has already invalidated.
 func (c *Controller) Flush() error {
+	// Maintenance work: don't attribute the drain to the last access's flow.
+	c.th.ResetFlow()
 	var ferr error
 	c.llc.FlushAll(func(l cache.Line) {
 		if !l.Dirty {
@@ -697,6 +814,7 @@ func (c *Controller) Flush() error {
 			// callback, dropping the line), so record as retained.
 			c.tel.AliasRetained.Inc()
 			c.emit("alias-retained", l.Addr, 0)
+			c.traceAliasRetained(l.Addr)
 			c.aliasSpill = append(c.aliasSpill, l)
 			return
 		}

@@ -1,0 +1,55 @@
+package memctrl
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cop/internal/trace"
+)
+
+// TestZeroAllocHotPaths pins the steady-state read/write path at zero
+// allocations per op — both with no tracer and with a tracer attached but
+// disabled, the configuration every non-debugging run uses. The sharded
+// throughput benchmark guards the same property in wall-clock terms
+// (BenchmarkShardedThroughput/sharded-8g-traceoff); this test fails fast
+// and precisely when someone reintroduces an allocation.
+func TestZeroAllocHotPaths(t *testing.T) {
+	cases := []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"no-tracer", nil},
+		{"tracer-attached-disabled", trace.New(trace.Config{})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{Mode: COP, LLCBytes: 64 * 1024, LLCWays: 8, Tracer: tc.tracer})
+			data := make([]byte, BlockBytes)
+			for w := 0; w < 8; w++ {
+				binary.BigEndian.PutUint64(data[8*w:], 0x00007F00_00000000|uint64(w))
+			}
+			// Make the working set LLC-resident so the measured ops are
+			// the hit paths (misses legitimately allocate the fill buffer).
+			const resident = 16
+			for i := 0; i < resident; i++ {
+				if err := c.Write(uint64(i)*BlockBytes, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dst := make([]byte, BlockBytes)
+			i := 0
+			if n := testing.AllocsPerRun(200, func() {
+				addr := uint64(i%resident) * BlockBytes
+				if err := c.Write(addr, data); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.ReadInto(dst, addr); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			}); n != 0 {
+				t.Fatalf("read/write hit path allocates %.1f allocs/op, want 0", n)
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"cop/internal/memctrl"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // BlockBytes is the access granularity, re-exported for convenience.
@@ -96,6 +97,16 @@ type shardSlot struct {
 	mu   sync.Mutex
 	ctrl *memctrl.Controller
 	ops  atomic.Uint64
+	th   *trace.Handle // this shard's execution-trace ring; nil-safe
+}
+
+// traceRoute records the shard-routing step and opens the access's flow.
+// Must be called with s.mu held (the handle is single-writer).
+func (s *shardSlot) traceRoute(outer, inner uint64, f trace.Flags) {
+	if s.th.Enabled() {
+		s.th.BeginOuter()
+		s.th.Record(trace.KindShardRoute, inner, 0, f, outer, 0, 0)
+	}
 }
 
 // Controller is a sharded, concurrency-safe memctrl front-end. All methods
@@ -129,6 +140,9 @@ func NewChecked(cfg Config) (*Controller, error) {
 	n := cfg.Shards
 	perShard := cfg.Mem
 	perShard.LLCBytes = cfg.Mem.LLCBytes / n
+	// The tracer is attached per shard below (each shard gets its own
+	// single-writer ring); memctrl.New would bind every shard to ring 0.
+	perShard.Tracer = nil
 	c := &Controller{
 		shards: make([]*shardSlot, n),
 		mask:   uint64(n - 1),
@@ -138,7 +152,29 @@ func NewChecked(cfg Config) (*Controller, error) {
 	for i := range c.shards {
 		c.shards[i] = &shardSlot{ctrl: memctrl.New(perShard)}
 	}
+	if cfg.Mem.Tracer != nil {
+		c.SetTracer(cfg.Mem.Tracer)
+	}
 	return c, nil
+}
+
+// SetTracer attaches an execution-trace flight recorder: the ring set is
+// grown to the shard count and each shard records into its own ring through
+// its own single-writer handle (the shard mutex serializes writers). Call
+// before traffic; pass nil to detach.
+func (c *Controller) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		for _, s := range c.shards {
+			s.th = nil
+			s.ctrl.AttachTracer(nil)
+		}
+		return
+	}
+	t.EnsureShards(len(c.shards))
+	for i, s := range c.shards {
+		s.th = t.Handle(i)
+		s.ctrl.AttachTracer(s.th)
+	}
 }
 
 // NextPow2 returns the smallest power of two >= n (1 for n <= 0): the
@@ -182,6 +218,7 @@ func (c *Controller) Read(addr uint64) ([]byte, error) {
 	s.ops.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.traceRoute(addr, inner, 0)
 	return s.ctrl.Read(inner)
 }
 
@@ -192,7 +229,20 @@ func (c *Controller) ReadWithInfo(addr uint64) ([]byte, memctrl.ReadInfo, error)
 	s.ops.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.traceRoute(addr, inner, 0)
 	return s.ctrl.ReadWithInfo(inner)
+}
+
+// ReadInto reads the block holding addr into dst (at least BlockBytes
+// long) without allocating on the steady-state hit path (see
+// memctrl.ReadInto).
+func (c *Controller) ReadInto(dst []byte, addr uint64) (memctrl.ReadInfo, error) {
+	s, inner := c.locate(addr)
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traceRoute(addr, inner, 0)
+	return s.ctrl.ReadInto(dst, inner)
 }
 
 // Settle forces the block holding addr out of its shard's LLC and into
@@ -221,6 +271,7 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 	s.ops.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.traceRoute(addr, inner, trace.FlagWrite)
 	return s.ctrl.Write(inner, data)
 }
 
@@ -261,6 +312,7 @@ func (c *Controller) WriteBytes(addr uint64, data []byte) error {
 		s, inner := c.locate(base)
 		s.ops.Add(1)
 		s.mu.Lock()
+		s.traceRoute(base, inner, trace.FlagWrite)
 		var err error
 		if off == 0 && take == BlockBytes {
 			err = s.ctrl.Write(inner, data[:BlockBytes])

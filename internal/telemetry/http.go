@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+
+	"cop/internal/trace"
 )
 
 // Registry is a swappable Source holder: long-running binaries start one
@@ -44,8 +46,46 @@ func (r *Registry) Snapshot() Snapshot {
 //
 // The handler reads src on every request, so it always reflects live
 // counters. Pass a *Registry to swap sources after the server starts.
-func Handler(src Source) http.Handler {
+func Handler(src Source) http.Handler { return HandlerWithTracer(src, nil) }
+
+// HandlerWithTracer is Handler plus the execution-trace endpoints for tr
+// (nil tr serves exactly Handler's routes):
+//
+//	/trace/start — reset the flight recorder and begin recording
+//	/trace/stop  — stop recording (rings keep their contents)
+//	/trace.json  — ring contents as Chrome trace-event JSON (Perfetto)
+//	/trace.bin   — ring contents in the compact binary dump format
+//
+// The export endpoints snapshot whatever the rings currently hold, so they
+// work while recording is live or after /trace/stop.
+func HandlerWithTracer(src Source, tr *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
+	if tr != nil {
+		mux.HandleFunc("/trace/start", func(w http.ResponseWriter, req *http.Request) {
+			tr.Reset()
+			tr.Start()
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("tracing started\n"))
+		})
+		mux.HandleFunc("/trace/stop", func(w http.ResponseWriter, req *http.Request) {
+			tr.Stop()
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("tracing stopped\n"))
+		})
+		mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := trace.ExportChromeJSON(w, tr.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/trace.bin", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			d := &trace.Dump{Records: tr.Snapshot()}
+			if _, err := d.WriteTo(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = src.Snapshot().WritePrometheus(w)

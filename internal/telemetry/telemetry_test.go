@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -115,6 +116,46 @@ func TestHooks(t *testing.T) {
 	h.Emit(Event{Layer: "memctrl", Name: "corrected", Addr: 0x40, Value: 2})
 	if len(got) != 1 || got[0].Name != "corrected" || got[0].Addr != 0x40 {
 		t.Errorf("events = %+v", got)
+	}
+}
+
+// TestHooksAttachRacesEmit churns Attach while many goroutines Emit:
+// under -race this proves the copy-on-write subscriber list lets emitters
+// run lock-free against concurrent attachment. Every subscriber attached
+// before the final Emit must see it.
+func TestHooksAttachRacesEmit(t *testing.T) {
+	h := &Hooks{}
+	const emitters = 4
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	var delivered atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Emit(Event{Layer: "test", Name: "race", Addr: uint64(g), Value: uint64(i)})
+			}
+		}(g)
+	}
+	for i := 0; i < iters; i++ {
+		h.Attach(func(Event) { delivered.Add(1) })
+	}
+	close(stop)
+	wg.Wait()
+	before := delivered.Load()
+	h.Emit(Event{Name: "final"})
+	if got := delivered.Load() - before; got != uint64(iters) {
+		t.Errorf("final emit reached %d subscribers, want %d", got, iters)
 	}
 }
 

@@ -1,0 +1,355 @@
+// Chrome-trace-event JSON export (Perfetto / chrome://tracing compatible),
+// a validator for CI, and the compact binary dump format with its reader.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace event, JSON Array Format. Field order is fixed by the struct,
+// and encoding/json emits deterministic output for it, so golden tests can
+// compare bytes.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Process ids in the exported trace. The functional hierarchy runs on the
+// global logical clock; DRAM command events run on bus cycles, so they get
+// their own process to keep the time domains apart in the UI.
+const (
+	pidHierarchy = 1
+	pidDRAM      = 2
+)
+
+// ExportChromeJSON writes recs as Chrome trace event JSON. Layout:
+//
+//   - pid 1 "memory hierarchy (logical ticks)": one thread per
+//     (shard, layer) with events at ts=Time, dur=1.
+//   - pid 2 "dram (bus cycles)": one thread per (channel, rank, bank) with
+//     ACT/PRE/RD/WR spans at ts=issue cycle, dur=finish-issue.
+//   - Flow arrows ("s"/"f") link each access's first hierarchy event to its
+//     last DRAM command (or last hierarchy event when no DRAM command
+//     carries the flow).
+//
+// Output is deterministic for a given record slice: no map iteration decides
+// event order, and args maps have at most one key ordered by encoding/json.
+func ExportChromeJSON(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	events := make([]chromeEvent, 0, len(recs)*2+16)
+
+	// Metadata: process names, then thread names for every track used.
+	events = append(events,
+		meta("process_name", pidHierarchy, 0, "name", "memory hierarchy (logical ticks)"),
+		meta("process_name", pidDRAM, 0, "name", "dram (bus cycles)"),
+	)
+	type track struct{ pid, tid int }
+	seen := make(map[track]bool)
+	trackName := func(r Record) (track, string) {
+		if r.Kind.Layer() == LayerDRAM {
+			ch, rank, bank := UnpackBank(r.Aux)
+			return track{pidDRAM, 1 + int(r.Aux)},
+				fmt.Sprintf("ch%d rank%d bank%d", ch, rank, bank)
+		}
+		l := r.Kind.Layer()
+		return track{pidHierarchy, 1 + int(r.Shard)*int(numLayers) + int(l)},
+			fmt.Sprintf("shard%d %s", r.Shard, l)
+	}
+	var threadMetas []chromeEvent
+	for _, r := range recs {
+		tr, name := trackName(r)
+		if !seen[tr] {
+			seen[tr] = true
+			threadMetas = append(threadMetas, meta("thread_name", tr.pid, tr.tid, "name", name))
+		}
+	}
+	sort.SliceStable(threadMetas, func(i, j int) bool {
+		a, b := threadMetas[i], threadMetas[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		return a.TID < b.TID
+	})
+	events = append(events, threadMetas...)
+
+	// First and last record per flow, for the arrows. DRAM records win the
+	// "last" slot so arrows land on the command stream.
+	type flowEnds struct {
+		first, last        int
+		firstSet, lastDRAM bool
+		n                  int
+	}
+	flows := make(map[uint64]*flowEnds)
+	flowOrder := make([]uint64, 0, 16)
+	for i, r := range recs {
+		if r.Flow == 0 {
+			continue
+		}
+		fe := flows[r.Flow]
+		if fe == nil {
+			fe = &flowEnds{}
+			flows[r.Flow] = fe
+			flowOrder = append(flowOrder, r.Flow)
+		}
+		fe.n++
+		isDRAM := r.Kind.Layer() == LayerDRAM
+		if !fe.firstSet && !isDRAM {
+			fe.first, fe.firstSet = i, true
+		}
+		if isDRAM || !fe.lastDRAM {
+			fe.last = i
+			fe.lastDRAM = fe.lastDRAM || isDRAM
+		}
+	}
+
+	// Event per record.
+	for _, r := range recs {
+		tr, _ := trackName(r)
+		ev := chromeEvent{
+			Name:  r.Kind.String(),
+			Cat:   r.Kind.Layer().String(),
+			Phase: "X",
+			PID:   tr.pid,
+			TID:   tr.tid,
+			TS:    r.Time,
+			Dur:   1,
+			Args:  map[string]any{"addr": hexAddr(r.Addr)},
+		}
+		switch r.Kind.Layer() {
+		case LayerDRAM:
+			ev.TS = r.Arg0
+			if r.Arg1 > r.Arg0 {
+				ev.Dur = r.Arg1 - r.Arg0
+			}
+		default:
+		}
+		if r.Kind == KindAnomaly {
+			ev.Phase = "i"
+			ev.Dur = 0
+			ev.Scope = "g"
+			ev.Name = "ANOMALY: " + Reason(r.Aux).String()
+		}
+		events = append(events, ev)
+	}
+
+	// Flow arrows, in first-appearance order.
+	for _, id := range flowOrder {
+		fe := flows[id]
+		if fe.n < 2 || !fe.firstSet || fe.first == fe.last {
+			continue
+		}
+		for _, e := range []struct {
+			idx int
+			ph  string
+		}{{fe.first, "s"}, {fe.last, "f"}} {
+			r := recs[e.idx]
+			tr, _ := trackName(r)
+			ev := chromeEvent{
+				Name:  "access",
+				Cat:   "flow",
+				Phase: e.ph,
+				PID:   tr.pid,
+				TID:   tr.tid,
+				TS:    r.Time,
+				ID:    id,
+			}
+			if r.Kind.Layer() == LayerDRAM {
+				ev.TS = r.Arg0
+			}
+			if e.ph == "f" {
+				ev.BP = "e"
+			}
+			events = append(events, ev)
+		}
+	}
+
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ns"}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func meta(name string, pid, tid int, argKey, argVal string) chromeEvent {
+	return chromeEvent{Name: name, Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{argKey: argVal}}
+}
+
+func hexAddr(a uint64) string { return fmt.Sprintf("0x%x", a) }
+
+// ValidateChromeJSON checks that data is well-formed Chrome trace JSON:
+// parses, has a non-empty traceEvents array, and per-(pid,tid) track
+// timestamps of duration events are non-decreasing in file order. Returns
+// the number of events.
+func ValidateChromeJSON(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			TS    uint64 `json:"ts"`
+			PID   int    `json:"pid"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace JSON does not parse: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, errors.New("trace JSON has no events")
+	}
+	type track struct{ pid, tid int }
+	lastTS := make(map[track]uint64)
+	for i, ev := range doc.TraceEvents {
+		if ev.Phase != "X" && ev.Phase != "i" {
+			continue
+		}
+		tr := track{ev.PID, ev.TID}
+		if prev, ok := lastTS[tr]; ok && ev.TS < prev {
+			return 0, fmt.Errorf("event %d: track pid=%d tid=%d timestamp %d < previous %d",
+				i, ev.PID, ev.TID, ev.TS, prev)
+		}
+		lastTS[tr] = ev.TS
+	}
+	return len(doc.TraceEvents), nil
+}
+
+// Binary dump format: a fixed header, the trigger record, then a count and
+// the records verbatim, all little-endian.
+//
+//	offset  size  field
+//	0       8     magic "COPTRC1\n"
+//	8       4     version (1)
+//	12      4     reason
+//	16      64    trigger record
+//	80      8     record count
+//	88      64*n  records
+const dumpMagic = "COPTRC1\n"
+
+const dumpVersion = 1
+
+func putRecord(b []byte, r Record) {
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], r.Seq)
+	le.PutUint64(b[8:], r.Time)
+	le.PutUint64(b[16:], r.Flow)
+	le.PutUint64(b[24:], r.Addr)
+	le.PutUint64(b[32:], r.Arg0)
+	le.PutUint64(b[40:], r.Arg1)
+	le.PutUint64(b[48:], r.Arg2)
+	b[56] = byte(r.Kind)
+	b[57] = r.Shard
+	b[58] = byte(r.Flags)
+	b[59] = 0
+	le.PutUint32(b[60:], r.Aux)
+}
+
+func getRecord(b []byte) Record {
+	le := binary.LittleEndian
+	return Record{
+		Seq:   le.Uint64(b[0:]),
+		Time:  le.Uint64(b[8:]),
+		Flow:  le.Uint64(b[16:]),
+		Addr:  le.Uint64(b[24:]),
+		Arg0:  le.Uint64(b[32:]),
+		Arg1:  le.Uint64(b[40:]),
+		Arg2:  le.Uint64(b[48:]),
+		Kind:  Kind(b[56]),
+		Shard: b[57],
+		Flags: Flags(b[58]),
+		Aux:   le.Uint32(b[60:]),
+	}
+}
+
+// WriteTo writes the dump in the binary format. Implements io.WriterTo.
+func (d *Dump) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var hdr [16]byte
+	copy(hdr[:8], dumpMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], dumpVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(d.Reason))
+	k, err := bw.Write(hdr[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	var rec [RecordBytes]byte
+	putRecord(rec[:], d.Trigger)
+	k, err = bw.Write(rec[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(d.Records)))
+	k, err = bw.Write(cnt[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, r := range d.Records {
+		putRecord(rec[:], r)
+		k, err = bw.Write(rec[:])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDump parses a binary dump written by WriteTo.
+func ReadDump(r io.Reader) (*Dump, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dump header: %w", err)
+	}
+	if string(hdr[:8]) != dumpMagic {
+		return nil, errors.New("not a COP trace dump (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != dumpVersion {
+		return nil, fmt.Errorf("unsupported dump version %d", v)
+	}
+	d := &Dump{Reason: Reason(binary.LittleEndian.Uint32(hdr[12:]))}
+	var rec [RecordBytes]byte
+	if _, err := io.ReadFull(br, rec[:]); err != nil {
+		return nil, fmt.Errorf("trigger record: %w", err)
+	}
+	d.Trigger = getRecord(rec[:])
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("record count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	const maxDumpRecords = 1 << 24 // refuse absurd counts from corrupt files
+	if n > maxDumpRecords {
+		return nil, fmt.Errorf("dump claims %d records (corrupt?)", n)
+	}
+	d.Records = make([]Record, n)
+	for i := range d.Records {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		d.Records[i] = getRecord(rec[:])
+	}
+	return d, nil
+}

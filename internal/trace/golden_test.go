@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate with:
+//
+//	go test ./internal/trace -run TestGoldenChromeExport -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRecords is a hand-built trace exercising every exporter feature:
+// two shards, every layer, a flow crossing from the logical-tick process
+// into the DRAM bus-cycle process, and an anomaly instant. Built by hand
+// (not through a live memory) so the golden file pins the exporter alone —
+// hierarchy changes in other packages must not churn it.
+func goldenRecords() []Record {
+	mk := func(seq, time, flow, addr uint64, k Kind, shard uint8, f Flags, aux uint32, a0, a1, a2 uint64) Record {
+		return Record{Seq: seq, Time: time, Flow: flow, Addr: addr, Arg0: a0, Arg1: a1, Arg2: a2,
+			Kind: k, Shard: shard, Flags: f, Aux: aux}
+	}
+	return []Record{
+		// Flow 1: routed write on shard 0 — classify, alias pin, encode.
+		mk(0, 1, 1, 0x1000, KindShardRoute, 0, FlagWrite, 0, 0x881000, 0, 0),
+		mk(1, 2, 1, 0x1000, KindStore, 0, FlagWrite, 0, 0, 0, 0),
+		mk(2, 3, 1, 0x1000, KindCacheMiss, 0, 0, 0, 0, 0, 0),
+		mk(3, 4, 1, 0x1000, KindClassify, 0, FlagAlias, 0, 2, 0, 0),
+		mk(4, 5, 1, 0x1000, KindCacheAliasPin, 0, FlagAlias, 0, 0, 0, 0),
+		// Flow 2: read on shard 1 — hit, decode, region traffic.
+		mk(0, 6, 2, 0x2040, KindShardRoute, 1, 0, 1, 0x992040, 0, 0),
+		mk(1, 7, 2, 0x2040, KindLoad, 1, 0, 0, 0, 0, 0),
+		mk(2, 8, 2, 0x2040, KindCacheHit, 1, FlagHit, 0, 0, 0, 0),
+		mk(3, 9, 2, 0x2040, KindDecode, 1, FlagCompressed, 4, 1, 2, 0x2),
+		mk(4, 10, 2, 0x2040, KindRegionAlloc, 1, 0, 0, 7, 3, 0),
+		// Flow 2 continues on the DRAM bus: PRE + ACT + RD on one bank,
+		// then an unrelated WR on another bank/rank.
+		mk(0, 11, 2, 0x2040, KindDRAMPre, 2, 0, PackBank(0, 0, 3), 100, 113, 42),
+		mk(1, 12, 2, 0x2040, KindDRAMAct, 2, 0, PackBank(0, 0, 3), 113, 126, 42),
+		mk(2, 13, 2, 0x2040, KindDRAMRead, 2, 0, PackBank(0, 0, 3), 126, 148, 42),
+		mk(3, 14, 0, 0x8000, KindDRAMWrite, 2, FlagWrite, PackBank(1, 1, 0), 90, 120, 7),
+		// An eviction writing back, a fault injection, and the anomaly cut.
+		mk(5, 15, 0, 0x1000, KindCacheEvict, 0, FlagDirty|FlagAlias, 0, 0, 0, 0),
+		mk(6, 16, 0, 0x3000, KindFaultInject, 0, 0, 2, 3, 12, 0),
+		mk(7, 17, 0, 0x3000, KindUncorrectable, 0, 0, 1, 0, 2, 0),
+		mk(8, 18, 0, 0x3000, KindAnomaly, 0, FlagTrigger, uint32(ReasonUncorrectable), 0, 0, 0),
+	}
+}
+
+// TestGoldenChromeExport pins the Chrome-trace exporter's byte-exact
+// output. The exporter is deliberately deterministic (fixed field order,
+// sorted thread metadata, stable flow-arrow order); any diff here is a
+// format change that Perfetto users and the CI trace job will see, so it
+// must be a conscious one.
+func TestGoldenChromeExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportChromeJSON(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateChromeJSON(buf.Bytes()); err != nil || n == 0 {
+		t.Fatalf("golden output does not self-validate: %d events, %v", n, err)
+	}
+	path := filepath.Join("testdata", "chrome_export.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exporter output diverged from %s (%d bytes vs %d).\n"+
+			"If the format change is intentional, regenerate with -update-golden.",
+			path, buf.Len(), len(want))
+	}
+}

@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"unsafe"
+)
+
+func TestRecordSize(t *testing.T) {
+	if s := unsafe.Sizeof(Record{}); s != RecordBytes {
+		t.Fatalf("Record is %d bytes, want %d", s, RecordBytes)
+	}
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	h := tr.Handle(0)
+	var nilH *Handle
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(KindLoad, 0x40, 0, 0, 0, 0, 0)
+		nilH.Record(KindLoad, 0x40, 0, 0, 0, 0, 0)
+		h.Begin()
+		nilH.Begin()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestEnabledPathZeroAllocs(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	tr.Start()
+	h := tr.Handle(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Begin()
+		h.Record(KindLoad, 0x40, 0, 0, 0, 0, 0)
+		h.Record(KindDRAMRead, 0x40, PackBank(0, 0, 3), 0, 10, 14, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled tracing: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	tr.Start()
+	h := tr.Handle(0)
+	for i := 0; i < 20; i++ {
+		h.Record(KindLoad, uint64(i), 0, 0, 0, 0, 0)
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 8 {
+		t.Fatalf("snapshot after wraparound: %d records, want 8", len(recs))
+	}
+	for i, r := range recs {
+		if want := uint64(12 + i); r.Addr != want || r.Seq != want {
+			t.Fatalf("record %d: addr=%d seq=%d, want %d (last 8 retained)", i, r.Addr, r.Seq, want)
+		}
+	}
+	if got := tr.TotalRecords(); got != 20 {
+		t.Fatalf("TotalRecords = %d, want 20", got)
+	}
+}
+
+func TestFlowPropagation(t *testing.T) {
+	tr := New(Config{})
+	tr.Start()
+	h := tr.Handle(0)
+
+	// Sharded path: BeginOuter opens the flow, Begin joins it.
+	h.BeginOuter()
+	outer := h.Flow()
+	h.Record(KindShardRoute, 1, 0, 0, 0, 0, 0)
+	h.Begin()
+	if h.Flow() != outer {
+		t.Fatalf("Begin after BeginOuter: flow %d, want joined %d", h.Flow(), outer)
+	}
+	// Unsharded path: Begin with no pending outer allocates a fresh flow.
+	h.Begin()
+	if h.Flow() == outer || h.Flow() == 0 {
+		t.Fatalf("Begin without pending: flow %d, want fresh", h.Flow())
+	}
+	if tr.LastFlow() != h.Flow() {
+		t.Fatalf("LastFlow = %d, want %d", tr.LastFlow(), h.Flow())
+	}
+	h.ResetFlow()
+	if h.Flow() != 0 {
+		t.Fatalf("ResetFlow left flow %d", h.Flow())
+	}
+}
+
+func TestAnomalyFreezeAndDump(t *testing.T) {
+	tr := New(Config{RingSize: 32, DumpRecords: 4})
+	tr.Start()
+	h := tr.Handle(0)
+	for i := 0; i < 10; i++ {
+		h.Record(KindStore, uint64(i), 0, FlagWrite, 0, 0, 0)
+	}
+	var sunk *Dump
+	tr.OnAnomaly(func(d *Dump) { sunk = d })
+
+	d := tr.TriggerAnomaly(ReasonSilentCorruption, 0x99)
+	if d == nil {
+		t.Fatal("TriggerAnomaly returned nil while enabled and unfrozen")
+	}
+	if sunk != d {
+		t.Fatal("OnAnomaly sink not invoked with the dump")
+	}
+	if d.Reason != ReasonSilentCorruption || d.Trigger.Kind != KindAnomaly ||
+		d.Trigger.Flags&FlagTrigger == 0 || d.Trigger.Addr != 0x99 {
+		t.Fatalf("trigger record: %+v", d.Trigger)
+	}
+	// Last DumpRecords of the ring, plus the trigger itself.
+	if len(d.Records) != 4 {
+		t.Fatalf("dump has %d records, want 4", len(d.Records))
+	}
+	last := d.Records[len(d.Records)-1]
+	if last.Kind != KindAnomaly {
+		t.Fatalf("dump tail is %v, want the anomaly record", last.Kind)
+	}
+
+	// Frozen: records are dropped and a second trigger is a no-op.
+	before := tr.TotalRecords()
+	h.Record(KindStore, 0xAA, 0, 0, 0, 0, 0)
+	if tr.TotalRecords() != before {
+		t.Fatal("record accepted while frozen")
+	}
+	if tr.TriggerAnomaly(ReasonManual, 0) != nil {
+		t.Fatal("second trigger while frozen returned a dump")
+	}
+	if tr.Dumps() != 1 || tr.LastDump() != d {
+		t.Fatalf("Dumps=%d LastDump=%p, want 1 and %p", tr.Dumps(), tr.LastDump(), d)
+	}
+
+	// Start unfreezes.
+	tr.Start()
+	h.Record(KindStore, 0xBB, 0, 0, 0, 0, 0)
+	if tr.TotalRecords() != before+1 {
+		t.Fatal("record dropped after unfreeze")
+	}
+}
+
+func TestTriggerDisabled(t *testing.T) {
+	tr := New(Config{})
+	if tr.TriggerAnomaly(ReasonManual, 0) != nil {
+		t.Fatal("trigger while disabled returned a dump")
+	}
+}
+
+func TestUncorrectableTriggerOptIn(t *testing.T) {
+	tr := New(Config{TriggerUncorrectable: true})
+	tr.Start()
+	h := tr.Handle(0)
+	h.Record(KindUncorrectable, 0x123, 0, 0, 0, 0, 0)
+	d := tr.LastDump()
+	if d == nil || d.Reason != ReasonUncorrectable {
+		t.Fatalf("uncorrectable record did not cut a dump: %+v", d)
+	}
+
+	// Default config: no freeze on uncorrectable.
+	tr2 := New(Config{})
+	tr2.Start()
+	tr2.Handle(0).Record(KindUncorrectable, 0x123, 0, 0, 0, 0, 0)
+	if tr2.Frozen() {
+		t.Fatal("default config froze on uncorrectable")
+	}
+}
+
+func TestAliasBurstTrigger(t *testing.T) {
+	tr := New(Config{AliasBurstN: 3, AliasBurstWindow: 100})
+	tr.Start()
+	h := tr.Handle(0)
+	h.Record(KindAliasRetained, 1, 0, FlagAlias, 0, 0, 0)
+	h.Record(KindAliasRetained, 2, 0, FlagAlias, 0, 0, 0)
+	if tr.Frozen() {
+		t.Fatal("froze before N rejections")
+	}
+	h.Record(KindAliasRetained, 3, 0, FlagAlias, 0, 0, 0)
+	d := tr.LastDump()
+	if !tr.Frozen() || d == nil || d.Reason != ReasonAliasBurst {
+		t.Fatalf("3 alias rejections in window did not trigger: frozen=%v dump=%+v", tr.Frozen(), d)
+	}
+
+	// Spread-out rejections must not trigger.
+	tr2 := New(Config{AliasBurstN: 3, AliasBurstWindow: 2})
+	tr2.Start()
+	h2 := tr2.Handle(0)
+	for i := 0; i < 6; i++ {
+		h2.Record(KindAliasRetained, uint64(i), 0, FlagAlias, 0, 0, 0)
+		h2.Record(KindLoad, uint64(i), 0, 0, 0, 0, 0) // spacer ticks
+		h2.Record(KindLoad, uint64(i), 0, 0, 0, 0, 0)
+	}
+	if tr2.Frozen() {
+		t.Fatal("spread-out alias rejections triggered a burst")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	tr := New(Config{RingSize: 16})
+	tr.Start()
+	h := tr.Handle(0)
+	h.Record(KindLoad, 1, 0, 0, 0, 0, 0)
+	tr.TriggerAnomaly(ReasonManual, 0)
+	tr.Reset()
+	if tr.Frozen() || len(tr.Snapshot()) != 0 || tr.TotalRecords() != 0 {
+		t.Fatalf("Reset left state: frozen=%v records=%d", tr.Frozen(), tr.TotalRecords())
+	}
+	if !tr.Enabled() {
+		t.Fatal("Reset should not disable tracing")
+	}
+}
+
+func TestEnsureShardsAndHandles(t *testing.T) {
+	tr := New(Config{Shards: 2})
+	tr.EnsureShards(5)
+	tr.Start()
+	for i := 0; i < 5; i++ {
+		tr.Handle(i).Record(KindShardRoute, uint64(i), uint32(i), 0, 0, 0, 0)
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 5 {
+		t.Fatalf("got %d records across 5 shards", len(recs))
+	}
+	shards := map[uint8]bool{}
+	for _, r := range recs {
+		shards[r.Shard] = true
+	}
+	if len(shards) != 5 {
+		t.Fatalf("records landed on %d distinct rings, want 5", len(shards))
+	}
+	// Snapshot is Time-ordered across rings.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Fatal("snapshot not Time-ordered")
+		}
+	}
+}
+
+func TestDumpBinaryRoundTrip(t *testing.T) {
+	d := &Dump{
+		Reason: ReasonSilentCorruption,
+		Trigger: Record{Seq: 7, Time: 42, Addr: 0xDEAD, Kind: KindAnomaly,
+			Flags: FlagTrigger, Aux: uint32(ReasonSilentCorruption)},
+		Records: []Record{
+			{Seq: 5, Time: 40, Flow: 3, Addr: 0x40, Arg0: 1, Arg1: 2, Arg2: 3,
+				Kind: KindDecode, Shard: 1, Flags: FlagCompressed, Aux: 9},
+			{Seq: 6, Time: 41, Addr: 0x80, Kind: KindFaultInject, Aux: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 16 + RecordBytes + 8 + 2*RecordBytes
+	if buf.Len() != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), wantLen)
+	}
+	got, err := ReadDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != d.Reason || got.Trigger != d.Trigger || len(got.Records) != 2 ||
+		got.Records[0] != d.Records[0] || got.Records[1] != d.Records[1] {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, d)
+	}
+
+	if _, err := ReadDump(bytes.NewReader([]byte("not a dump at all....."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestPackBankRoundTrip(t *testing.T) {
+	for _, c := range []struct{ ch, rank, bank int }{{0, 0, 0}, {1, 2, 3}, {3, 1, 7}} {
+		ch, rank, bank := UnpackBank(PackBank(c.ch, c.rank, c.bank))
+		if ch != c.ch || rank != c.rank || bank != c.bank {
+			t.Fatalf("pack/unpack %v -> %d %d %d", c, ch, rank, bank)
+		}
+	}
+}
+
+func TestExportAndValidate(t *testing.T) {
+	tr := New(Config{Shards: 2})
+	tr.Start()
+	h0, h1 := tr.Handle(0), tr.Handle(1)
+	h0.BeginOuter()
+	h0.Record(KindShardRoute, 0x40, 0, 0, 0x1040, 0, 0)
+	h0.Begin()
+	h0.Record(KindLoad, 0x40, 0, 0, 0, 0, 0)
+	h0.Record(KindCacheMiss, 0x40, 0, 0, 0, 0, 0)
+	h0.Record(KindDecode, 0x40, 1, FlagCompressed, 0, 1, 0)
+	h0.SetFlow(h0.Flow())
+	h0.Record(KindDRAMRead, 0x40, PackBank(0, 0, 2), 0, 100, 104, 5)
+	h1.Begin()
+	h1.Record(KindStore, 0x80, 0, FlagWrite, 0, 0, 0)
+	h1.Record(KindEncode, 0x80, 0, 0, 0, 1, 0)
+
+	var buf bytes.Buffer
+	if err := ExportChromeJSON(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter output failed validation: %v\n%s", err, buf.String())
+	}
+	// 2 process metas + thread metas + 7 records + 1 flow pair at least.
+	if n < 12 {
+		t.Fatalf("suspiciously few events: %d", n)
+	}
+	for _, want := range []string{
+		`"ch0 rank0 bank2"`, `"shard0 dram"`, `"ph":"s"`, `"ph":"f"`,
+		`"memory hierarchy (logical ticks)"`, `"dram (bus cycles)"`,
+	} {
+		if want == `"shard0 dram"` {
+			// DRAM tracks live under the dram process, not per-shard.
+			if bytes.Contains(buf.Bytes(), []byte(want)) {
+				t.Fatalf("DRAM events leaked into a per-shard track:\n%s", buf.String())
+			}
+			continue
+		}
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("export missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if _, err := ValidateChromeJSON([]byte("{")); err == nil {
+		t.Fatal("unparseable JSON accepted")
+	}
+	if _, err := ValidateChromeJSON([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := `{"traceEvents":[
+		{"ph":"X","ts":10,"pid":1,"tid":1},
+		{"ph":"X","ts":5,"pid":1,"tid":1}]}`
+	if _, err := ValidateChromeJSON([]byte(bad)); err == nil {
+		t.Fatal("non-monotonic track accepted")
+	}
+	ok := `{"traceEvents":[
+		{"ph":"X","ts":10,"pid":1,"tid":1},
+		{"ph":"X","ts":5,"pid":1,"tid":2},
+		{"ph":"X","ts":11,"pid":1,"tid":1}]}`
+	if n, err := ValidateChromeJSON([]byte(ok)); err != nil || n != 3 {
+		t.Fatalf("independent tracks rejected: %d %v", n, err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 
 	"cop/internal/core"
 	"cop/internal/experiments"
+	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // Server is the HTTP handler set. Create with NewServer and mount via
@@ -25,6 +27,9 @@ type Server struct {
 	cache map[string]*experiments.Report
 
 	defaults experiments.Options
+
+	telemetry telemetry.Source
+	tracer    *trace.Tracer
 }
 
 // NewServer builds a Server; opts sets the default experiment fidelity
@@ -33,12 +38,34 @@ func NewServer(opts experiments.Options) *Server {
 	return &Server{cache: map[string]*experiments.Report{}, defaults: opts}
 }
 
+// Attach adds live observability to the explorer: src feeds /metrics and
+// /snapshot, and a non-nil tr additionally serves the /trace/start,
+// /trace/stop, /trace.json, and /trace.bin flight-recorder endpoints. The
+// index page links whatever is attached. Call before Handler.
+func (s *Server) Attach(src telemetry.Source, tr *trace.Tracer) {
+	s.telemetry = src
+	s.tracer = tr
+}
+
 // Handler returns the routed http.Handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/experiment/", s.handleExperiment)
 	mux.HandleFunc("/inspect", s.handleInspect)
+	if s.telemetry != nil {
+		// Delegate to the canonical observability handler so webui serves
+		// exactly the same routes as a -telemetry-addr server.
+		th := telemetry.HandlerWithTracer(s.telemetry, s.tracer)
+		mux.Handle("/metrics", th)
+		mux.Handle("/snapshot", th)
+		mux.Handle("/debug/", th)
+		if s.tracer != nil {
+			mux.Handle("/trace/", th)
+			mux.Handle("/trace.json", th)
+			mux.Handle("/trace.bin", th)
+		}
+	}
 	return mux
 }
 
@@ -60,7 +87,16 @@ artifact live (first hit computes, later hits are cached).</p>
 <p>POST raw bytes to <code>/inspect</code> to classify each 64-byte block
 (compressed / raw / alias) the way the memory controller would:</p>
 <pre>curl --data-binary @file http://localhost:8344/inspect</pre>
-</body></html>`))
+{{if .HasTelemetry}}<h2>Live observability</h2>
+<p><a href="/metrics">/metrics</a> (Prometheus text) ·
+<a href="/snapshot">/snapshot</a> (telemetry tree as JSON) ·
+<a href="/debug/pprof/">/debug/pprof</a></p>
+{{if .HasTrace}}<p>Execution trace (flight recorder):
+<a href="/trace/start">start</a> · <a href="/trace/stop">stop</a> ·
+download <a href="/trace.json">trace.json</a> (open in
+<a href="https://ui.perfetto.dev">Perfetto</a> or chrome://tracing) ·
+<a href="/trace.bin">trace.bin</a> (inspect with <code>copdump</code>)</p>
+{{end}}{{end}}</body></html>`))
 
 var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
 <html><head><title>{{.Report.ID}} — COP</title>{{template "style" .}}</head><body>
@@ -94,7 +130,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	ids := experiments.IDs()
 	sort.Strings(ids)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := indexTmpl.Execute(w, struct{ IDs []string }{ids}); err != nil {
+	data := struct {
+		IDs          []string
+		HasTelemetry bool
+		HasTrace     bool
+	}{ids, s.telemetry != nil, s.tracer != nil}
+	if err := indexTmpl.Execute(w, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"cop/internal/experiments"
+	"cop/internal/memctrl"
+	"cop/internal/trace"
 )
 
 func testServer() *httptest.Server {
@@ -46,6 +48,49 @@ func TestIndexListsExperiments(t *testing.T) {
 		if !strings.Contains(body, "/experiment/"+id) {
 			t.Errorf("index missing %s", id)
 		}
+	}
+}
+
+func TestAttachedObservabilityRoutes(t *testing.T) {
+	s := NewServer(experiments.Options{Samples: 500, AliasSamples: 20000, Epochs: 100})
+	tr := trace.New(trace.Config{RingSize: 256})
+	tr.Start()
+	mem := memctrl.New(memctrl.Config{Mode: memctrl.COP, LLCBytes: 4096, LLCWays: 4, Tracer: tr})
+	if err := mem.Write(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Attach(mem, tr)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts.URL+"/"); code != http.StatusOK ||
+		!strings.Contains(body, `href="/snapshot"`) || !strings.Contains(body, `href="/trace.json"`) {
+		t.Fatalf("index missing observability links: %d %.400s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/snapshot"); code != http.StatusOK || !strings.Contains(body, "scheme") {
+		t.Fatalf("/snapshot: %d %.200s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/metrics"); code != http.StatusOK || !strings.Contains(body, "cop_") {
+		t.Fatalf("/metrics: %d %.200s", code, body)
+	}
+	code, body := get(t, ts.URL+"/trace.json")
+	if code != http.StatusOK {
+		t.Fatalf("/trace.json: %d", code)
+	}
+	if n, err := trace.ValidateChromeJSON([]byte(body)); err != nil || n == 0 {
+		t.Fatalf("/trace.json invalid: %d events, %v", n, err)
+	}
+	if code, _ := get(t, ts.URL+"/trace.bin"); code != http.StatusOK {
+		t.Fatalf("/trace.bin: %d", code)
+	}
+	// Without Attach, the routes stay 404 (see TestIndexNotFoundForOtherPaths).
+	plain := testServer()
+	defer plain.Close()
+	if code, _ := get(t, plain.URL+"/snapshot"); code != http.StatusNotFound {
+		t.Fatalf("unattached /snapshot: %d", code)
+	}
+	if code, body := get(t, plain.URL+"/"); strings.Contains(body, `href="/trace.json"`) {
+		t.Fatalf("unattached index links trace: %d %.200s", code, body)
 	}
 }
 

@@ -27,7 +27,9 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 
 # Guarded benchmarks. Keys are the benchmark path minus the "Benchmark"
 # prefix and match both the output lines and scripts/benchsmoke.baseline.
-SHARD_KEYS="ShardedThroughput/sharded-8g"
+# sharded-8g-traceoff is the same traffic with an execution-trace recorder
+# attached but disabled — it pins the disabled-tracing overhead.
+SHARD_KEYS="ShardedThroughput/sharded-8g ShardedThroughput/sharded-8g-traceoff"
 CODEC_KEYS="Encode/COP-4 Encode/COP-8 Decode/COP-4 Decode/COP-8"
 
 # bench_out DIR PKG PATTERN — run the benchmarks, print raw output.
@@ -37,9 +39,13 @@ bench_out() {
 
 # best FILE KEY — best (minimum) ns/op for KEY over all repetitions. The
 # name column is "Benchmark<key>" plus a "-<procs>" suffix that go test
-# omits when GOMAXPROCS is 1, so accept both forms.
+# omits when GOMAXPROCS is 1, so accept both forms — but only a purely
+# numeric suffix, so "sharded-8g" does not swallow "sharded-8g-traceoff".
 best() {
-    awk -v k="Benchmark$2" '$1 == k || index($1, k "-") == 1 { print $3 }' "$1" | sort -n | head -n1
+    awk -v k="Benchmark$2" '
+        $1 == k { print $3; next }
+        index($1, k "-") == 1 && substr($1, length(k) + 2) ~ /^[0-9]+$/ { print $3 }
+    ' "$1" | sort -n | head -n1
 }
 
 collect() { # collect DIR OUTFILE — run every guarded group in DIR
