@@ -55,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		outPath  = fs.String("o", "", "also write the report(s) to this file")
 		parallel = fs.Int("parallel", 0, "run the sharded-memory throughput comparison with this many goroutines and exit")
 		parOps   = fs.Int("parallel-ops", 200000, "total memory operations for the -parallel comparison")
+		batched  = fs.Bool("batched", false, "with -parallel: also drive the batched front-end (async groups) and demonstrate a drain")
 		faults   = fs.Bool("faults", false, "run the fault-injection campaign and exit")
 		fScheme  = fs.String("fault-scheme", "all", "campaign scheme(s): comma list of "+cli.SchemeNames()+", or 'all'")
 		fSeed    = cli.SeedFlag(fs, "fault-seed", 0xC0FFEE, "campaign seed (same seed, same table)")
@@ -93,7 +94,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *parallel > 0 {
-		return runParallel(stdout, telReg, *parallel, *parOps)
+		return runParallel(stdout, telReg, *parallel, *parOps, *batched)
 	}
 
 	if *faults {
@@ -297,8 +298,11 @@ func writeChromeTrace(path string, tracer *cop.Tracer) error {
 // runParallel measures aggregate throughput of the sharded memory model
 // driven by n goroutines against a single-goroutine unsharded controller on
 // the same traffic mix (2/3 reads, 1/3 writes, mixed compressibility, COP
-// mode), and prints both along with the speedup.
-func runParallel(out io.Writer, telReg *telemetry.Registry, n, totalOps int) error {
+// mode), and prints both along with the speedup. With batched it adds a
+// third row driving the batched front-end through asynchronous groups, then
+// demonstrates Drain: quiesce every shard to a fenced, flushed state and
+// resume.
+func runParallel(out io.Writer, telReg *telemetry.Registry, n, totalOps int, batched bool) error {
 	if totalOps < n {
 		totalOps = n
 	}
@@ -376,5 +380,80 @@ func runParallel(out io.Writer, telReg *telemetry.Registry, n, totalOps int) err
 	fmt.Fprintf(out, "  unsharded, 1 goroutine:   %10.0f ops/s  (%v)\n", sOps, singleDur.Round(time.Millisecond))
 	fmt.Fprintf(out, "  %2d shards, %2d goroutines: %10.0f ops/s  (%v)\n", sharded.NumShards(), n, pOps, shardedDur.Round(time.Millisecond))
 	fmt.Fprintf(out, "  speedup: %.2fx\n", pOps/sOps)
+
+	if !batched {
+		return nil
+	}
+
+	// Batched front-end: the same traffic submitted through asynchronous
+	// groups with a window of outstanding operations per goroutine, so each
+	// shard's worker executes deep batches under one lock acquisition.
+	const window = 128
+	bm, err := cop.NewBatchedMemoryChecked(cop.BatchedMemoryConfig{
+		Shard:    cop.ShardedMemoryConfig{Mem: memCfg, Shards: shard.NextPow2(n)},
+		RingSize: 4 * window,
+		BatchMax: window,
+	})
+	if err != nil {
+		return err
+	}
+	defer bm.Close()
+	telReg.Set(bm)
+	bworker := func(seed int64, ops int) error {
+		wr := rand.New(rand.NewSource(seed))
+		grp := bm.NewGroup()
+		dst := make([]byte, window*cop.BlockBytes)
+		for i := 0; i < ops; i++ {
+			idx := wr.Intn(footprint)
+			addr := uint64(idx) * cop.BlockBytes
+			w := i % window
+			if i%3 == 0 {
+				grp.Write(addr, blocks[idx])
+			} else {
+				grp.Read(dst[w*cop.BlockBytes:(w+1)*cop.BlockBytes], addr)
+			}
+			if w == window-1 {
+				if err := grp.Wait(); err != nil {
+					return err
+				}
+			}
+		}
+		return grp.Wait()
+	}
+	berrs := make(chan error, n)
+	start = time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			if err := bworker(seed, totalOps/n); err != nil {
+				berrs <- err
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	batchedDur := time.Since(start)
+	close(berrs)
+	for err := range berrs {
+		return err
+	}
+	bOps := opsPerSec(totalOps/n*n, batchedDur)
+	fmt.Fprintf(out, "  batched,   %2d goroutines: %10.0f ops/s  (%v)  vs sharded: %.2fx\n",
+		n, bOps, batchedDur.Round(time.Millisecond), bOps/pOps)
+
+	// Drain demo: quiesce every shard to a fenced, flushed state (the live
+	// scheme-migration handoff point), verify, and resume.
+	start = time.Now()
+	if err := bm.Drain(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  drain: fenced + flushed in %v (quiesced=%v)\n",
+		time.Since(start).Round(time.Microsecond), bm.Quiesced())
+	bm.Resume()
+	snap := bm.Snapshot()
+	if snap.Batch != nil {
+		fmt.Fprintf(out, "  batches: %d (max depth %d), drains: %d\n",
+			snap.Batch.Batches, snap.Batch.MaxDepth, snap.Batch.Drains)
+	}
 	return nil
 }

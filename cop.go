@@ -207,6 +207,45 @@ func NewShardedMemoryChecked(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
 	return shard.NewChecked(cfg)
 }
 
+// BatchedMemory is the batched, concurrency-safe protected-memory model:
+// the same striping, telemetry, and memory image as ShardedMemory, but
+// requests flow through per-shard MPSC rings to per-shard workers that
+// execute them in batches — one lock acquisition amortized over a window
+// of accesses, with FR-FCFS-friendly reordering inside each batch. Its
+// synchronous methods mirror ShardedMemory's; NewGroup exposes the
+// asynchronous window API, and SetMode/Drain expose the per-shard
+// Enabled/Paused/Draining state machine (Draining quiesces a shard to a
+// fenced, flushed state). Release the workers with Close when done.
+type BatchedMemory = shard.Batched
+
+// BatchedMemoryConfig parameterizes NewBatchedMemory: the embedded
+// ShardedMemoryConfig plus the per-shard ring capacity and the batch cap.
+type BatchedMemoryConfig = shard.BatchedConfig
+
+// BatchGroup tracks a window of asynchronous batched operations; see
+// BatchedMemory.NewGroup.
+type BatchGroup = shard.Group
+
+// BatchMode is a batched shard's controller state.
+type BatchMode = shard.Mode
+
+// Batched shard modes.
+const (
+	BatchEnabled  = shard.ModeEnabled
+	BatchPaused   = shard.ModePaused
+	BatchDraining = shard.ModeDraining
+)
+
+// NewBatchedMemory builds a batched memory model. It panics on an invalid
+// config; use NewBatchedMemoryChecked to get the error instead.
+func NewBatchedMemory(cfg BatchedMemoryConfig) *BatchedMemory { return shard.NewBatched(cfg) }
+
+// NewBatchedMemoryChecked builds a batched memory model, reporting invalid
+// configs (bad shard geometry, non-power-of-two ring size) as errors.
+func NewBatchedMemoryChecked(cfg BatchedMemoryConfig) (*BatchedMemory, error) {
+	return shard.NewBatchedChecked(cfg)
+}
+
 // Workload modeling, re-exported from internal/workload.
 type (
 	// WorkloadProfile models one application: a block-content mixture

@@ -203,6 +203,30 @@ func (c *Cache) Lookup(addr uint64) (line *Line, victim Line, writeback, hit boo
 	return nil, Line{}, false, false
 }
 
+// DirtyLines counts resident dirty lines (sets plus overflow). With
+// excludeAlias set, alias-pinned lines are skipped: aliases are re-seated
+// dirty by Flush and can never be written back, so drain/fence logic
+// treats "no dirty non-alias lines" as fully quiesced.
+func (c *Cache) DirtyLines(excludeAlias bool) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			l := &set[i]
+			if l.valid && l.line.Dirty && !(excludeAlias && l.line.Alias) {
+				n++
+			}
+		}
+	}
+	for _, ov := range c.overflow {
+		for i := range ov {
+			if ov[i].Dirty && !(excludeAlias && ov[i].Alias) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Contains reports residency (set or overflow) without touching LRU or
 // stats.
 func (c *Cache) Contains(addr uint64) bool {

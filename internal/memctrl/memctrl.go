@@ -834,6 +834,21 @@ func (c *Controller) Flush() error {
 	return ferr
 }
 
+// Drain quiesces the controller to a fenced state: every dirty non-alias
+// LLC line is written back to DRAM (alias lines are re-seated — they can
+// never leave the cache+overflow structure) and the first writeback error
+// is returned. After a successful Drain, Quiesced reports true and the
+// DRAM image is a complete, decodable picture of memory — the handoff
+// point live scheme migration needs. Today this is Flush plus the fence
+// guarantee; it is a separate entry point so migration callers do not
+// depend on Flush's (looser) contract.
+func (c *Controller) Drain() error { return c.Flush() }
+
+// Quiesced reports whether the controller holds no dirty non-alias LLC
+// lines — i.e. whether DRAM (plus the alias lines pinned by design) is a
+// complete image of memory. True immediately after a successful Drain.
+func (c *Controller) Quiesced() bool { return c.llc.DirtyLines(true) == 0 }
+
 // InjectBitFlip flips one bit of the DRAM image holding addr, returning
 // false when the block is not resident in DRAM (e.g. still dirty in the
 // LLC or never written). bit is 0..511.
@@ -983,30 +998,43 @@ func (c *Controller) scrubBlock(addr uint64, data []byte) error {
 }
 
 // ReadBytes reads an arbitrary byte range (crossing block boundaries as
-// needed) through the protected hierarchy.
+// needed) through the protected hierarchy. It allocates only the result;
+// use ReadBytesInto for the allocation-free form.
 func (c *Controller) ReadBytes(addr uint64, n int) ([]byte, error) {
-	out := make([]byte, 0, n)
-	for n > 0 {
-		base := align(addr)
-		off := int(addr - base)
-		take := BlockBytes - off
-		if take > n {
-			take = n
-		}
-		block, err := c.Read(base)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, block[off:off+take]...)
-		addr += uint64(take)
-		n -= take
+	out := make([]byte, n)
+	if err := c.ReadBytesInto(out, addr); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// ReadBytesInto fills dst with len(dst) bytes starting at addr, crossing
+// block boundaries as needed. The per-call scratch block lives on the
+// stack, so a read over LLC-resident blocks performs no allocations.
+func (c *Controller) ReadBytesInto(dst []byte, addr uint64) error {
+	var scratch [BlockBytes]byte
+	for len(dst) > 0 {
+		base := align(addr)
+		off := int(addr - base)
+		take := BlockBytes - off
+		if take > len(dst) {
+			take = len(dst)
+		}
+		if _, err := c.ReadInto(scratch[:], base); err != nil {
+			return err
+		}
+		copy(dst[:take], scratch[off:off+take])
+		addr += uint64(take)
+		dst = dst[take:]
+	}
+	return nil
+}
+
 // WriteBytes writes an arbitrary byte range, performing read-modify-write
-// on partially covered blocks.
+// on partially covered blocks. The RMW scratch block lives on the stack,
+// so writes over LLC-resident blocks perform no allocations.
 func (c *Controller) WriteBytes(addr uint64, data []byte) error {
+	var scratch [BlockBytes]byte
 	for len(data) > 0 {
 		base := align(addr)
 		off := int(addr - base)
@@ -1014,16 +1042,13 @@ func (c *Controller) WriteBytes(addr uint64, data []byte) error {
 		if take > len(data) {
 			take = len(data)
 		}
-		var block []byte
-		if off == 0 && take == BlockBytes {
-			block = data[:BlockBytes]
-		} else {
-			old, err := c.Read(base)
-			if err != nil {
+		block := data[:take]
+		if off != 0 || take != BlockBytes {
+			if _, err := c.ReadInto(scratch[:], base); err != nil {
 				return err
 			}
-			block = old
-			copy(block[off:], data[:take])
+			copy(scratch[off:off+take], data[:take])
+			block = scratch[:]
 		}
 		if err := c.Write(base, block[:BlockBytes]); err != nil {
 			return err

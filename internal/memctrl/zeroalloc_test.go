@@ -50,6 +50,24 @@ func TestZeroAllocHotPaths(t *testing.T) {
 			}); n != 0 {
 				t.Fatalf("read/write hit path allocates %.1f allocs/op, want 0", n)
 			}
+
+			// Multi-block range ops over resident blocks: the per-call
+			// scratch is stack-allocated, so ReadBytesInto and WriteBytes
+			// (including the RMW at both unaligned ends) stay at zero.
+			span := make([]byte, 3*BlockBytes)
+			i = 0
+			if n := testing.AllocsPerRun(200, func() {
+				addr := uint64(i%4)*BlockBytes + 7 // unaligned, crosses blocks
+				if err := c.WriteBytes(addr, span[:2*BlockBytes+11]); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.ReadBytesInto(span, addr); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			}); n != 0 {
+				t.Fatalf("range-op hit path allocates %.1f allocs/op, want 0", n)
+			}
 		})
 	}
 }

@@ -20,6 +20,16 @@
 // Multi-block calls (ReadBytes/WriteBytes/Flush) are not atomic across
 // shard boundaries: concurrent writers to the same byte range can
 // interleave per block.
+//
+// The batched front-end (Batched, batch.go) keeps the same model with one
+// refinement: within a dequeued batch, accesses to *different* blocks may
+// be reordered for DRAM row locality (FR-FCFS style), while accesses to
+// the same block always execute in enqueue order. A caller that needs
+// cross-block ordering must wait for the earlier operation's Group before
+// enqueueing the later one — exactly the fence a real memory controller
+// requires. Single-block linearizability, Flush, and Drain ordering are
+// unchanged: a Drain fences every operation whose enqueue returned before
+// the Drain began.
 package shard
 
 import (
@@ -160,20 +170,24 @@ func NewChecked(cfg Config) (*Controller, error) {
 
 // SetTracer attaches an execution-trace flight recorder: the ring set is
 // grown to the shard count and each shard records into its own ring through
-// its own single-writer handle (the shard mutex serializes writers). Call
-// before traffic; pass nil to detach.
+// its own single-writer handle (the shard mutex serializes writers). Safe
+// to call while traffic is running — each handle swap happens under the
+// owning shard's lock, so the telemetry handler's /trace/start and
+// /trace/stop endpoints can toggle tracing on a live instance. Pass nil to
+// detach.
 func (c *Controller) SetTracer(t *trace.Tracer) {
-	if t == nil {
-		for _, s := range c.shards {
-			s.th = nil
-			s.ctrl.AttachTracer(nil)
-		}
-		return
+	if t != nil {
+		t.EnsureShards(len(c.shards))
 	}
-	t.EnsureShards(len(c.shards))
 	for i, s := range c.shards {
-		s.th = t.Handle(i)
-		s.ctrl.AttachTracer(s.th)
+		var h *trace.Handle
+		if t != nil {
+			h = t.Handle(i)
+		}
+		s.mu.Lock()
+		s.th = h
+		s.ctrl.AttachTracer(h)
+		s.mu.Unlock()
 	}
 }
 
@@ -276,32 +290,52 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 }
 
 // ReadBytes reads an arbitrary byte range, crossing block (and hence
-// shard) boundaries as needed.
+// shard) boundaries as needed. It allocates only the result; use
+// ReadBytesInto for the allocation-free form.
 func (c *Controller) ReadBytes(addr uint64, n int) ([]byte, error) {
-	out := make([]byte, 0, n)
-	for n > 0 {
+	out := make([]byte, n)
+	if err := c.ReadBytesInto(out, addr); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadBytesInto fills dst with len(dst) bytes starting at addr, crossing
+// block (and hence shard) boundaries as needed. The per-call scratch block
+// lives on the stack, so a read over LLC-resident blocks performs no
+// allocations.
+func (c *Controller) ReadBytesInto(dst []byte, addr uint64) error {
+	var scratch [BlockBytes]byte
+	for len(dst) > 0 {
 		base := addr &^ (BlockBytes - 1)
 		off := int(addr - base)
 		take := BlockBytes - off
-		if take > n {
-			take = n
+		if take > len(dst) {
+			take = len(dst)
 		}
-		block, err := c.Read(base)
+		s, inner := c.locate(base)
+		s.ops.Add(1)
+		s.mu.Lock()
+		s.traceRoute(base, inner, 0)
+		_, err := s.ctrl.ReadInto(scratch[:], inner)
+		s.mu.Unlock()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, block[off:off+take]...)
+		copy(dst[:take], scratch[off:off+take])
 		addr += uint64(take)
-		n -= take
+		dst = dst[take:]
 	}
-	return out, nil
+	return nil
 }
 
 // WriteBytes writes an arbitrary byte range, performing read-modify-write
 // on partially covered blocks. Each covered block is updated atomically
 // (its shard is locked across the read-modify-write); the range as a whole
-// is not.
+// is not. The RMW scratch block lives on the stack, so writes over
+// LLC-resident blocks perform no allocations.
 func (c *Controller) WriteBytes(addr uint64, data []byte) error {
+	var scratch [BlockBytes]byte
 	for len(data) > 0 {
 		base := addr &^ (BlockBytes - 1)
 		off := int(addr - base)
@@ -312,15 +346,18 @@ func (c *Controller) WriteBytes(addr uint64, data []byte) error {
 		s, inner := c.locate(base)
 		s.ops.Add(1)
 		s.mu.Lock()
-		s.traceRoute(base, inner, trace.FlagWrite)
 		var err error
 		if off == 0 && take == BlockBytes {
+			s.traceRoute(base, inner, trace.FlagWrite)
 			err = s.ctrl.Write(inner, data[:BlockBytes])
 		} else {
-			var block []byte
-			if block, err = s.ctrl.Read(inner); err == nil {
-				copy(block[off:], data[:take])
-				err = s.ctrl.Write(inner, block)
+			// The RMW's internal load is a read and is traced as one; the
+			// store opens its own write-flagged flow.
+			s.traceRoute(base, inner, 0)
+			if _, err = s.ctrl.ReadInto(scratch[:], inner); err == nil {
+				copy(scratch[off:off+take], data[:take])
+				s.traceRoute(base, inner, trace.FlagWrite)
+				err = s.ctrl.Write(inner, scratch[:])
 			}
 		}
 		s.mu.Unlock()
@@ -347,6 +384,37 @@ func (c *Controller) Flush() error {
 		}
 	}
 	return ferr
+}
+
+// Drain quiesces every shard to a fenced state (see memctrl.Drain): all
+// dirty non-alias lines reach DRAM, and Quiesced reports true afterwards.
+// Every shard is drained even when an earlier one errors; the first error
+// is returned.
+func (c *Controller) Drain() error {
+	var ferr error
+	for _, s := range c.shards {
+		s.mu.Lock()
+		err := s.ctrl.Drain()
+		s.mu.Unlock()
+		if err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	return ferr
+}
+
+// Quiesced reports whether every shard holds no dirty non-alias LLC lines
+// (see memctrl.Quiesced).
+func (c *Controller) Quiesced() bool {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		q := s.ctrl.Quiesced()
+		s.mu.Unlock()
+		if !q {
+			return false
+		}
+	}
+	return true
 }
 
 // InjectBitFlip flips one bit of the DRAM image holding addr (bit 0..511),
@@ -412,9 +480,13 @@ func (c *Controller) Snapshot() telemetry.Snapshot {
 	return total
 }
 
-// Ops returns the total operations routed through the controller (reads,
-// writes, WriteBytes block updates, and injections), summed lock-free from
-// per-shard atomic counters.
+// Ops returns the total operations routed through the controller, summed
+// lock-free from per-shard atomic counters. Counted: every state-affecting
+// access — reads (Read, ReadWithInfo, ReadInto), writes, per-block
+// ReadBytes/ReadBytesInto/WriteBytes updates, Settle, and fault
+// injections. Not counted: pure queries (StoredKind, InDRAM) and
+// maintenance sweeps (Flush), which touch no per-block access path. The
+// counted set is pinned by TestOpsCountsPerMethod.
 func (c *Controller) Ops() uint64 {
 	var n uint64
 	for _, s := range c.shards {

@@ -63,6 +63,14 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		p.histogram("dram_queue_delay_cycles", "per-access queue delay in memory-bus cycles", d.QueueDelay)
 	}
 
+	if b := s.Batch; b != nil {
+		p.counter("batch_enqueued", "transactions accepted into shard request rings", b.Enqueued)
+		p.counter("batch_batches", "worker dequeue rounds executed", b.Batches)
+		p.counter("batch_drains", "completed shard drain fences", b.Drains)
+		p.gauge("batch_max_depth", "largest batch ever executed", float64(b.MaxDepth))
+		p.histogram("batch_depth", "per-batch transaction count", b.Depth)
+	}
+
 	p.gauge("derived_llc_hit_rate", "cache hits over lookups", s.Derived.LLCHitRate)
 	p.gauge("derived_compressed_fraction", "compressed writebacks over all stored blocks", s.Derived.CompressedFraction)
 	p.gauge("derived_corrected_per_million_loads", "corrected errors per million loads", s.Derived.CorrectedPerMillionLoads)

@@ -266,6 +266,51 @@ func (c *DRAMCounters) Reset() {
 	c.QueueDelay.Reset()
 }
 
+// BatchStats is the batched front-end section (per-shard request rings,
+// merged across shards). Present only when the hierarchy is driven through
+// the batched datapath; a sharded or unsharded controller omits it.
+type BatchStats struct {
+	// Enqueued counts transactions accepted into a ring; Batches counts
+	// worker dequeue rounds (one lock acquisition each).
+	Enqueued uint64 `json:"enqueued"`
+	Batches  uint64 `json:"batches"`
+	// Drains counts completed shard drain fences (ring emptied + flushed).
+	Drains uint64 `json:"drains"`
+	// MaxDepth is the largest batch ever executed; Depth is the per-batch
+	// depth distribution (its Mean is the lock-amortization factor).
+	MaxDepth uint64            `json:"max_depth"`
+	Depth    HistogramSnapshot `json:"depth"`
+}
+
+// Merge accumulates o into s (MaxDepth merges by maximum).
+func (s *BatchStats) Merge(o BatchStats) {
+	s.Enqueued += o.Enqueued
+	s.Batches += o.Batches
+	s.Drains += o.Drains
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	s.Depth.Merge(o.Depth)
+}
+
+// BatchCounters is the live atomic counter set behind BatchStats.
+type BatchCounters struct {
+	Enqueued, Batches, Drains Counter
+	MaxDepth                  Max
+	Depth                     Histogram
+}
+
+// Snapshot freezes the counters.
+func (c *BatchCounters) Snapshot() BatchStats {
+	return BatchStats{
+		Enqueued: c.Enqueued.Load(),
+		Batches:  c.Batches.Load(),
+		Drains:   c.Drains.Load(),
+		MaxDepth: c.MaxDepth.Load(),
+		Depth:    c.Depth.Snapshot(),
+	}
+}
+
 // DerivedStats are rates computed from the merged monotonic sections.
 // They are recomputed after every merge, never merged themselves.
 type DerivedStats struct {
@@ -292,6 +337,7 @@ type Snapshot struct {
 	Cache      CacheStats      `json:"cache"`
 	Region     *RegionStats    `json:"region,omitempty"`
 	DRAM       *DRAMStats      `json:"dram,omitempty"`
+	Batch      *BatchStats     `json:"batch,omitempty"`
 	Derived    DerivedStats    `json:"derived"`
 }
 
@@ -315,6 +361,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 			s.DRAM = &DRAMStats{}
 		}
 		s.DRAM.Merge(*o.DRAM)
+	}
+	if o.Batch != nil {
+		if s.Batch == nil {
+			s.Batch = &BatchStats{}
+		}
+		s.Batch.Merge(*o.Batch)
 	}
 	s.Finalize()
 }

@@ -87,6 +87,9 @@ type Kind uint8
 //	KindRegionAlloc  Arg0=entry pointer; KindRegionFree likewise
 //	KindFaultInject  Aux=failure mode, Arg0=bits flipped
 //	KindAnomaly      Aux=Reason; written by TriggerAnomaly, marks the dump
+//	KindBatchBegin   Aux=batch depth; written by the batched front-end
+//	                 before executing a dequeued batch under the shard lock
+//	KindBatchEnd     Aux=batch depth; closes the matching KindBatchBegin
 const (
 	KindNone Kind = iota
 	KindShardRoute
@@ -111,6 +114,8 @@ const (
 	KindRegionFree
 	KindFaultInject
 	KindAnomaly
+	KindBatchBegin
+	KindBatchEnd
 
 	numKinds
 )
@@ -139,6 +144,8 @@ var kindNames = [numKinds]string{
 	KindRegionFree:    "er-free",
 	KindFaultInject:   "fault-inject",
 	KindAnomaly:       "ANOMALY",
+	KindBatchBegin:    "batch-begin",
+	KindBatchEnd:      "batch-end",
 }
 
 // String returns the short event name used in exported traces.
@@ -185,7 +192,7 @@ func (l Layer) String() string {
 // Layer maps a record kind to its hierarchy layer.
 func (k Kind) Layer() Layer {
 	switch k {
-	case KindShardRoute:
+	case KindShardRoute, KindBatchBegin, KindBatchEnd:
 		return LayerShard
 	case KindLoad, KindStore, KindUncorrectable, KindScrub, KindAliasRetained,
 		KindFaultInject, KindAnomaly:

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # benchsmoke.sh — fail on a >5% throughput regression in the guarded hot
 # paths: the sharded memory front-end (BenchmarkShardedThroughput,
-# telemetry always on) and the codec datapath (BenchmarkEncode /
+# telemetry always on), the batched ring front-end
+# (BenchmarkBatchedThroughput, the same traffic through per-shard request
+# rings and group windows), and the codec datapath (BenchmarkEncode /
 # BenchmarkDecode for the COP-4 and COP-8 geometries, the word-parallel
 # encode/decode the whole simulator sits on).
 #
@@ -29,7 +31,7 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 # prefix and match both the output lines and scripts/benchsmoke.baseline.
 # sharded-8g-traceoff is the same traffic with an execution-trace recorder
 # attached but disabled — it pins the disabled-tracing overhead.
-SHARD_KEYS="ShardedThroughput/sharded-8g ShardedThroughput/sharded-8g-traceoff"
+SHARD_KEYS="ShardedThroughput/sharded-8g ShardedThroughput/sharded-8g-traceoff BatchedThroughput/batched-8g"
 CODEC_KEYS="Encode/COP-4 Encode/COP-8 Decode/COP-4 Decode/COP-8"
 
 # bench_out DIR PKG PATTERN — run the benchmarks, print raw output.
@@ -49,7 +51,7 @@ best() {
 }
 
 collect() { # collect DIR OUTFILE — run every guarded group in DIR
-    bench_out "$1" . 'BenchmarkShardedThroughput/sharded-8g' >"$2"
+    bench_out "$1" . 'BenchmarkShardedThroughput/sharded-8g|BenchmarkBatchedThroughput/batched-8g' >"$2"
     bench_out "$1" ./internal/core 'BenchmarkEncode$|BenchmarkDecode$' >>"$2"
 }
 
