@@ -650,6 +650,70 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkMigrationOverhead drives the exact traffic mix of
+// BenchmarkBatchedThroughput/batched-8g with the patrol scrubber active
+// the whole run: the steady-state cost background scrubbing imposes on the
+// hot path (per-chunk shard-lock acquisitions interleaving with batches).
+// scripts/benchsmoke.sh gates scrub-8g so a scrubber-active memory stays
+// within the regression tolerance of the batched-8g baseline.
+func BenchmarkMigrationOverhead(b *testing.B) {
+	const (
+		goroutines = 8
+		footprint  = 1 << 13 // blocks: 512 KB, 8x the bench LLC
+		window     = 128     // outstanding ops per client between Waits
+	)
+	memCfg := cop.MemoryConfig{Mode: cop.ModeCOP, LLCBytes: 64 * 1024, LLCWays: 8}
+	blocks := shardedTrafficBlocks(footprint)
+
+	b.Run("scrub-8g", func(b *testing.B) {
+		m := cop.NewBatchedMemory(cop.BatchedMemoryConfig{
+			Shard:    cop.ShardedMemoryConfig{Mem: memCfg, Shards: goroutines},
+			RingSize: 4 * window,
+			BatchMax: window,
+		})
+		defer m.Close()
+		scrub := cop.NewScrubber(m, cop.ScrubOptions{}) // default 1ms patrol
+		scrub.Start()
+		defer scrub.Stop()
+		b.SetBytes(cop.BlockBytes)
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(seed int64, ops int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				grp := m.NewGroup()
+				dst := make([]byte, window*cop.BlockBytes)
+				for i := 0; i < ops; i++ {
+					idx := rng.Intn(footprint)
+					addr := uint64(idx) * cop.BlockBytes
+					w := i % window
+					if i%3 == 0 {
+						grp.Write(addr, blocks[idx])
+					} else {
+						grp.Read(dst[w*cop.BlockBytes:(w+1)*cop.BlockBytes], addr)
+					}
+					if w == window-1 {
+						if err := grp.Wait(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+				if err := grp.Wait(); err != nil {
+					errs <- err
+				}
+			}(int64(g+1), (b.N+goroutines-1)/goroutines)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	})
+}
+
 // BenchmarkExtensionChipkillER measures COP-CK-ER: chip-failure recovery
 // across ALL blocks (inline and region-backed) on a float-heavy workload
 // where plain COP-CK covers almost nothing inline.

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cop"
@@ -56,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "run the sharded-memory throughput comparison with this many goroutines and exit")
 		parOps   = fs.Int("parallel-ops", 200000, "total memory operations for the -parallel comparison")
 		batched  = fs.Bool("batched", false, "with -parallel: also drive the batched front-end (async groups) and demonstrate a drain")
+		migDemo  = fs.Bool("migrate", false, "run the live-reconfiguration demo (scheme migration + resharding + patrol scrub under traffic) and exit")
 		faults   = fs.Bool("faults", false, "run the fault-injection campaign and exit")
 		fScheme  = fs.String("fault-scheme", "all", "campaign scheme(s): comma list of "+cli.SchemeNames()+", or 'all'")
 		fSeed    = cli.SeedFlag(fs, "fault-seed", 0xC0FFEE, "campaign seed (same seed, same table)")
@@ -91,6 +94,10 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, id)
 		}
 		return nil
+	}
+
+	if *migDemo {
+		return runMigrate(stdout, telReg, *parallel)
 	}
 
 	if *parallel > 0 {
@@ -454,6 +461,150 @@ func runParallel(out io.Writer, telReg *telemetry.Registry, n, totalOps int, bat
 	if snap.Batch != nil {
 		fmt.Fprintf(out, "  batches: %d (max depth %d), drains: %d\n",
 			snap.Batch.Batches, snap.Batch.MaxDepth, snap.Batch.Drains)
+	}
+	return nil
+}
+
+// runMigrate demonstrates online reconfiguration: a batched COP-4 memory
+// under continuous mixed traffic and an aggressive patrol scrubber is
+// live-migrated COP-4 -> COP-8 -> ECC-region -> COP-4 and elastically
+// resharded 4 -> 8 -> 4, with every read verified against an in-memory
+// oracle, then the whole footprint is swept once more at the end. A read
+// mismatch at any point is a hard failure — this is the demo the CI race
+// job drives.
+func runMigrate(out io.Writer, telReg *telemetry.Registry, n int) error {
+	if n <= 0 {
+		n = 4
+	}
+	const footprint = 1 << 12 // blocks (256 KB), past the 64 KB LLC below
+	memCfg := cop.MemoryConfig{Mode: cop.ModeCOP, LLCBytes: 64 * 1024, LLCWays: 8}
+	bm, err := cop.NewBatchedMemoryChecked(cop.BatchedMemoryConfig{
+		Shard: cop.ShardedMemoryConfig{Mem: memCfg, Shards: 4},
+	})
+	if err != nil {
+		return err
+	}
+	defer bm.Close()
+	telReg.Set(bm)
+
+	rng := rand.New(rand.NewSource(0x316))
+	blocks := make([][]byte, footprint)
+	for i := range blocks {
+		b := make([]byte, cop.BlockBytes)
+		if i%4 == 0 {
+			rng.Read(b)
+		} else {
+			for w := 0; w < 8; w++ {
+				binary.BigEndian.PutUint64(b[8*w:], 0x00007F00_00000000|uint64(rng.Intn(1<<20)))
+			}
+		}
+		blocks[i] = b
+		if err := bm.Write(uint64(i)*cop.BlockBytes, b); err != nil {
+			return err
+		}
+	}
+	if err := bm.Flush(); err != nil {
+		return err
+	}
+
+	scrub := cop.NewScrubber(bm, cop.ScrubOptions{})
+	scrub.Start()
+	defer scrub.Stop()
+
+	// Traffic workers rewrite and re-read oracle content for the whole
+	// storyline; a write always stores the block's fixed oracle content, so
+	// every read — mid-migration, mid-reshard, or after — must match it.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var trafficOps, mismatches atomic.Int64
+	werrs := make(chan error, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wr := rand.New(rand.NewSource(seed))
+			for ops := 0; ; ops++ {
+				select {
+				case <-stop:
+					trafficOps.Add(int64(ops))
+					return
+				default:
+				}
+				idx := wr.Intn(footprint)
+				addr := uint64(idx) * cop.BlockBytes
+				if ops%3 == 0 {
+					if err := bm.Write(addr, blocks[idx]); err != nil {
+						werrs <- err
+						return
+					}
+				} else {
+					got, err := bm.Read(addr)
+					if err != nil {
+						werrs <- err
+						return
+					}
+					if !bytes.Equal(got, blocks[idx]) {
+						mismatches.Add(1)
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+
+	steps := []struct {
+		label string
+		fn    func() error
+	}{
+		{"migrate cop-4 -> cop-8", func() error { return cop.Migrate(bm, "cop-8", cop.MigrateOptions{ChunkBlocks: 64}) }},
+		{"reshard 4 -> 8 shards", func() error { return cop.Reshard(bm, 8) }},
+		{"migrate cop-8 -> ecc-region", func() error { return cop.Migrate(bm, "ecc-region", cop.MigrateOptions{ChunkBlocks: 64}) }},
+		{"reshard 8 -> 4 shards", func() error { return cop.Reshard(bm, 4) }},
+		{"migrate ecc-region -> cop-4", func() error { return cop.Migrate(bm, "cop-4", cop.MigrateOptions{ChunkBlocks: 64}) }},
+	}
+	fmt.Fprintf(out, "Live reconfiguration demo (%d traffic goroutines + patrol scrubber, %d-block footprint)\n", n, footprint)
+	for _, st := range steps {
+		start := time.Now()
+		if err := st.fn(); err != nil {
+			close(stop)
+			wg.Wait()
+			return fmt.Errorf("%s: %w", st.label, err)
+		}
+		fmt.Fprintf(out, "  %-28s %10v   (now %d shards, mode %v)\n",
+			st.label, time.Since(start).Round(time.Microsecond), bm.NumShards(), bm.Mode())
+	}
+
+	close(stop)
+	wg.Wait()
+	close(werrs)
+	for err := range werrs {
+		return err
+	}
+	scrub.Stop()
+	if err := bm.Drain(); err != nil {
+		return err
+	}
+	bm.Resume()
+
+	// Final sweep: every block must still decode to its oracle content.
+	for i, want := range blocks {
+		got, err := bm.Read(uint64(i) * cop.BlockBytes)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			mismatches.Add(1)
+		}
+	}
+	snap := bm.Snapshot()
+	fmt.Fprintf(out, "  traffic through it all: %d ops, read mismatches: %d\n", trafficOps.Load(), mismatches.Load())
+	if m := snap.Migration; m != nil {
+		fmt.Fprintf(out, "  migrations: %d (chunks %d, blocks re-encoded %d), reshards: %d (blocks moved %d)\n",
+			m.SchemeMigrations, m.Chunks, m.BlocksMigrated, m.Reshards, m.BlocksMoved)
+	}
+	fmt.Fprintf(out, "  scrub: scans %d, corrected %d, uncorrectable %d\n",
+		snap.Controller.ScrubScans, snap.Controller.ScrubCorrected, snap.Controller.ScrubUncorrectable)
+	if mismatches.Load() != 0 {
+		return fmt.Errorf("%d read mismatches during live reconfiguration", mismatches.Load())
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"cop/internal/experiments"
 	"cop/internal/faultsim"
 	"cop/internal/memctrl"
+	"cop/internal/migrate"
 	"cop/internal/reliability"
 	"cop/internal/shard"
 	"cop/internal/telemetry"
@@ -244,6 +245,48 @@ func NewBatchedMemory(cfg BatchedMemoryConfig) *BatchedMemory { return shard.New
 // configs (bad shard geometry, non-power-of-two ring size) as errors.
 func NewBatchedMemoryChecked(cfg BatchedMemoryConfig) (*BatchedMemory, error) {
 	return shard.NewBatchedChecked(cfg)
+}
+
+// Online reconfiguration, re-exported from internal/migrate.
+type (
+	// MigrationScheme is a named protection-scheme target a live
+	// migration can convert a BatchedMemory to ("cop-4", "cop-8",
+	// "cop-adaptive", "ecc-region", "ecc-dimm", "unprotected").
+	MigrationScheme = migrate.Scheme
+	// MigrateOptions bounds a live migration's per-pause work.
+	MigrateOptions = migrate.Options
+	// Scrubber is the background patrol scrubber over a BatchedMemory;
+	// see NewScrubber.
+	Scrubber = migrate.Scrubber
+	// ScrubOptions parameterizes NewScrubber.
+	ScrubOptions = migrate.ScrubOptions
+)
+
+// Migrate converts a live BatchedMemory to the named protection scheme
+// without stopping traffic: shards are drained one at a time just long
+// enough to switch their machinery, then resident blocks are re-encoded
+// in bounded chunks while reads and writes keep flowing (blocks not yet
+// converted stay readable through the retiring scheme's decoder). See
+// MigrationSchemes for the registry.
+func Migrate(m *BatchedMemory, scheme string, opts MigrateOptions) error {
+	return migrate.MigrateTo(m, scheme, opts)
+}
+
+// MigrationSchemes lists the registered live-migration targets.
+func MigrationSchemes() []string { return migrate.Names() }
+
+// Reshard grows or shrinks a BatchedMemory's stripe count online: each
+// stripe family is quiesced, its resident blocks are copied to the new
+// shards, and routing cuts over atomically — stripes outside the family
+// keep serving throughout.
+func Reshard(m *BatchedMemory, shards int) error { return m.Reshard(shards) }
+
+// NewScrubber builds a background patrol scrubber over m (call Start to
+// launch it and Stop to halt it). Scrub corrections are counted apart
+// from demand-read corrections in telemetry, and uncorrectable blocks
+// found by patrol trip the flight recorder's anomaly dump.
+func NewScrubber(m *BatchedMemory, opts ScrubOptions) *Scrubber {
+	return migrate.NewScrubber(m, opts)
 }
 
 // Workload modeling, re-exported from internal/workload.

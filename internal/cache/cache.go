@@ -245,6 +245,43 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
+// Peek returns the resident line holding addr (set or overflow) without
+// touching LRU or stats. The pointer aliases cache-internal state: callers
+// may mutate flags/data and must not retain it across other cache calls.
+func (c *Cache) Peek(addr uint64) (*Line, bool) {
+	addr = blockAlign(addr, c.shift)
+	si := c.setIdx(addr)
+	for i := range c.sets[si] {
+		if c.sets[si][i].valid && c.sets[si][i].line.Addr == addr {
+			return &c.sets[si][i].line, true
+		}
+	}
+	for i := range c.overflow[si] {
+		if c.overflow[si][i].Addr == addr {
+			return &c.overflow[si][i], true
+		}
+	}
+	return nil, false
+}
+
+// ForEachLine visits every resident line (sets plus overflow) without
+// touching LRU or stats. fn may mutate flags/data through the pointer but
+// must not call back into the cache.
+func (c *Cache) ForEachLine(fn func(*Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				fn(&set[i].line)
+			}
+		}
+	}
+	for si := range c.overflow {
+		for i := range c.overflow[si] {
+			fn(&c.overflow[si][i])
+		}
+	}
+}
+
 // Insert places a line (after a miss fill or an LLC writeback allocation),
 // returning any evicted line that needs a DRAM writeback. Alias lines are
 // never evicted; when a set is entirely alias-pinned, the LRU alias is

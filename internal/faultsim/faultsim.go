@@ -135,6 +135,16 @@ type Config struct {
 	// silent corruption or oracle mismatch freezes the rings and cuts a
 	// black-box dump whose tail identifies the fault's block address.
 	Tracer *trace.Tracer
+	// Memory, when non-nil, is an externally owned campaign target — a
+	// live front-end (shard.Batched included) the campaign drives instead
+	// of building its own controller. Mode/LLCBytes/LLCWays then describe
+	// the external memory only nominally (the campaign does not construct
+	// anything from them), and Tracer is not attached by the campaign.
+	// An external memory may be reconfigured concurrently (live scheme
+	// migration, resharding), so an injection that finds no image — the
+	// block was re-encoded or moved between settle and inject — is
+	// counted Skipped and restored instead of failing the run.
+	Memory Target
 }
 
 // CampaignGeometry is the default physical mapping for campaigns: 2
@@ -265,8 +275,10 @@ func (r *Result) Table() string {
 	return sb.String()
 }
 
-// target abstracts the serial and sharded controllers.
-type target interface {
+// Target abstracts a campaign memory: the serial and sharded controllers
+// the campaign builds itself, or an externally owned front-end passed in
+// via Config.Memory (the batched controller satisfies it too).
+type Target interface {
 	Write(addr uint64, data []byte) error
 	ReadWithInfo(addr uint64) ([]byte, memctrl.ReadInfo, error)
 	Settle(addr uint64) error
@@ -276,9 +288,13 @@ type target interface {
 	Snapshot() telemetry.Snapshot
 }
 
+// target is the historical internal name.
+type target = Target
+
 var (
 	_ target = (*memctrl.Controller)(nil)
 	_ target = (*shard.Controller)(nil)
+	_ target = (*shard.Batched)(nil)
 )
 
 // rng is splitmix64: tiny, seedable, and stable across Go versions (the
@@ -515,8 +531,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("faultsim: %d blocks cannot feed %d workers", cfg.Blocks, cfg.Workers)
 	}
 	memCfg := memctrl.Config{Mode: cfg.Mode, LLCBytes: cfg.LLCBytes, LLCWays: cfg.LLCWays, Tracer: cfg.Tracer}
+	external := cfg.Memory != nil
 	var mem target
-	if cfg.Workers > 1 {
+	if external {
+		mem = cfg.Memory
+	} else if cfg.Workers > 1 {
 		// Workers is a free worker count; shard counts must be powers of
 		// two no larger than the LLC set count, so round up and clamp —
 		// the extra shards just see no traffic.
@@ -608,6 +627,19 @@ func Run(cfg Config) (*Result, error) {
 					}
 					for _, bit := range ev.bits[i] {
 						if !mem.InjectBitFlip(a, bit) {
+							if external {
+								// A concurrent reconfiguration re-encoded
+								// or moved the block between settle and
+								// inject: skip the trial for this block
+								// and restore it (earlier flips of this
+								// event may have landed).
+								live[i] = false
+								rows[mi].Skipped++
+								if errs[w] = mem.Write(a, ref[a/BlockBytes]); errs[w] != nil {
+									return
+								}
+								break
+							}
 							// Settled non-alias blocks always have an
 							// image; a miss here is an engine bug.
 							errs[w] = fmt.Errorf("faultsim: injection missed settled block %#x", a)

@@ -179,6 +179,7 @@ type Controller struct {
 	everRaw    map[uint64]bool       // blocks ever stored uncompressed (Fig 12)
 	kinds      map[uint64]StoredKind // ground-truth form of each DRAM image
 	aliasSpill []cache.Line          // alias lines parked during Flush
+	old        *oldScheme            // non-nil while a live scheme migration is in flight
 	tel        telemetry.ControllerCounters
 	hooks      *telemetry.Hooks // nil until the first Subscribe
 	th         *trace.Handle    // nil until AttachTracer; nil-safe
@@ -425,121 +426,19 @@ func (c *Controller) insert(line cache.Line) error {
 func (c *Controller) writeback(victim cache.Line) error {
 	c.tel.Writebacks.Inc()
 	addr := victim.Addr
-	switch c.mode {
-	case Unprotected:
-		c.store[addr] = victim.Data
-		c.kinds[addr] = StoredKindRaw
-		c.tel.StoredRaw.Inc()
-	case COP:
-		// Encode straight into the block's DRAM image buffer (reused across
-		// writebacks of the same address) via the controller's scratch: the
-		// steady-state write path allocates nothing.
-		image, ok := c.store[addr]
-		if !ok {
-			image = make([]byte, BlockBytes)
-		}
-		status := c.codec.EncodeInto(image, victim.Data, c.sc)
-		switch status {
-		case core.StoredCompressed:
-			c.store[addr] = image
-			c.kinds[addr] = StoredKindCompressed
-			c.tel.StoredCompressed.Inc()
-		case core.StoredRaw:
-			c.store[addr] = image
-			c.kinds[addr] = StoredKindRaw
-			c.tel.StoredRaw.Inc()
-			if !c.everRaw[addr] {
-				c.everRaw[addr] = true
-				c.tel.EverIncompressible.Inc()
-			}
-		case core.RejectedAlias:
-			// Must stay in the LLC: re-insert with the alias bit set.
-			// cache.Insert pins alias lines, so this cannot recurse into
-			// another rejected writeback of the same line.
-			c.tel.AliasRetained.Inc()
-			c.emit("alias-retained", addr, 0)
-			c.traceAliasRetained(addr)
-			victim.Alias = true
-			return c.insert(victim)
-		}
-	case COPER:
-		prev := core.NoPointer
-		if victim.WasUncompressed {
-			prev = victim.Ptr
-		}
-		image, ptr, compressed, err := c.er.Write(victim.Data, prev)
-		if err != nil {
-			return err
-		}
-		c.store[addr] = image
-		c.kinds[addr] = kindOf(compressed)
-		if compressed {
-			c.tel.StoredCompressed.Inc()
-		} else {
-			c.tel.StoredRaw.Inc()
-			c.tel.RegionReads.Inc() // entry write
-			if !c.everRaw[addr] {
-				c.everRaw[addr] = true
-				c.tel.EverIncompressible.Inc()
-			}
-		}
-		_ = ptr
-	case COPChipkill:
-		prev := chipkill.NoPointer
-		if victim.WasUncompressed {
-			prev = victim.Ptr
-		}
-		image, ptr, inline, err := c.ck.Write(victim.Data, prev)
-		if err != nil {
-			return err
-		}
-		c.store[addr] = image
-		c.kinds[addr] = kindOf(inline)
-		if inline {
-			c.tel.StoredCompressed.Inc()
-		} else {
-			c.tel.StoredRaw.Inc()
-			c.tel.RegionReads.Inc()
-			if !c.everRaw[addr] {
-				c.everRaw[addr] = true
-				c.tel.EverIncompressible.Inc()
-			}
-		}
-		_ = ptr
-	case COPAdaptive:
-		image, _, status := c.adaptive.Encode(victim.Data)
-		switch status {
-		case core.StoredCompressed:
-			c.store[addr] = image
-			c.kinds[addr] = StoredKindCompressed
-			c.tel.StoredCompressed.Inc()
-		case core.StoredRaw:
-			c.store[addr] = image
-			c.kinds[addr] = StoredKindRaw
-			c.tel.StoredRaw.Inc()
-			if !c.everRaw[addr] {
-				c.everRaw[addr] = true
-				c.tel.EverIncompressible.Inc()
-			}
-		case core.RejectedAlias:
-			c.tel.AliasRetained.Inc()
-			c.emit("alias-retained", addr, 0)
-			c.traceAliasRetained(addr)
-			victim.Alias = true
-			return c.insert(victim)
-		}
-	case ECCRegion:
-		c.store[addr] = victim.Data
-		c.regECC[addr] = blockParity523(victim.Data)
-		c.kinds[addr] = StoredKindRaw
-		c.tel.StoredRaw.Inc()
-		c.tel.RegionReads.Inc()
-	case ECCDIMM:
-		c.store[addr] = victim.Data
-		c.dimmECC[addr] = dimmCheckBytes(victim.Data)
-		c.kinds[addr] = StoredKindRaw
-		c.tel.StoredCompressed.Inc() // protected, inline — closest bucket
-		c.tel.DIMMCheckBytesWritten.Add(8)
+	status, err := c.encodeImage(addr, victim.Data, victim.Ptr, victim.WasUncompressed)
+	if err != nil {
+		return err
+	}
+	if status == core.RejectedAlias {
+		// Must stay in the LLC: re-insert with the alias bit set.
+		// cache.Insert pins alias lines, so this cannot recurse into
+		// another rejected writeback of the same line.
+		c.tel.AliasRetained.Inc()
+		c.emit("alias-retained", addr, 0)
+		c.traceAliasRetained(addr)
+		victim.Alias = true
+		return c.insert(victim)
 	}
 	if c.th.Enabled() {
 		f := trace.FlagWrite
@@ -549,6 +448,131 @@ func (c *Controller) writeback(victim cache.Line) error {
 		c.th.Record(trace.KindEncode, addr, uint32(c.kinds[addr]), f, 0, uint64(c.mode), 0)
 	}
 	return nil
+}
+
+// encodeImage encodes data as addr's DRAM image under the current scheme,
+// updating the stored-kind ground truth and the stored/ever-raw counters.
+// A core.RejectedAlias status (COP-family incompressible alias) leaves
+// DRAM untouched; the caller decides whether to pin the line. Raw-storing
+// modes take ownership of the data slice. prevPtr/hasPrev carry a COP-ER /
+// chipkill line's existing region-entry association.
+func (c *Controller) encodeImage(addr uint64, data []byte, prevPtr uint32, hasPrev bool) (core.StoreStatus, error) {
+	var status core.StoreStatus
+	switch c.mode {
+	case Unprotected:
+		c.store[addr] = data
+		c.kinds[addr] = StoredKindRaw
+		c.tel.StoredRaw.Inc()
+		status = core.StoredRaw
+	case COP:
+		// Encode straight into the block's DRAM image buffer (reused across
+		// writebacks of the same address) via the controller's scratch: the
+		// steady-state write path allocates nothing.
+		image, ok := c.store[addr]
+		if !ok {
+			image = make([]byte, BlockBytes)
+		}
+		status = c.codec.EncodeInto(image, data, c.sc)
+		switch status {
+		case core.StoredCompressed:
+			c.store[addr] = image
+			c.kinds[addr] = StoredKindCompressed
+			c.tel.StoredCompressed.Inc()
+		case core.StoredRaw:
+			c.store[addr] = image
+			c.kinds[addr] = StoredKindRaw
+			c.tel.StoredRaw.Inc()
+			c.markEverRaw(addr)
+		case core.RejectedAlias:
+			return status, nil
+		}
+	case COPER:
+		prev := core.NoPointer
+		if hasPrev {
+			prev = prevPtr
+		}
+		image, _, compressed, err := c.er.Write(data, prev)
+		if err != nil {
+			return 0, err
+		}
+		c.store[addr] = image
+		c.kinds[addr] = kindOf(compressed)
+		if compressed {
+			c.tel.StoredCompressed.Inc()
+			status = core.StoredCompressed
+		} else {
+			c.tel.StoredRaw.Inc()
+			c.tel.RegionReads.Inc() // entry write
+			c.markEverRaw(addr)
+			status = core.StoredRaw
+		}
+	case COPChipkill:
+		prev := chipkill.NoPointer
+		if hasPrev {
+			prev = prevPtr
+		}
+		image, _, inline, err := c.ck.Write(data, prev)
+		if err != nil {
+			return 0, err
+		}
+		c.store[addr] = image
+		c.kinds[addr] = kindOf(inline)
+		if inline {
+			c.tel.StoredCompressed.Inc()
+			status = core.StoredCompressed
+		} else {
+			c.tel.StoredRaw.Inc()
+			c.tel.RegionReads.Inc()
+			c.markEverRaw(addr)
+			status = core.StoredRaw
+		}
+	case COPAdaptive:
+		var image []byte
+		image, _, status = c.adaptive.Encode(data)
+		switch status {
+		case core.StoredCompressed:
+			c.store[addr] = image
+			c.kinds[addr] = StoredKindCompressed
+			c.tel.StoredCompressed.Inc()
+		case core.StoredRaw:
+			c.store[addr] = image
+			c.kinds[addr] = StoredKindRaw
+			c.tel.StoredRaw.Inc()
+			c.markEverRaw(addr)
+		case core.RejectedAlias:
+			return status, nil
+		}
+	case ECCRegion:
+		c.store[addr] = data
+		c.regECC[addr] = blockParity523(data)
+		c.kinds[addr] = StoredKindRaw
+		c.tel.StoredRaw.Inc()
+		c.tel.RegionReads.Inc()
+		status = core.StoredRaw
+	case ECCDIMM:
+		c.store[addr] = data
+		c.dimmECC[addr] = dimmCheckBytes(data)
+		c.kinds[addr] = StoredKindRaw
+		c.tel.StoredCompressed.Inc() // protected, inline — closest bucket
+		c.tel.DIMMCheckBytesWritten.Add(8)
+		status = core.StoredCompressed
+	}
+	if c.old != nil {
+		// The image now carries the current scheme; the block no longer
+		// needs migration and its retiring-scheme side entries can go.
+		delete(c.old.pending, addr)
+		c.old.dropEntry(addr)
+	}
+	return status, nil
+}
+
+// markEverRaw records the first time a block is stored uncompressed
+// (Figure 12's ever-incompressible population).
+func (c *Controller) markEverRaw(addr uint64) {
+	if !c.everRaw[addr] {
+		c.everRaw[addr] = true
+		c.tel.EverIncompressible.Inc()
+	}
 }
 
 // traceAliasRetained records a writeback rejected by the alias check and
@@ -645,6 +669,12 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 	if !present {
 		// Untouched memory reads as zeros (fresh pages).
 		return cache.Line{Addr: addr, Data: make([]byte, BlockBytes)}, ReadInfo{}, nil
+	}
+	if o := c.old; o != nil {
+		if _, pend := o.pending[addr]; pend {
+			// The image still carries the retiring scheme's encoding.
+			return c.fillOld(addr, image)
+		}
 	}
 	rinfo := ReadInfo{FromDRAM: true}
 	line := cache.Line{Addr: addr}

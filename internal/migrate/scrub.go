@@ -1,0 +1,142 @@
+package migrate
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"cop/internal/memctrl"
+	"cop/internal/shard"
+	"cop/internal/trace"
+)
+
+// ScrubOptions parameterizes the background scrubber.
+type ScrubOptions struct {
+	// Interval is the idle pause between chunk scans. Zero selects 1ms —
+	// an aggressive patrol suited to tests and demos; production-shaped
+	// runs want something far coarser.
+	Interval time.Duration
+	// ChunkBlocks bounds how many resident blocks are scanned per
+	// shard-lock acquisition. Zero selects 128.
+	ChunkBlocks int
+}
+
+func (o ScrubOptions) normalize() ScrubOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Millisecond
+	}
+	if o.ChunkBlocks <= 0 {
+		o.ChunkBlocks = 128
+	}
+	return o
+}
+
+// Scrubber is a background patrol scrubber over the batched front-end:
+// it walks every shard's resident DRAM images in address order, one
+// bounded chunk per shard-lock acquisition with an idle interval between
+// chunks, re-verifying each image through the active scheme's decoder.
+// Corrections it finds are counted separately from demand-read
+// corrections (ScrubCorrected versus CorrectedErrors — the
+// corrected-on-scrub / corrected-on-read split in telemetry), corrected
+// images are rewritten clean, and a block found uncorrectable trips the
+// flight recorder's anomaly dump. During a live migration the scrubber
+// cooperates: scanning an unconverted block re-encodes it under the new
+// scheme (memctrl.ScrubBlock doubles as conversion), so patrol cycles
+// advance the migration for free.
+type Scrubber struct {
+	b    *shard.Batched
+	opts ScrubOptions
+
+	mu    sync.Mutex
+	stop  chan struct{}
+	done  chan struct{}
+	addrs []uint64
+}
+
+// NewScrubber builds a scrubber (not yet running).
+func NewScrubber(b *shard.Batched, opts ScrubOptions) *Scrubber {
+	return &Scrubber{b: b, opts: opts.normalize()}
+}
+
+// Start launches the patrol goroutine. No-op if already running.
+func (s *Scrubber) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run(s.stop, s.done)
+}
+
+// Stop halts the patrol and waits for the goroutine to exit. No-op if
+// not running; the scrubber can be restarted afterwards.
+func (s *Scrubber) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (s *Scrubber) run(stop, done chan struct{}) {
+	defer close(done)
+	for i := 0; ; i++ {
+		n := s.b.NumShards()
+		if n == 0 {
+			return
+		}
+		if !s.sweepShard(i%n, stop) {
+			return
+		}
+	}
+}
+
+// sweepShard patrols one shard: snapshot its resident addresses under
+// one lock acquisition, then scrub them in bounded chunks with the idle
+// interval between chunks. Returns false when stopped. A reshard racing
+// the sweep is benign — addresses that moved away simply no longer have
+// an image here and are skipped.
+func (s *Scrubber) sweepShard(i int, stop chan struct{}) bool {
+	s.addrs = s.addrs[:0]
+	_ = s.b.WithShard(i, func(c *memctrl.Controller) error {
+		s.addrs = c.AppendDRAMAddrs(s.addrs)
+		return nil
+	})
+	sort.Slice(s.addrs, func(a, b int) bool { return s.addrs[a] < s.addrs[b] })
+	for start := 0; start < len(s.addrs); start += s.opts.ChunkBlocks {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(s.opts.Interval):
+		}
+		end := start + s.opts.ChunkBlocks
+		if end > len(s.addrs) {
+			end = len(s.addrs)
+		}
+		chunk := s.addrs[start:end]
+		_ = s.b.WithShard(i, func(c *memctrl.Controller) error {
+			for _, a := range chunk {
+				if _, err := c.ScrubBlock(a); err != nil {
+					// Latent uncorrectable found by patrol: cut a
+					// black-box dump (nil-safe when no tracer attached)
+					// and keep patrolling — the block stays counted in
+					// ScrubUncorrectable either way.
+					c.Tracer().TriggerAnomaly(trace.ReasonUncorrectable, a)
+				}
+			}
+			return nil
+		})
+	}
+	select {
+	case <-stop:
+		return false
+	case <-time.After(s.opts.Interval):
+	}
+	return true
+}

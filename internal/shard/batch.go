@@ -40,6 +40,10 @@ const (
 	ModeDraining
 	// modeClosed is the terminal state set by Close.
 	modeClosed
+	// modeRetired is the terminal state a reshard leaves a shard in after
+	// its stripes have been cut over to new shards: the worker exits and
+	// blocked producers re-resolve the topology instead of waiting.
+	modeRetired
 )
 
 // String returns the mode name.
@@ -53,6 +57,8 @@ func (m Mode) String() string {
 		return "draining"
 	case modeClosed:
 		return "closed"
+	case modeRetired:
+		return "retired"
 	}
 	return fmt.Sprintf("mode(%d)", int32(m))
 }
@@ -186,24 +192,83 @@ func (cfg BatchedConfig) normalize() (BatchedConfig, error) {
 	return cfg, nil
 }
 
+// routeEntry maps one stripe to its owning shard. logN rides per entry
+// because mid-reshard different stripes are owned by shards built for
+// different stripe counts, and the inner (shard-local) address depends on
+// the stripe count the OWNER was built for.
+type routeEntry struct {
+	bs   *batchShard
+	logN uint
+}
+
+// topology is the batched front-end's immutable routing state. Producers
+// load it once per submission (one atomic pointer read), so a reshard can
+// cut stripes over to new shards by publishing a fresh topology — the
+// datapath never takes a reconfiguration lock. entries is indexed by
+// blockIdx & mask and always covers every stripe; bshards lists each
+// distinct live shard once (the iteration set for whole-memory sweeps);
+// n is the logical stripe count (NumShards); scheme is the committed
+// protection mode; inner is an equivalent sharded Controller over the
+// same slots, rebuilt when a reshard completes (mid-transition it lags
+// the route table — Sharded and Shard are diagnostics, not datapath).
+type topology struct {
+	mask    uint64
+	entries []routeEntry
+	bshards []*batchShard
+	n       int
+	scheme  memctrl.Mode
+	inner   *Controller
+}
+
 // Batched is the batched, concurrency-safe front-end: the same striping,
 // telemetry, and memory image as Controller (a single-threaded replay
 // through either produces byte-identical DRAM images and snapshots), but
 // requests flow through per-shard rings to per-shard workers instead of
 // taking a mutex per access. Synchronous methods mirror Controller's API;
 // NewGroup exposes the asynchronous window API that makes batching pay.
+//
+// Batched is also the substrate for online reconfiguration: Reshard grows
+// or shrinks the stripe count under live traffic, and the hooks consumed
+// by the migrate package (Reconfigure, WithShard, CommitScheme) let a
+// live scheme migration re-encode resident blocks shard by shard. Both
+// work by swapping the topology pointer; in-flight and future requests
+// re-resolve their route instead of failing.
 type Batched struct {
-	inner    *Controller
-	bshards  []*batchShard
+	topo     atomic.Pointer[topology]
 	batchMax int
+	ringSize int
 	gpool    sync.Pool
 	wg       sync.WaitGroup
+
+	// reconfMu serializes reconfiguration (Reshard, Reconfigure,
+	// SetTracer, Close). Never taken on the datapath.
+	reconfMu sync.Mutex
+	cfg      BatchedConfig // normalized current logical config (reconfMu)
+	tracer   *trace.Tracer // attached flight recorder (reconfMu)
+	closed   bool          // set by Close (reconfMu)
+
+	// Retired-shard accumulators: when a reshard retires a shard its final
+	// counters fold in here, keeping Ops/Stats/Snapshot monotonic across
+	// topology swaps.
+	retiredOps   atomic.Uint64
+	retiredMu    sync.Mutex
+	retiredTel   telemetry.Snapshot
+	haveRetired  bool
+	retiredStats memctrl.Stats
+	retiredBatch telemetry.BatchStats
+
+	// migTel counts reconfiguration progress (scheme migrations, reshards,
+	// chunks, blocks); surfaced as the Migration snapshot section.
+	migTel telemetry.MigrationCounters
 }
 
 // batchShard is one shard's batching state around its shardSlot.
 type batchShard struct {
 	ring     *txnRing
 	slot     *shardSlot
+	idx      int  // stripe index within the topology the shard was built for
+	logN     uint // log2 of that topology's stripe count
+	inflight atomic.Int64 // producers between route resolution and publish
 	mode     atomic.Int32 // Mode; fast-path mirror of the mu-guarded state
 	sleeping atomic.Bool  // worker parked (or parking)
 	wake     chan struct{}
@@ -212,6 +277,19 @@ type batchShard struct {
 	fenced   bool
 	drainErr error
 	tel      telemetry.BatchCounters
+}
+
+// newBatchShard builds one shard's batching state (worker not started).
+func newBatchShard(ringSize int, slot *shardSlot, idx int, logN uint) *batchShard {
+	bs := &batchShard{
+		ring: newTxnRing(ringSize),
+		slot: slot,
+		idx:  idx,
+		logN: logN,
+		wake: make(chan struct{}, 1),
+	}
+	bs.cond = sync.NewCond(&bs.mu)
+	return bs
 }
 
 // NewBatched builds a batched controller, panicking on an invalid config
@@ -232,27 +310,42 @@ func NewBatchedChecked(cfg BatchedConfig) (*Batched, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := NewChecked(cfg.Shard)
+	// Normalize the shard config here as well (NewChecked re-normalizes,
+	// idempotently) so the stored config carries the resolved stripe count
+	// and LLC geometry a later Reshard scales from.
+	scfg, err := cfg.Shard.Normalize()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Shard = scfg
+	inner, err := NewChecked(scfg)
+	if err != nil {
+		return nil, err
+	}
+	n := len(inner.shards)
 	b := &Batched{
-		inner:    inner,
-		bshards:  make([]*batchShard, len(inner.shards)),
 		batchMax: cfg.BatchMax,
+		ringSize: cfg.RingSize,
+		cfg:      cfg,
+		tracer:   scfg.Mem.Tracer,
 	}
 	b.gpool.New = func() any { return &Group{wake: make(chan struct{}, 1)} }
-	for i := range b.bshards {
-		bs := &batchShard{
-			ring: newTxnRing(cfg.RingSize),
-			slot: inner.shards[i],
-			wake: make(chan struct{}, 1),
-		}
-		bs.cond = sync.NewCond(&bs.mu)
-		b.bshards[i] = bs
+	bshards := make([]*batchShard, n)
+	entries := make([]routeEntry, n)
+	for i := range bshards {
+		bshards[i] = newBatchShard(cfg.RingSize, inner.shards[i], i, inner.logN)
+		entries[i] = routeEntry{bshards[i], inner.logN}
 	}
-	b.wg.Add(len(b.bshards))
-	for _, bs := range b.bshards {
+	b.topo.Store(&topology{
+		mask:    inner.mask,
+		entries: entries,
+		bshards: bshards,
+		n:       n,
+		scheme:  scfg.Mem.Mode,
+		inner:   inner,
+	})
+	b.wg.Add(n)
+	for _, bs := range bshards {
 		go b.run(bs)
 	}
 	return b, nil
@@ -260,58 +353,90 @@ func NewBatchedChecked(cfg BatchedConfig) (*Batched, error) {
 
 // --- submission ---------------------------------------------------------
 
-// shardFor routes addr exactly as Controller.locate.
-func (b *Batched) shardFor(addr uint64) (*batchShard, uint64) {
+// reserve resolves addr through the current topology, gates on the owning
+// shard's mode, accounts the submission to g, and claims a ring cell,
+// blocking while the shard is not Enabled. The caller fills c.txn in place
+// (every field the operation's execution reads — see txnRing.reserve) and
+// hands it off with bs.publish, which also drops the inflight hold taken
+// here. Returns ok=false after Close, with ErrClosed already recorded on g.
+//
+// The inflight counter is the reshard quiesce handshake: it is raised
+// BEFORE the mode check, so a producer that observed ModeEnabled is
+// visible to a resharder that flipped the mode afterwards and now waits
+// for inflight to reach zero (the mode store and the inflight load are
+// both sequentially consistent atomics). A producer that observes any
+// other mode backs out its hold and waits; retirement sends it back here
+// to re-resolve the (by then updated) topology.
+func (b *Batched) reserve(g *Group, addr uint64) (bs *batchShard, inner uint64, c *txnCell, pos uint64, ok bool) {
 	blockIdx := addr / BlockBytes
-	inner := (blockIdx>>b.inner.logN)*BlockBytes | (addr % BlockBytes)
-	return b.bshards[blockIdx&b.inner.mask], inner
-}
-
-// reserve gates a submission on the shard's mode, accounts it to g, and
-// claims a ring cell, blocking while the shard is not Enabled. The caller
-// fills c.txn in place (every field the operation's execution reads — see
-// txnRing.reserve) and hands it off with bs.publish. Returns ok=false
-// after Close, with ErrClosed already recorded on g.
-func (b *Batched) reserve(bs *batchShard, g *Group) (c *txnCell, pos uint64, ok bool) {
-	if Mode(bs.mode.Load()) != ModeEnabled && !bs.awaitEnabled() {
-		g.setErr(ErrClosed)
-		return nil, 0, false
+	for {
+		topo := b.topo.Load()
+		e := topo.entries[blockIdx&topo.mask]
+		bs = e.bs
+		bs.inflight.Add(1)
+		if Mode(bs.mode.Load()) == ModeEnabled {
+			g.submitted++
+			inner = (blockIdx>>e.logN)*BlockBytes | (addr % BlockBytes)
+			c, pos = bs.ring.reserve()
+			return bs, inner, c, pos, true
+		}
+		bs.inflight.Add(-1)
+		switch bs.await() {
+		case awaitReady, awaitReroute:
+			// Re-resolve: the shard was re-enabled, or it retired and the
+			// published topology now routes this stripe elsewhere.
+		case awaitClosed:
+			g.setErr(ErrClosed)
+			return nil, 0, nil, 0, false
+		}
 	}
-	g.submitted++
-	c, pos = bs.ring.reserve()
-	return c, pos, true
 }
 
-// publish makes a filled cell visible to the worker and wakes it.
+// publish makes a filled cell visible to the worker, releases the
+// submission's inflight hold, and wakes the worker.
 func (bs *batchShard) publish(c *txnCell, pos uint64) {
 	bs.ring.publish(c, pos)
+	bs.inflight.Add(-1)
 	bs.wakeWorker()
 }
 
-// submit copies a fully built prototype transaction into the shard's ring
-// and binds it to g — the generic path used by the synchronous API, where
-// one struct copy per op is irrelevant next to the Wait round-trip. (The
-// asynchronous Group methods fill their cells in place instead.)
-func (b *Batched) submit(bs *batchShard, g *Group, t *Txn) {
-	c, pos, ok := b.reserve(bs, g)
+// submit routes and copies a fully built prototype transaction (addr set)
+// into its shard's ring and binds it to g — the generic path used by the
+// synchronous API, where one struct copy per op is irrelevant next to the
+// Wait round-trip. (The asynchronous Group methods fill their cells in
+// place instead.)
+func (b *Batched) submit(g *Group, t *Txn) {
+	bs, inner, c, pos, ok := b.reserve(g, t.addr)
 	if !ok {
 		return
 	}
+	t.inner = inner
 	t.g = g
 	c.txn = *t
 	bs.publish(c, pos)
 }
 
-// awaitEnabled blocks until the shard is Enabled (true) or closed (false).
-func (bs *batchShard) awaitEnabled() bool {
+// awaitVerdict is await's outcome.
+type awaitVerdict int
+
+const (
+	awaitReady   awaitVerdict = iota // shard re-enabled; claim from it
+	awaitReroute                     // shard retired; re-resolve topology
+	awaitClosed                      // front-end closed; fail the op
+)
+
+// await blocks while the shard is Paused or Draining.
+func (bs *batchShard) await() awaitVerdict {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	for {
 		switch Mode(bs.mode.Load()) {
 		case ModeEnabled:
-			return true
+			return awaitReady
+		case modeRetired:
+			return awaitReroute
 		case modeClosed:
-			return false
+			return awaitClosed
 		}
 		bs.cond.Wait()
 	}
@@ -362,6 +487,11 @@ func (b *Batched) run(bs *batchShard) {
 		}
 		switch m {
 		case modeClosed:
+			return
+		case modeRetired:
+			// Retirement follows a quiesce (inflight drained to zero under
+			// a non-Enabled mode), so nothing can be published after this
+			// point: an empty ring is empty forever.
 			return
 		case ModeDraining:
 			bs.completeDrain()
@@ -620,9 +750,7 @@ func (b *Batched) getGroup() *Group {
 // syncOp submits t in a fresh single-op group and waits it out.
 func (b *Batched) syncOp(t *Txn) error {
 	g := b.getGroup()
-	bs, inner := b.shardFor(t.addr)
-	t.inner = inner
-	b.submit(bs, g, t)
+	b.submit(g, t)
 	err := g.Wait()
 	b.gpool.Put(g)
 	return err
@@ -725,9 +853,7 @@ func (b *Batched) ReadBytesInto(dst []byte, addr uint64) error {
 			take = len(dst)
 		}
 		t := Txn{op: opRead, off: uint8(off), n: uint8(take), addr: base, dst: dst[:take]}
-		bs, inner := b.shardFor(base)
-		t.inner = inner
-		b.submit(bs, g, &t)
+		b.submit(g, &t)
 		addr += uint64(take)
 		dst = dst[take:]
 	}
@@ -752,9 +878,7 @@ func (b *Batched) WriteBytes(addr uint64, data []byte) error {
 		}
 		t := Txn{op: opWrite, off: uint8(off), n: uint8(take), addr: base}
 		copy(t.data[:take], data[:take])
-		bs, inner := b.shardFor(base)
-		t.inner = inner
-		b.submit(bs, g, &t)
+		b.submit(g, &t)
 		addr += uint64(take)
 		data = data[take:]
 	}
@@ -763,14 +887,60 @@ func (b *Batched) WriteBytes(addr uint64, data []byte) error {
 	return err
 }
 
+// flushShard submits one opFlush to a specific shard, gating on its mode
+// like reserve. Returns false when the shard retired before the claim —
+// the caller must re-resolve the topology, because the stripes this flush
+// was meant to cover now live elsewhere. A closed front-end records
+// ErrClosed on g and reports done.
+func (b *Batched) flushShard(bs *batchShard, g *Group) (done bool) {
+	for {
+		bs.inflight.Add(1)
+		if Mode(bs.mode.Load()) == ModeEnabled {
+			g.submitted++
+			c, pos := bs.ring.reserve()
+			t := &c.txn
+			t.op = opFlush
+			t.g = g
+			bs.publish(c, pos)
+			return true
+		}
+		bs.inflight.Add(-1)
+		switch bs.await() {
+		case awaitReady:
+		case awaitReroute:
+			return false
+		case awaitClosed:
+			g.setErr(ErrClosed)
+			return true
+		}
+	}
+}
+
 // Flush drains every shard's dirty LLC lines to DRAM (first error wins).
 // The flush transactions queue behind everything already submitted, so
 // Flush fences all operations whose submit returned before it was called.
+// If a concurrent reshard retires a shard mid-Flush, the pass restarts on
+// the new topology (flushing a shard twice is harmless).
 func (b *Batched) Flush() error {
 	g := b.getGroup()
-	for _, bs := range b.bshards {
-		t := Txn{op: opFlush}
-		b.submit(bs, g, &t)
+	for {
+		topo := b.topo.Load()
+		all := true
+		for _, bs := range topo.bshards {
+			if !b.flushShard(bs, g) {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		// Settle what was already submitted, then retry on the topology
+		// the reshard published.
+		if err := g.Wait(); err != nil {
+			b.gpool.Put(g)
+			return err
+		}
 	}
 	err := g.Wait()
 	b.gpool.Put(g)
@@ -790,8 +960,7 @@ func (b *Batched) NewGroup() *Group { return b.getGroup() }
 // The transaction is filled directly in its ring cell — the submission
 // fast path copies no Txn and allocates nothing.
 func (g *Group) Read(dst []byte, addr uint64) {
-	bs, inner := g.b.shardFor(addr)
-	c, pos, ok := g.b.reserve(bs, g)
+	bs, inner, c, pos, ok := g.b.reserve(g, addr)
 	if !ok {
 		return
 	}
@@ -810,8 +979,7 @@ func (g *Group) Read(dst []byte, addr uint64) {
 // straight into the ring cell) before Write returns, so the caller may
 // reuse the buffer immediately.
 func (g *Group) Write(addr uint64, data []byte) {
-	bs, inner := g.b.shardFor(addr)
-	c, pos, ok := g.b.reserve(bs, g)
+	bs, inner, c, pos, ok := g.b.reserve(g, addr)
 	if !ok {
 		return
 	}
@@ -835,9 +1003,16 @@ func (g *Group) Write(addr uint64, data []byte) {
 
 // --- mode control -------------------------------------------------------
 
-// setMode publishes m to one shard and wakes everyone who cares.
+// setMode publishes m to one shard and wakes everyone who cares. Terminal
+// states (retired, closed) are never overwritten — their workers have
+// exited, so re-enabling would strand submissions in a ring nobody reads.
 func (b *Batched) setMode(bs *batchShard, m Mode) {
 	bs.mu.Lock()
+	switch Mode(bs.mode.Load()) {
+	case modeRetired, modeClosed:
+		bs.mu.Unlock()
+		return
+	}
 	bs.mode.Store(int32(m))
 	if m != ModeDraining {
 		bs.fenced = false
@@ -850,14 +1025,14 @@ func (b *Batched) setMode(bs *batchShard, m Mode) {
 
 // SetShardMode moves shard i to m. Producers targeting a non-Enabled shard
 // block until it is re-enabled.
-func (b *Batched) SetShardMode(i int, m Mode) { b.setMode(b.bshards[i], m) }
+func (b *Batched) SetShardMode(i int, m Mode) { b.setMode(b.topo.Load().bshards[i], m) }
 
 // ShardMode returns shard i's current mode.
-func (b *Batched) ShardMode(i int) Mode { return Mode(b.bshards[i].mode.Load()) }
+func (b *Batched) ShardMode(i int) Mode { return Mode(b.topo.Load().bshards[i].mode.Load()) }
 
 // SetMode moves every shard to m.
 func (b *Batched) SetMode(m Mode) {
-	for _, bs := range b.bshards {
+	for _, bs := range b.topo.Load().bshards {
 		b.setMode(bs, m)
 	}
 }
@@ -870,11 +1045,12 @@ func (b *Batched) SetMode(m Mode) {
 // flush error. The shards stay Draining — and producers stay blocked —
 // until Resume.
 func (b *Batched) Drain() error {
-	for _, bs := range b.bshards {
+	bshards := b.topo.Load().bshards
+	for _, bs := range bshards {
 		b.setMode(bs, ModeDraining)
 	}
 	var ferr error
-	for _, bs := range b.bshards {
+	for _, bs := range bshards {
 		bs.mu.Lock()
 		for !bs.fenced && Mode(bs.mode.Load()) == ModeDraining {
 			bs.cond.Wait()
@@ -890,7 +1066,7 @@ func (b *Batched) Drain() error {
 // DrainShard is Drain for a single shard — the per-shard quiesce the live
 // migration path uses while the other shards keep serving.
 func (b *Batched) DrainShard(i int) error {
-	bs := b.bshards[i]
+	bs := b.topo.Load().bshards[i]
 	b.setMode(bs, ModeDraining)
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
@@ -906,14 +1082,31 @@ func (b *Batched) Resume() { b.SetMode(ModeEnabled) }
 
 // Quiesced reports whether every shard holds no dirty non-alias LLC lines
 // (true after a successful Drain with no concurrent producers).
-func (b *Batched) Quiesced() bool { return b.inner.Quiesced() }
+func (b *Batched) Quiesced() bool {
+	for _, bs := range b.topo.Load().bshards {
+		bs.slot.mu.Lock()
+		q := bs.slot.ctrl.Quiesced()
+		bs.slot.mu.Unlock()
+		if !q {
+			return false
+		}
+	}
+	return true
+}
 
 // Close marks every shard closed and waits for the workers to finish
 // whatever is still in the rings. Submissions after Close complete with
 // ErrClosed. Callers should wait out their groups before closing;
-// submissions racing Close may be dropped with ErrClosed.
+// submissions racing Close may be dropped with ErrClosed. Close waits out
+// any reconfiguration in progress (and fails subsequent ones).
 func (b *Batched) Close() {
-	for _, bs := range b.bshards {
+	b.reconfMu.Lock()
+	defer b.reconfMu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, bs := range b.topo.Load().bshards {
 		bs.mu.Lock()
 		bs.mode.Store(int32(modeClosed))
 		bs.cond.Broadcast()
@@ -926,47 +1119,120 @@ func (b *Batched) Close() {
 // --- delegation ---------------------------------------------------------
 
 // NumShards returns the stripe count.
-func (b *Batched) NumShards() int { return b.inner.NumShards() }
+func (b *Batched) NumShards() int { return b.topo.Load().n }
 
 // Mode returns the protection mode (the memctrl scheme, not the batch
-// Mode — see ShardMode for that).
-func (b *Batched) Mode() memctrl.Mode { return b.inner.Mode() }
+// Mode — see ShardMode for that). After a committed live migration it
+// reports the new scheme.
+func (b *Batched) Mode() memctrl.Mode { return b.topo.Load().scheme }
 
 // Ops returns the total operations routed through the controller (same
-// counted set as Controller.Ops).
-func (b *Batched) Ops() uint64 { return b.inner.Ops() }
+// counted set as Controller.Ops), including operations executed by shards
+// that a reshard has since retired.
+func (b *Batched) Ops() uint64 {
+	n := b.retiredOps.Load()
+	for _, bs := range b.topo.Load().bshards {
+		n += bs.slot.ops.Load()
+	}
+	return n
+}
 
-// Stats aggregates every shard's counters.
+// Stats aggregates every shard's counters (retired shards included).
 //
 // Deprecated: thin wrapper over the merged telemetry snapshot; use
 // Snapshot in new code.
-func (b *Batched) Stats() memctrl.Stats { return b.inner.Stats() }
+func (b *Batched) Stats() memctrl.Stats {
+	var total memctrl.Stats
+	for _, bs := range b.topo.Load().bshards {
+		bs.slot.mu.Lock()
+		st := bs.slot.ctrl.Stats()
+		bs.slot.mu.Unlock()
+		total.Add(st)
+	}
+	b.retiredMu.Lock()
+	total.Add(b.retiredStats)
+	b.retiredMu.Unlock()
+	return total
+}
 
 // Snapshot merges every shard's telemetry tree and attaches the batch
 // section (ring/batch/drain counters merged across shards). Every
 // hierarchy section is byte-identical to what the equivalent sharded
 // Controller would report for the same single-threaded access sequence;
-// the Batch section is the only addition.
+// the Batch section is the only unconditional addition, and a Migration
+// section appears once any reconfiguration has run. Counters from shards
+// retired by a reshard stay included via the retired accumulators; a
+// snapshot taken while a reshard is mid-cutover may transiently miss the
+// shard being folded in.
 func (b *Batched) Snapshot() telemetry.Snapshot {
-	snap := b.inner.Snapshot()
+	topo := b.topo.Load()
+	var snap telemetry.Snapshot
 	batch := &telemetry.BatchStats{}
-	for _, bs := range b.bshards {
+	for i, bs := range topo.bshards {
+		s := bs.slot.ctrl.Snapshot()
+		if i == 0 {
+			snap = s
+		} else {
+			snap.Merge(s)
+		}
 		batch.Merge(bs.tel.Snapshot())
 	}
+	b.retiredMu.Lock()
+	if b.haveRetired {
+		snap.Merge(b.retiredTel)
+		batch.Merge(b.retiredBatch)
+	}
+	b.retiredMu.Unlock()
 	snap.Batch = batch
+	if m := b.migTel.Snapshot(); !m.Zero() {
+		snap.Migration = &m
+	}
 	return snap
 }
 
-// SetTracer attaches an execution-trace flight recorder to every shard
-// (safe under live traffic; see Controller.SetTracer).
-func (b *Batched) SetTracer(t *trace.Tracer) { b.inner.SetTracer(t) }
+// MigrationTel exposes the reconfiguration counters for the migrate
+// package to advance (chunk and block progress land here and surface in
+// Snapshot's Migration section).
+func (b *Batched) MigrationTel() *telemetry.MigrationCounters { return &b.migTel }
+
+// SetTracer attaches an execution-trace flight recorder to every live
+// shard (safe under live traffic; see Controller.SetTracer). Shards built
+// by later reshards inherit the tracer.
+func (b *Batched) SetTracer(t *trace.Tracer) {
+	b.reconfMu.Lock()
+	defer b.reconfMu.Unlock()
+	b.tracer = t
+	b.cfg.Shard.Mem.Tracer = t
+	topo := b.topo.Load()
+	if t != nil {
+		maxIdx := 0
+		for _, bs := range topo.bshards {
+			if bs.idx > maxIdx {
+				maxIdx = bs.idx
+			}
+		}
+		t.EnsureShards(maxIdx + 1)
+	}
+	for _, bs := range topo.bshards {
+		var h *trace.Handle
+		if t != nil {
+			h = t.Handle(bs.idx)
+		}
+		bs.slot.mu.Lock()
+		bs.slot.th = h
+		bs.slot.ctrl.AttachTracer(h)
+		bs.slot.mu.Unlock()
+	}
+}
 
 // Shard exposes one per-shard controller for diagnostics and tests. The
 // caller owns synchronization: using it while workers are executing is
 // racy — Drain (or Close) the front-end first.
-func (b *Batched) Shard(i int) *memctrl.Controller { return b.inner.Shard(i) }
+func (b *Batched) Shard(i int) *memctrl.Controller { return b.topo.Load().bshards[i].slot.ctrl }
 
-// Sharded exposes the underlying sharded controller. Mixing direct calls
-// on it with batched submissions is safe (both paths take the same shard
-// locks) but forfeits batching for those calls.
-func (b *Batched) Sharded() *Controller { return b.inner }
+// Sharded exposes an equivalent sharded controller over the same slots.
+// Mixing direct calls on it with batched submissions is safe (both paths
+// take the same shard locks) but forfeits batching for those calls. It is
+// rebuilt when a reshard completes; during an active reshard it lags the
+// route table, so treat it as diagnostics-only under reconfiguration.
+func (b *Batched) Sharded() *Controller { return b.topo.Load().inner }

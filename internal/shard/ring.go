@@ -21,7 +21,7 @@ type txnRing struct {
 	cells []txnCell
 	tail  atomic.Uint64 // next producer slot
 	_     [56]byte      // keep the consumer cursor off the producers' line
-	head  uint64        // next consumer slot; worker-only
+	head  atomic.Uint64 // next consumer slot; advanced only by the worker
 }
 
 // txnCell pairs one in-flight Txn with its publication sequence: seq ==
@@ -65,7 +65,7 @@ func (r *txnRing) publish(c *txnCell, pos uint64) {
 // order, WITHOUT freeing their cells: the Txns stay valid (and invisible
 // to producers) until the matching release. Worker-only.
 func (r *txnRing) peek(ptrs []*Txn, max int) []*Txn {
-	pos := r.head
+	pos := r.head.Load()
 	for len(ptrs) < max {
 		c := &r.cells[pos&r.mask]
 		if c.seq.Load() != pos+1 {
@@ -82,7 +82,8 @@ func (r *txnRing) peek(ptrs []*Txn, max int) []*Txn {
 // groups until the slot is reclaimed. Worker-only.
 func (r *txnRing) release(n int) {
 	for ; n > 0; n-- {
-		c := &r.cells[r.head&r.mask]
+		h := r.head.Load()
+		c := &r.cells[h&r.mask]
 		t := &c.txn
 		t.dst = nil
 		t.info = nil
@@ -90,11 +91,16 @@ func (r *txnRing) release(n int) {
 		t.kind = nil
 		t.g = nil
 		t.err = nil
-		c.seq.Store(r.head + uint64(len(r.cells)))
-		r.head++
+		c.seq.Store(h + uint64(len(r.cells)))
+		r.head.Store(h + 1)
 	}
 }
 
-// empty reports whether every reserved slot has been consumed. Worker-only
-// (head is not synchronized for other readers).
-func (r *txnRing) empty() bool { return r.tail.Load() == r.head }
+// empty reports whether every reserved slot has been consumed and
+// released. head only advances at release, after execution, so an empty
+// ring means every claimed transaction has fully executed — which makes
+// this safe to poll from outside the worker (resharding's quiesce does).
+func (r *txnRing) empty() bool { return r.tail.Load() == r.head.Load() }
+
+// drained is empty, named for the cross-goroutine quiesce use.
+func (r *txnRing) drained() bool { return r.empty() }

@@ -499,3 +499,22 @@ func (c *Controller) Ops() uint64 {
 // caller owns synchronization: using it while other goroutines drive the
 // sharded controller is racy.
 func (c *Controller) Shard(i int) *memctrl.Controller { return c.shards[i].ctrl }
+
+// DumpDRAM returns a copy of every resident DRAM image keyed by outer
+// block address (the addresses callers use) — the comparison hook for
+// migration and resharding equivalence checks. Intended for drained,
+// quiescent instances; under concurrent traffic the result is a
+// per-shard-consistent sample, not a global instant.
+func (c *Controller) DumpDRAM() map[uint64][]byte {
+	out := map[uint64][]byte{}
+	for i, s := range c.shards {
+		s.mu.Lock()
+		d := s.ctrl.DumpDRAM()
+		s.mu.Unlock()
+		for inner, img := range d {
+			outerIdx := (inner/BlockBytes)<<c.logN | uint64(i)
+			out[outerIdx*BlockBytes] = img
+		}
+	}
+	return out
+}

@@ -26,6 +26,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	p.counter("controller_uncorrectable_errors", "fills that raised an uncorrectable error", s.Controller.UncorrectableErrors)
 	p.counter("controller_region_reads", "ECC-region metadata block accesses", s.Controller.RegionReads)
 	p.counter("controller_scrubs", "corrected images rewritten to DRAM", s.Controller.Scrubs)
+	p.counter("controller_scrub_scans", "DRAM images examined by background scrub and migration", s.Controller.ScrubScans)
+	p.counter("controller_scrub_corrected", "errors corrected on background scrub rather than on read", s.Controller.ScrubCorrected)
+	p.counter("controller_scrub_uncorrectable", "uncorrectable images found by background scrub", s.Controller.ScrubUncorrectable)
+	p.counter("controller_migrated_blocks", "DRAM images re-encoded by live scheme migration", s.Controller.MigratedBlocks)
 	p.counter("controller_ever_incompressible", "distinct blocks ever stored raw", s.Controller.EverIncompressible)
 	p.counter("controller_dimm_check_bytes_written", "ECC-DIMM ninth-chip bytes written", s.Controller.DIMMCheckBytesWritten)
 	p.histogram("controller_valid_codewords", "decoder zero-syndrome code-word count per fill", s.Controller.ValidCodewords)
@@ -69,6 +73,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		p.counter("batch_drains", "completed shard drain fences", b.Drains)
 		p.gauge("batch_max_depth", "largest batch ever executed", float64(b.MaxDepth))
 		p.histogram("batch_depth", "per-batch transaction count", b.Depth)
+	}
+
+	if m := s.Migration; m != nil {
+		p.counter("migration_scheme_migrations", "completed live scheme migrations", m.SchemeMigrations)
+		p.counter("migration_reshards", "completed online reshards", m.Reshards)
+		p.counter("migration_chunks", "bounded-pause conversion steps applied", m.Chunks)
+		p.counter("migration_blocks_migrated", "blocks re-encoded by scheme migration", m.BlocksMigrated)
+		p.counter("migration_blocks_moved", "blocks copied between stripes by resharding", m.BlocksMoved)
+		p.gauge("migration_active", "reconfigurations currently in progress", float64(m.Active))
 	}
 
 	p.gauge("derived_llc_hit_rate", "cache hits over lookups", s.Derived.LLCHitRate)

@@ -31,6 +31,15 @@ type ControllerStats struct {
 	// RegionReads counts COP-ER / ECC-region metadata block accesses.
 	RegionReads uint64 `json:"region_reads"`
 	Scrubs      uint64 `json:"scrubs"`
+	// ScrubScans / ScrubCorrected / ScrubUncorrectable account background
+	// examinations of resident DRAM images (scrubber sweeps and migration
+	// re-encodes) — corrections found there, not on a demand read, land in
+	// ScrubCorrected while demand-read corrections stay in CorrectedErrors.
+	ScrubScans         uint64 `json:"scrub_scans"`
+	ScrubCorrected     uint64 `json:"scrub_corrected"`
+	ScrubUncorrectable uint64 `json:"scrub_uncorrectable"`
+	// MigratedBlocks counts DRAM images re-encoded by live scheme migration.
+	MigratedBlocks uint64 `json:"migrated_blocks"`
 	// EverIncompressible counts distinct blocks ever written raw (Fig 12).
 	EverIncompressible    uint64 `json:"ever_incompressible"`
 	DIMMCheckBytesWritten uint64 `json:"dimm_check_bytes_written"`
@@ -52,6 +61,10 @@ func (s *ControllerStats) Merge(o ControllerStats) {
 	s.UncorrectableErrors += o.UncorrectableErrors
 	s.RegionReads += o.RegionReads
 	s.Scrubs += o.Scrubs
+	s.ScrubScans += o.ScrubScans
+	s.ScrubCorrected += o.ScrubCorrected
+	s.ScrubUncorrectable += o.ScrubUncorrectable
+	s.MigratedBlocks += o.MigratedBlocks
 	s.EverIncompressible += o.EverIncompressible
 	s.DIMMCheckBytesWritten += o.DIMMCheckBytesWritten
 	s.ValidCodewords.Merge(o.ValidCodewords)
@@ -63,6 +76,8 @@ type ControllerCounters struct {
 	StoredCompressed, StoredRaw, AliasRetained Counter
 	CorrectedErrors, UncorrectableErrors       Counter
 	RegionReads, Scrubs                        Counter
+	ScrubScans, ScrubCorrected                 Counter
+	ScrubUncorrectable, MigratedBlocks         Counter
 	EverIncompressible, DIMMCheckBytesWritten  Counter
 	ValidCodewords                             Histogram
 }
@@ -81,6 +96,10 @@ func (c *ControllerCounters) Snapshot() ControllerStats {
 		UncorrectableErrors:   c.UncorrectableErrors.Load(),
 		RegionReads:           c.RegionReads.Load(),
 		Scrubs:                c.Scrubs.Load(),
+		ScrubScans:            c.ScrubScans.Load(),
+		ScrubCorrected:        c.ScrubCorrected.Load(),
+		ScrubUncorrectable:    c.ScrubUncorrectable.Load(),
+		MigratedBlocks:        c.MigratedBlocks.Load(),
 		EverIncompressible:    c.EverIncompressible.Load(),
 		DIMMCheckBytesWritten: c.DIMMCheckBytesWritten.Load(),
 		ValidCodewords:        c.ValidCodewords.Snapshot(),
@@ -311,6 +330,58 @@ func (c *BatchCounters) Snapshot() BatchStats {
 	}
 }
 
+// MigrationStats is the online-reconfiguration section (live scheme
+// migration and elastic resharding over the batched front-end). Present
+// only once a reconfiguration has run; Active is a level, not a sum.
+type MigrationStats struct {
+	// SchemeMigrations / Reshards count completed whole-memory
+	// reconfigurations; Chunks counts bounded-pause conversion steps.
+	SchemeMigrations uint64 `json:"scheme_migrations"`
+	Reshards         uint64 `json:"reshards"`
+	Chunks           uint64 `json:"chunks"`
+	// BlocksMigrated counts blocks re-encoded by scheme migration;
+	// BlocksMoved counts blocks copied between stripes by resharding.
+	BlocksMigrated uint64 `json:"blocks_migrated"`
+	BlocksMoved    uint64 `json:"blocks_moved"`
+	// Active is 1 while a reconfiguration is in progress.
+	Active int64 `json:"active"`
+}
+
+// Merge accumulates o into s.
+func (s *MigrationStats) Merge(o MigrationStats) {
+	s.SchemeMigrations += o.SchemeMigrations
+	s.Reshards += o.Reshards
+	s.Chunks += o.Chunks
+	s.BlocksMigrated += o.BlocksMigrated
+	s.BlocksMoved += o.BlocksMoved
+	s.Active += o.Active
+}
+
+// Zero reports whether no reconfiguration has ever touched the counters
+// (used to omit the section from snapshots of never-reconfigured memories).
+func (s MigrationStats) Zero() bool {
+	return s == MigrationStats{}
+}
+
+// MigrationCounters is the live atomic counter set behind MigrationStats.
+type MigrationCounters struct {
+	SchemeMigrations, Reshards, Chunks Counter
+	BlocksMigrated, BlocksMoved        Counter
+	Active                             Gauge
+}
+
+// Snapshot freezes the counters.
+func (c *MigrationCounters) Snapshot() MigrationStats {
+	return MigrationStats{
+		SchemeMigrations: c.SchemeMigrations.Load(),
+		Reshards:         c.Reshards.Load(),
+		Chunks:           c.Chunks.Load(),
+		BlocksMigrated:   c.BlocksMigrated.Load(),
+		BlocksMoved:      c.BlocksMoved.Load(),
+		Active:           c.Active.Load(),
+	}
+}
+
 // DerivedStats are rates computed from the merged monotonic sections.
 // They are recomputed after every merge, never merged themselves.
 type DerivedStats struct {
@@ -338,6 +409,7 @@ type Snapshot struct {
 	Region     *RegionStats    `json:"region,omitempty"`
 	DRAM       *DRAMStats      `json:"dram,omitempty"`
 	Batch      *BatchStats     `json:"batch,omitempty"`
+	Migration  *MigrationStats `json:"migration,omitempty"`
 	Derived    DerivedStats    `json:"derived"`
 }
 
@@ -367,6 +439,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 			s.Batch = &BatchStats{}
 		}
 		s.Batch.Merge(*o.Batch)
+	}
+	if o.Migration != nil {
+		if s.Migration == nil {
+			s.Migration = &MigrationStats{}
+		}
+		s.Migration.Merge(*o.Migration)
 	}
 	s.Finalize()
 }

@@ -90,6 +90,9 @@ type Kind uint8
 //	KindBatchBegin   Aux=batch depth; written by the batched front-end
 //	                 before executing a dequeued batch under the shard lock
 //	KindBatchEnd     Aux=batch depth; closes the matching KindBatchBegin
+//	KindMigrateBegin Aux=pending block count, Arg0=from mode, Arg1=to mode
+//	KindMigrateChunk Aux=blocks converted this chunk, Arg0=blocks remaining
+//	KindMigrateEnd   Aux=total blocks migrated
 const (
 	KindNone Kind = iota
 	KindShardRoute
@@ -116,6 +119,9 @@ const (
 	KindAnomaly
 	KindBatchBegin
 	KindBatchEnd
+	KindMigrateBegin
+	KindMigrateChunk
+	KindMigrateEnd
 
 	numKinds
 )
@@ -146,6 +152,9 @@ var kindNames = [numKinds]string{
 	KindAnomaly:       "ANOMALY",
 	KindBatchBegin:    "batch-begin",
 	KindBatchEnd:      "batch-end",
+	KindMigrateBegin:  "migrate-begin",
+	KindMigrateChunk:  "migrate-chunk",
+	KindMigrateEnd:    "migrate-end",
 }
 
 // String returns the short event name used in exported traces.
@@ -192,7 +201,8 @@ func (l Layer) String() string {
 // Layer maps a record kind to its hierarchy layer.
 func (k Kind) Layer() Layer {
 	switch k {
-	case KindShardRoute, KindBatchBegin, KindBatchEnd:
+	case KindShardRoute, KindBatchBegin, KindBatchEnd,
+		KindMigrateBegin, KindMigrateChunk, KindMigrateEnd:
 		return LayerShard
 	case KindLoad, KindStore, KindUncorrectable, KindScrub, KindAliasRetained,
 		KindFaultInject, KindAnomaly:

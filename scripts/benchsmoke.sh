@@ -3,9 +3,12 @@
 # paths: the sharded memory front-end (BenchmarkShardedThroughput,
 # telemetry always on), the batched ring front-end
 # (BenchmarkBatchedThroughput, the same traffic through per-shard request
-# rings and group windows), and the codec datapath (BenchmarkEncode /
-# BenchmarkDecode for the COP-4 and COP-8 geometries, the word-parallel
-# encode/decode the whole simulator sits on).
+# rings and group windows), the same batched traffic with the patrol
+# scrubber active (BenchmarkMigrationOverhead — its baseline line equals
+# batched-8g's, so the tolerance directly bounds the scrubbing overhead),
+# and the codec datapath (BenchmarkEncode / BenchmarkDecode for the COP-4
+# and COP-8 geometries, the word-parallel encode/decode the whole
+# simulator sits on).
 #
 # Primary comparison is self-calibrating: the same benchmarks are built and
 # run from the merge-base commit in a temporary git worktree on the SAME
@@ -31,7 +34,7 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 # prefix and match both the output lines and scripts/benchsmoke.baseline.
 # sharded-8g-traceoff is the same traffic with an execution-trace recorder
 # attached but disabled — it pins the disabled-tracing overhead.
-SHARD_KEYS="ShardedThroughput/sharded-8g ShardedThroughput/sharded-8g-traceoff BatchedThroughput/batched-8g"
+SHARD_KEYS="ShardedThroughput/sharded-8g ShardedThroughput/sharded-8g-traceoff BatchedThroughput/batched-8g MigrationOverhead/scrub-8g"
 CODEC_KEYS="Encode/COP-4 Encode/COP-8 Decode/COP-4 Decode/COP-8"
 
 # bench_out DIR PKG PATTERN — run the benchmarks, print raw output.
@@ -51,7 +54,7 @@ best() {
 }
 
 collect() { # collect DIR OUTFILE — run every guarded group in DIR
-    bench_out "$1" . 'BenchmarkShardedThroughput/sharded-8g|BenchmarkBatchedThroughput/batched-8g' >"$2"
+    bench_out "$1" . 'BenchmarkShardedThroughput/sharded-8g|BenchmarkBatchedThroughput/batched-8g|BenchmarkMigrationOverhead/scrub-8g' >"$2"
     bench_out "$1" ./internal/core 'BenchmarkEncode$|BenchmarkDecode$' >>"$2"
 }
 
