@@ -60,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		batched  = fs.Bool("batched", false, "with -parallel: also drive the batched front-end (async groups) and demonstrate a drain")
 		migDemo  = fs.Bool("migrate", false, "run the live-reconfiguration demo (scheme migration + resharding + patrol scrub under traffic) and exit")
 		faults   = fs.Bool("faults", false, "run the fault-injection campaign and exit")
-		fScheme  = fs.String("fault-scheme", "all", "campaign scheme(s): comma list of "+cli.SchemeNames()+", or 'all'")
+		fScheme  = cli.SchemeFlag(fs, "fault-scheme", "all", "campaign scheme(s), comma list")
 		fSeed    = cli.SeedFlag(fs, "fault-seed", 0xC0FFEE, "campaign seed (same seed, same table)")
 		fInject  = fs.Int("fault-injections", 10000, "fault events per campaign across the five field failure modes")
 		fWorkers = cli.WorkersFlag(fs, "fault-workers", "concurrent campaign workers over disjoint footprint slices")

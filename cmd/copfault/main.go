@@ -39,7 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		bench    = cli.WorkloadFlag(fs, "bench", "gcc", "workload supplying block contents")
 		blocks   = fs.Int("blocks", 2048, "blocks to populate")
 		flips    = fs.Int("flips", 3000, "single-bit faults to inject")
-		mode     = fs.String("mode", "all", "protection mode or 'all' ("+cli.SchemeNames()+")")
+		mode     = cli.SchemeFlag(fs, "mode", "all", "protection mode")
 		seed     = cli.SeedFlag(fs, "seed", 0xFA117, "injection PRNG seed")
 		chipFail = fs.Bool("chipfail", false, "inject whole-chip failures instead of single-bit flips")
 		traceOut = cli.TraceOutFlag(fs, "write a Chrome trace-event JSON execution trace of the campaigns here; "+

@@ -23,10 +23,12 @@
 package cop
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 
 	"cop/internal/chipkill"
+	"cop/internal/cli"
 	"cop/internal/core"
 	"cop/internal/experiments"
 	"cop/internal/faultsim"
@@ -114,6 +116,42 @@ const (
 // Memory is not safe for concurrent use; wrap it in NewShardedMemory when
 // multiple goroutines drive one memory image.
 func NewMemory(cfg MemoryConfig) *Memory { return memctrl.New(cfg) }
+
+// ReadInfo describes what the controller observed serving one block read
+// (cache hit vs DRAM decode, code-word verdicts, corrections).
+type ReadInfo = memctrl.ReadInfo
+
+// Store is the common protected-memory surface every front-end exposes:
+// whole-block reads and writes at 64-byte granularity, a dirty-line flush,
+// and the unified telemetry snapshot. Memory, ShardedMemory, and
+// BatchedMemory all implement it, as does copnet's network client — so
+// servers, load generators, campaigns, and tests can be written once
+// against Store and handed any front-end (local or remote).
+//
+// Concurrency is a property of the implementation, not the interface:
+// Memory is single-goroutine, ShardedMemory and BatchedMemory are safe for
+// concurrent use. Open documents which implementation a given option set
+// yields.
+type Store interface {
+	// Read loads the 64-byte block containing addr.
+	Read(addr uint64) ([]byte, error)
+	// ReadInto reads the block holding addr into dst (at least BlockBytes)
+	// and reports the decoder's observations.
+	ReadInto(dst []byte, addr uint64) (ReadInfo, error)
+	// Write stores a full 64-byte block at addr.
+	Write(addr uint64, data []byte) error
+	// Flush writes every dirty cached line back to DRAM.
+	Flush() error
+	// Snapshot returns the coherent telemetry tree for the hierarchy.
+	Snapshot() telemetry.Snapshot
+}
+
+// Every front-end implements Store (compile-time enforced).
+var (
+	_ Store = (*Memory)(nil)
+	_ Store = (*ShardedMemory)(nil)
+	_ Store = (*BatchedMemory)(nil)
+)
 
 // Telemetry, re-exported from internal/telemetry: both Memory and
 // ShardedMemory produce the same Snapshot tree (Snapshot method), so all
@@ -204,6 +242,10 @@ func NewShardedMemory(cfg ShardedMemoryConfig) *ShardedMemory { return shard.New
 // NewShardedMemoryChecked builds a sharded memory model, reporting invalid
 // configs (non-power-of-two shard count, shards exceeding LLC sets,
 // non-power-of-two set geometry) as errors.
+//
+// Deprecated: use Open(WithMemoryConfig(cfg.Mem), WithShards(cfg.Shards));
+// Open is the one constructor that covers every front-end behind the Store
+// interface. This wrapper remains for callers that need the concrete type.
 func NewShardedMemoryChecked(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
 	return shard.NewChecked(cfg)
 }
@@ -243,9 +285,147 @@ func NewBatchedMemory(cfg BatchedMemoryConfig) *BatchedMemory { return shard.New
 
 // NewBatchedMemoryChecked builds a batched memory model, reporting invalid
 // configs (bad shard geometry, non-power-of-two ring size) as errors.
+//
+// Deprecated: use Open(WithMemoryConfig(cfg.Shard.Mem),
+// WithShards(cfg.Shard.Shards), WithBatching(cfg.RingSize, cfg.BatchMax));
+// Open is the one constructor that covers every front-end behind the Store
+// interface. This wrapper remains for callers that need the concrete type.
 func NewBatchedMemoryChecked(cfg BatchedMemoryConfig) (*BatchedMemory, error) {
 	return shard.NewBatchedChecked(cfg)
 }
+
+// --- unified constructor -------------------------------------------------
+
+// openConfig accumulates Open's functional options.
+type openConfig struct {
+	mem        MemoryConfig
+	scheme     string
+	shards     int
+	sharded    bool
+	batched    bool
+	ring       int
+	batchMax   int
+	registry   *TelemetryRegistry
+	requireCon bool
+}
+
+// Option configures Open.
+type Option func(*openConfig)
+
+// WithScheme selects the protection scheme by its canonical command-line
+// name (SchemeNames lists them: unprotected, ecc-dimm, cop, cop-er,
+// cop-adaptive, cop-chipkill, ecc-region). Unknown names fail Open.
+func WithScheme(name string) Option { return func(c *openConfig) { c.scheme = name } }
+
+// WithMode selects the protection scheme by mode constant (the
+// programmatic twin of WithScheme).
+func WithMode(m MemoryMode) Option {
+	return func(c *openConfig) { c.mem.Mode = m; c.scheme = "" }
+}
+
+// WithMemoryConfig replaces the full per-controller memory configuration
+// (codec geometry, LLC, DRAM model, tracer). Options applied after it
+// override the fields they cover.
+func WithMemoryConfig(cfg MemoryConfig) Option {
+	return func(c *openConfig) { c.mem = cfg; c.scheme = "" }
+}
+
+// WithLLC sizes the last-level cache. For sharded and batched front-ends
+// bytes is the TOTAL capacity across shards (the shard.Config rule).
+func WithLLC(bytes, ways int) Option {
+	return func(c *openConfig) { c.mem.LLCBytes = bytes; c.mem.LLCWays = ways }
+}
+
+// WithShards selects the concurrency-safe sharded front-end with n stripes
+// (0 = auto: smallest power of two >= GOMAXPROCS, clamped to the LLC set
+// count). Without WithBatching the result is a *ShardedMemory.
+func WithShards(n int) Option {
+	return func(c *openConfig) { c.shards = n; c.sharded = true }
+}
+
+// WithBatching selects the batched front-end (*BatchedMemory): per-shard
+// request rings of ringSize entries (0 = 256) and worker batches of up to
+// batchMax transactions (0 = 64). Implies a sharded topology; combine with
+// WithShards to fix the stripe count. The returned Store must be Closed
+// (it owns worker goroutines) — Open's documentation, not the interface,
+// carries that obligation, so callers keeping the concrete type should
+// assert to *BatchedMemory.
+func WithBatching(ringSize, batchMax int) Option {
+	return func(c *openConfig) { c.batched = true; c.ring = ringSize; c.batchMax = batchMax }
+}
+
+// WithConcurrent requires a concurrency-safe Store: Open fails rather than
+// return a single-goroutine *Memory. Servers accepting arbitrary option
+// sets use it as a guard.
+func WithConcurrent() Option { return func(c *openConfig) { c.requireCon = true } }
+
+// WithTracer attaches an execution-trace flight recorder to the opened
+// memory.
+func WithTracer(t *Tracer) Option { return func(c *openConfig) { c.mem.Tracer = t } }
+
+// WithTelemetryRegistry points reg at the opened memory, so a telemetry
+// server started before Open (TelemetryHandler on a Registry) begins
+// serving the new store's counters the moment it exists.
+func WithTelemetryRegistry(reg *TelemetryRegistry) Option {
+	return func(c *openConfig) { c.registry = reg }
+}
+
+// Open is the unified front-end constructor: one call, functional options,
+// a Store out. The option set picks the implementation —
+//
+//   - no topology options: a *Memory (single-goroutine functional model);
+//   - WithShards: a *ShardedMemory (mutex per shard, concurrency-safe);
+//   - WithBatching: a *BatchedMemory (per-shard request rings and batch
+//     workers; Close it when done).
+//
+// Invalid combinations (unknown scheme name, bad shard geometry,
+// non-power-of-two ring size) are reported as errors, never panics. The
+// deprecated NewShardedMemoryChecked / NewBatchedMemoryChecked remain as
+// thin wrappers for callers that need the concrete types without a type
+// assertion.
+func Open(opts ...Option) (Store, error) {
+	var c openConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.scheme != "" {
+		schemes, err := cli.ParseSchemes(c.scheme)
+		if err != nil || len(schemes) != 1 {
+			return nil, fmt.Errorf("cop: scheme %q: want exactly one of %s", c.scheme, cli.SchemeNames())
+		}
+		c.mem.Mode = schemes[0].Mode
+	}
+	var (
+		st  Store
+		err error
+	)
+	switch {
+	case c.batched:
+		st, err = shard.NewBatchedChecked(shard.BatchedConfig{
+			Shard:    shard.Config{Mem: c.mem, Shards: c.shards},
+			RingSize: c.ring,
+			BatchMax: c.batchMax,
+		})
+	case c.sharded:
+		st, err = shard.NewChecked(shard.Config{Mem: c.mem, Shards: c.shards})
+	default:
+		if c.requireCon {
+			return nil, fmt.Errorf("cop: WithConcurrent requires WithShards or WithBatching (a plain Memory is single-goroutine)")
+		}
+		st = memctrl.New(c.mem)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.registry != nil {
+		c.registry.Set(st)
+	}
+	return st, nil
+}
+
+// SchemeNames returns the canonical command-line scheme names WithScheme
+// accepts, comma-joined.
+func SchemeNames() string { return cli.SchemeNames() }
 
 // Online reconfiguration, re-exported from internal/migrate.
 type (

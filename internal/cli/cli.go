@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"cop/internal/memctrl"
 	"cop/internal/telemetry"
@@ -67,6 +68,106 @@ func ParseSchemes(arg string) ([]Scheme, error) {
 		}
 	}
 	return out, nil
+}
+
+// SchemeFlag defines a scheme-selection flag with the registry's shared
+// help text, so every binary lists the same names the same way.
+func SchemeFlag(fs *flag.FlagSet, name, def, what string) *string {
+	return fs.String(name, def, what+" ("+SchemeNames()+", or 'all')")
+}
+
+// SingleScheme resolves a -scheme argument that must name exactly one
+// scheme ("all" and comma lists are rejected).
+func SingleScheme(arg string) (Scheme, error) {
+	schemes, err := ParseSchemes(arg)
+	if err != nil {
+		return Scheme{}, err
+	}
+	if len(schemes) != 1 {
+		return Scheme{}, fmt.Errorf("scheme %q: want exactly one of %s", arg, SchemeNames())
+	}
+	return schemes[0], nil
+}
+
+// MemoryFlags is the shared memory-construction flag bundle for binaries
+// that stand up a protected memory to serve or drive (a copserve tenant,
+// copload's in-process store). One registration here keeps the spellings,
+// defaults, and help text identical across binaries instead of each cmd/
+// carrying its own copy.
+type MemoryFlags struct {
+	Scheme   *string
+	Shards   *int
+	Ring     *int
+	Batch    *int
+	LLCBytes *int
+	LLCWays  *int
+}
+
+// AddMemoryFlags registers the memory-construction flags on fs with the
+// shared defaults (batched front-end auto-topology, 4 MB/16-way LLC via
+// zero values).
+func AddMemoryFlags(fs *flag.FlagSet, defScheme string) *MemoryFlags {
+	return &MemoryFlags{
+		Scheme:   SchemeFlag(fs, "scheme", defScheme, "protection scheme"),
+		Shards:   fs.Int("shards", 0, "stripe count, a power of two (0: auto from GOMAXPROCS)"),
+		Ring:     fs.Int("ring", 0, "per-shard request-ring capacity, a power of two (0: 256)"),
+		Batch:    fs.Int("batch-max", 0, "max transactions per worker batch (0: 64)"),
+		LLCBytes: fs.Int("llc-bytes", 0, "total LLC capacity in bytes across shards (0: 4 MiB)"),
+		LLCWays:  fs.Int("llc-ways", 0, "LLC associativity (0: 16)"),
+	}
+}
+
+// LoadFlags is the shared closed-loop load-harness flag bundle (copload,
+// and any future driver that paces traffic at a memory).
+type LoadFlags struct {
+	Workers  *int
+	QPS      *int
+	Duration *time.Duration
+	Ops      *int
+	Keys     *int
+	Window   *int
+	Mix      *string
+	Workload *string
+	Seed     *uint64
+}
+
+// AddLoadFlags registers the load-harness flags on fs.
+func AddLoadFlags(fs *flag.FlagSet) *LoadFlags {
+	return &LoadFlags{
+		Workers:  WorkersFlag(fs, "workers", "concurrent closed-loop workers, each owning a disjoint key slice"),
+		QPS:      fs.Int("qps", 0, "target total operations/second across workers (0: unpaced)"),
+		Duration: fs.Duration("duration", 0, "run length (0: until -ops or interrupt)"),
+		Ops:      fs.Int("ops", 0, "stop after this many operations per worker (0: unbounded)"),
+		Keys:     fs.Int("keys", 1<<14, "footprint in 64-byte blocks across all workers"),
+		Window:   fs.Int("window", 8, "operations batched into one request window"),
+		Mix:      fs.String("mix", "60/30/5/5", "get/set/delete/increment percentages"),
+		Workload: WorkloadFlag(fs, "workload", "gcc", "workload profile supplying block contents and hot-key skew"),
+		Seed:     SeedFlag(fs, "seed", 0x10AD, "load-generator seed (same seed, same op stream)"),
+	}
+}
+
+// ParseMix resolves a get/set/delete/increment percentage mix like
+// "60/30/5/5" (the parts must sum to 100; trailing zero parts may be
+// omitted).
+func ParseMix(arg string) ([4]int, error) {
+	var mix [4]int
+	parts := strings.Split(arg, "/")
+	if len(parts) == 0 || len(parts) > 4 {
+		return mix, fmt.Errorf("mix %q: want get/set/delete/increment percentages", arg)
+	}
+	sum := 0
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return mix, fmt.Errorf("mix %q: bad percentage %q", arg, p)
+		}
+		mix[i] = v
+		sum += v
+	}
+	if sum != 100 {
+		return mix, fmt.Errorf("mix %q: percentages sum to %d, want 100", arg, sum)
+	}
+	return mix, nil
 }
 
 // seedValue is a flag.Value accepting decimal, 0x-hex, 0o-octal, and

@@ -33,6 +33,93 @@ func TestParseSchemes(t *testing.T) {
 	}
 }
 
+func TestSingleScheme(t *testing.T) {
+	s, err := SingleScheme("cop-er")
+	if err != nil || s.Mode != memctrl.COPER {
+		t.Fatalf("cop-er: %+v, %v", s, err)
+	}
+	if _, err := SingleScheme("all"); err == nil {
+		t.Error("'all' should not satisfy SingleScheme")
+	}
+	if _, err := SingleScheme("cop,ecc-dimm"); err == nil {
+		t.Error("a list should not satisfy SingleScheme")
+	}
+	if _, err := SingleScheme("bogus"); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("60/30/5/5")
+	if err != nil || mix != [4]int{60, 30, 5, 5} {
+		t.Fatalf("60/30/5/5: %v, %v", mix, err)
+	}
+	// Trailing zero parts may be omitted.
+	mix, err = ParseMix("70/30")
+	if err != nil || mix != [4]int{70, 30, 0, 0} {
+		t.Fatalf("70/30: %v, %v", mix, err)
+	}
+	for _, bad := range []string{"60/30/5", "101", "60/30/5/5/1", "a/b/c/d", "-10/110"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAddMemoryFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	mem := AddMemoryFlags(fs, "cop-er")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *mem.Scheme != "cop-er" || *mem.Shards != 0 || *mem.LLCBytes != 0 {
+		t.Errorf("defaults: scheme=%q shards=%d llc=%d", *mem.Scheme, *mem.Shards, *mem.LLCBytes)
+	}
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	mem = AddMemoryFlags(fs, "cop-er")
+	args := []string{"-scheme", "cop", "-shards", "4", "-ring", "256", "-batch-max", "32", "-llc-bytes", "65536", "-llc-ways", "8"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if *mem.Scheme != "cop" || *mem.Shards != 4 || *mem.Ring != 256 ||
+		*mem.Batch != 32 || *mem.LLCBytes != 65536 || *mem.LLCWays != 8 {
+		t.Errorf("parsed bundle %+v", mem)
+	}
+	// Validation happens when the consumer resolves the scheme name, not
+	// at Parse time — a bad value must surface there.
+	if _, err := SingleScheme("bogus"); err == nil {
+		t.Error("unknown scheme should fail resolution")
+	}
+}
+
+func TestAddLoadFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	load := AddLoadFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *load.Keys != 1<<14 || *load.Window != 8 || *load.Mix != "60/30/5/5" ||
+		*load.Workload != "gcc" || *load.Seed != 0x10AD || *load.Workers <= 0 {
+		t.Errorf("defaults: keys=%d window=%d mix=%q workload=%q seed=%#x workers=%d",
+			*load.Keys, *load.Window, *load.Mix, *load.Workload, *load.Seed, *load.Workers)
+	}
+	if mix, err := ParseMix(*load.Mix); err != nil || mix[0] != 60 {
+		t.Errorf("default mix does not parse: %v, %v", mix, err)
+	}
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	load = AddLoadFlags(fs)
+	if err := fs.Parse([]string{"-workers", "3", "-qps", "5000", "-duration", "2s", "-mix", "50/50"}); err != nil {
+		t.Fatal(err)
+	}
+	if *load.Workers != 3 || *load.QPS != 5000 || load.Duration.Seconds() != 2 || *load.Mix != "50/50" {
+		t.Errorf("parsed bundle %+v", load)
+	}
+}
+
 func TestSeedFlag(t *testing.T) {
 	for arg, want := range map[string]uint64{"0xC0FFEE": 0xC0FFEE, "42": 42, "0b101": 5} {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)

@@ -1,0 +1,474 @@
+package copnet
+
+import (
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"cop/internal/memctrl"
+	"cop/internal/telemetry"
+)
+
+// Client talks to a copserve instance. It implements the cop.Store method
+// set and faultsim.Target, so everything that drives an in-process memory
+// — the load harness, the differential fault campaign — runs unchanged
+// over the network: point it at a Client instead of a *shard.Batched and
+// the oracle checks span the full client → wire → server → memory path.
+//
+// Single-op methods ride one-op batch frames. For throughput, build
+// multi-op frames with NewBatch: one HTTP request becomes one group
+// window on the server (deep per-shard batches), which is the network
+// analogue of shard.Group.
+//
+// A Client is safe for concurrent use; each Batch is single-submitter,
+// like the shard.Group it maps onto.
+type Client struct {
+	base   string
+	tenant string
+	hc     *http.Client
+}
+
+// ClientOption configures Dial.
+type ClientOption func(*Client)
+
+// WithTenant selects the namespace (default "default").
+func WithTenant(name string) ClientOption {
+	return func(c *Client) { c.tenant = name }
+}
+
+// WithHTTPClient substitutes the transport wholesale.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithServerCert trusts exactly the given PEM certificate (the one
+// copserve printed with -tls-cert-out) and enables HTTP/2 via ALPN.
+func WithServerCert(certPEM []byte) ClientOption {
+	return func(c *Client) {
+		pool := x509.NewCertPool()
+		pool.AppendCertsFromPEM(certPEM)
+		c.hc = &http.Client{Transport: &http.Transport{
+			TLSClientConfig:   &tls.Config{RootCAs: pool},
+			ForceAttemptHTTP2: true,
+		}}
+	}
+}
+
+// WithInsecureTLS skips certificate verification (self-signed dev certs);
+// still negotiates HTTP/2.
+func WithInsecureTLS() ClientOption {
+	return func(c *Client) {
+		c.hc = &http.Client{Transport: &http.Transport{
+			TLSClientConfig:   &tls.Config{InsecureSkipVerify: true},
+			ForceAttemptHTTP2: true,
+		}}
+	}
+}
+
+// Dial builds a client for the service at base (e.g. "https://127.0.0.1:7070"
+// or "http://..." for the plaintext listener). No connection is made until
+// the first request.
+func Dial(base string, opts ...ClientOption) (*Client, error) {
+	if base == "" {
+		return nil, fmt.Errorf("copnet: empty base URL")
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	c := &Client{base: strings.TrimRight(base, "/"), tenant: "default", hc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Tenant returns the namespace this client addresses.
+func (c *Client) Tenant() string { return c.tenant }
+
+func (c *Client) url(path string) string { return c.base + path }
+
+func (c *Client) tenantURL(suffix string) string {
+	return c.base + "/v1/tenants/" + c.tenant + suffix
+}
+
+// do issues a request and returns the whole response body; non-2xx
+// statuses become errors carrying the server's message.
+func (c *Client) do(method, url, contentType string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, fmt.Errorf("copnet: %s %s: %s: %s",
+			method, url, resp.Status, strings.TrimSpace(string(out)))
+	}
+	return out, nil
+}
+
+// --- batches -------------------------------------------------------------
+
+// Batch accumulates operations for one request frame. Read/Write runs map
+// onto one server-side group window; Flush/Settle/StoredKind/Inject* are
+// barriers, exactly as in shard.Group. Build, then Do.
+type Batch struct {
+	c     *Client
+	buf   []byte
+	kinds []OpKind
+}
+
+// Result is one operation's outcome. Data aliases the response buffer
+// (valid until the next Do on a reused batch); Info is populated for
+// sequential-store reads and zero for windowed reads; Flag carries
+// StoredKind values and inject hit/miss.
+type Result struct {
+	Err  error
+	Info memctrl.ReadInfo
+	Data []byte
+	Flag byte
+}
+
+// NewBatch starts an empty operation frame against the client's tenant.
+func (c *Client) NewBatch() *Batch {
+	return &Batch{c: c, buf: frameHeader()}
+}
+
+func (b *Batch) add(kind OpKind) { b.kinds = append(b.kinds, kind) }
+
+// Read enqueues a 64-byte block read.
+func (b *Batch) Read(addr uint64) *Batch {
+	b.buf = appendRead(b.buf, addr)
+	b.add(OpRead)
+	return b
+}
+
+// Write enqueues a 64-byte block write.
+func (b *Batch) Write(addr uint64, data []byte) *Batch {
+	b.buf = appendWrite(b.buf, addr, data)
+	b.add(OpWrite)
+	return b
+}
+
+// ReadRange enqueues an n-byte range read at addr (barrier op).
+func (b *Batch) ReadRange(addr uint64, n int) *Batch {
+	b.buf = appendReadRange(b.buf, addr, uint32(n))
+	b.add(OpReadRange)
+	return b
+}
+
+// WriteRange enqueues a byte-range write (barrier op).
+func (b *Batch) WriteRange(addr uint64, data []byte) *Batch {
+	b.buf = appendWriteRange(b.buf, addr, data)
+	b.add(OpWriteRange)
+	return b
+}
+
+// Flush enqueues a full LLC write-back barrier.
+func (b *Batch) Flush() *Batch {
+	b.buf = appendFlush(b.buf)
+	b.add(OpFlush)
+	return b
+}
+
+// Settle enqueues a single-block write-back barrier.
+func (b *Batch) Settle(addr uint64) *Batch {
+	b.buf = appendAddrOp(b.buf, OpSettle, addr)
+	b.add(OpSettle)
+	return b
+}
+
+// StoredKind enqueues a ground-truth DRAM image query; the result's Flag
+// holds the memctrl.StoredKind.
+func (b *Batch) StoredKind(addr uint64) *Batch {
+	b.buf = appendAddrOp(b.buf, OpStoredKind, addr)
+	b.add(OpStoredKind)
+	return b
+}
+
+// InjectBit enqueues a single-bit fault injection; Flag 1 means the image
+// existed and the flip landed.
+func (b *Batch) InjectBit(addr uint64, bit int) *Batch {
+	b.buf = appendInjectBit(b.buf, addr, int32(bit))
+	b.add(OpInjectBit)
+	return b
+}
+
+// InjectChip enqueues a whole-chip failure injection.
+func (b *Batch) InjectChip(addr uint64, chip int, pattern byte) *Batch {
+	b.buf = appendInjectChip(b.buf, addr, int32(chip), pattern)
+	b.add(OpInjectChip)
+	return b
+}
+
+// Len reports the queued operation count.
+func (b *Batch) Len() int { return len(b.kinds) }
+
+// Do ships the frame and returns per-op results in enqueue order. A
+// non-nil error means the frame itself failed (transport, HTTP status,
+// malformed response) and no per-op outcome is known; per-op failures
+// land in Result.Err. The batch resets for reuse either way.
+func (b *Batch) Do() ([]Result, error) {
+	buf, kinds := b.buf, b.kinds
+	b.buf, b.kinds = frameHeader(), nil
+	if len(kinds) == 0 {
+		return nil, nil
+	}
+	body, err := b.c.do(http.MethodPost, b.c.tenantURL("/batch"), "application/octet-stream", buf)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := checkHeader(body)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(kinds))
+	for i, kind := range kinds {
+		var r opResult
+		r, rest, err = decodeResult(rest, kind)
+		if err != nil {
+			return nil, fmt.Errorf("copnet: response op %d/%d: %w", i, len(kinds), err)
+		}
+		results[i] = Result{Err: r.err, Info: r.info, Data: r.data, Flag: r.flag}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("copnet: %d trailing bytes after %d results", len(rest), len(kinds))
+	}
+	return results, nil
+}
+
+// --- single-op Store / Target surface ------------------------------------
+
+// one runs a single-op frame and returns its result.
+func (c *Client) one(build func(*Batch)) (Result, error) {
+	b := c.NewBatch()
+	build(b)
+	rs, err := b.Do()
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}
+
+// Read fetches one block.
+func (c *Client) Read(addr uint64) ([]byte, error) {
+	r, err := c.one(func(b *Batch) { b.Read(addr) })
+	if err != nil {
+		return nil, err
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	out := make([]byte, BlockBytes)
+	copy(out, r.Data)
+	return out, nil
+}
+
+// ReadInto fetches one block into dst.
+func (c *Client) ReadInto(dst []byte, addr uint64) (memctrl.ReadInfo, error) {
+	r, err := c.one(func(b *Batch) { b.Read(addr) })
+	if err != nil {
+		return memctrl.ReadInfo{}, err
+	}
+	if r.Err != nil {
+		return memctrl.ReadInfo{}, r.Err
+	}
+	copy(dst, r.Data)
+	return r.Info, nil
+}
+
+// ReadWithInfo fetches one block plus its decode verdict (faultsim.Target).
+func (c *Client) ReadWithInfo(addr uint64) ([]byte, memctrl.ReadInfo, error) {
+	dst := make([]byte, BlockBytes)
+	info, err := c.ReadInto(dst, addr)
+	if err != nil {
+		return nil, memctrl.ReadInfo{}, err
+	}
+	return dst, info, nil
+}
+
+// Write stores one block.
+func (c *Client) Write(addr uint64, data []byte) error {
+	r, err := c.one(func(b *Batch) { b.Write(addr, data) })
+	if err != nil {
+		return err
+	}
+	return r.Err
+}
+
+// Flush writes back every dirty LLC line on the tenant.
+func (c *Client) Flush() error {
+	r, err := c.one(func(b *Batch) { b.Flush() })
+	if err != nil {
+		return err
+	}
+	return r.Err
+}
+
+// Settle writes back one block if dirty (faultsim.Target).
+func (c *Client) Settle(addr uint64) error {
+	r, err := c.one(func(b *Batch) { b.Settle(addr) })
+	if err != nil {
+		return err
+	}
+	return r.Err
+}
+
+// StoredKind queries the tenant's ground-truth DRAM image
+// (faultsim.Target). Transport failures report StoredNone.
+func (c *Client) StoredKind(addr uint64) memctrl.StoredKind {
+	r, err := c.one(func(b *Batch) { b.StoredKind(addr) })
+	if err != nil || r.Err != nil {
+		return memctrl.StoredNone
+	}
+	return memctrl.StoredKind(r.Flag)
+}
+
+// InjectBitFlip flips one stored bit in the tenant's DRAM image
+// (faultsim.Target); false when no image exists or the frame failed.
+func (c *Client) InjectBitFlip(addr uint64, bit int) bool {
+	r, err := c.one(func(b *Batch) { b.InjectBit(addr, bit) })
+	return err == nil && r.Err == nil && r.Flag == 1
+}
+
+// InjectChipFailure corrupts one chip's slice of the stored image.
+func (c *Client) InjectChipFailure(addr uint64, chip int, pattern byte) bool {
+	r, err := c.one(func(b *Batch) { b.InjectChip(addr, chip, pattern) })
+	return err == nil && r.Err == nil && r.Flag == 1
+}
+
+// ReadBytes fetches an arbitrary byte range.
+func (c *Client) ReadBytes(addr uint64, n int) ([]byte, error) {
+	r, err := c.one(func(b *Batch) { b.ReadRange(addr, n) })
+	if err != nil {
+		return nil, err
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	out := make([]byte, len(r.Data))
+	copy(out, r.Data)
+	return out, nil
+}
+
+// WriteBytes stores an arbitrary byte range.
+func (c *Client) WriteBytes(addr uint64, data []byte) error {
+	r, err := c.one(func(b *Batch) { b.WriteRange(addr, data) })
+	if err != nil {
+		return err
+	}
+	return r.Err
+}
+
+// Snapshot fetches the tenant's telemetry tree. Errors yield a zero
+// snapshot — Store.Snapshot carries no error, and telemetry must never
+// fail the datapath.
+func (c *Client) Snapshot() telemetry.Snapshot {
+	var snap telemetry.Snapshot
+	body, err := c.do(http.MethodGet, c.tenantURL("/snapshot"), "", nil)
+	if err != nil {
+		return snap
+	}
+	_ = json.Unmarshal(body, &snap)
+	return snap
+}
+
+// --- admin ---------------------------------------------------------------
+
+// Ready probes /readyz: true while the service accepts traffic.
+func (c *Client) Ready() bool {
+	_, err := c.do(http.MethodGet, c.url("/readyz"), "", nil)
+	return err == nil
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy() bool {
+	_, err := c.do(http.MethodGet, c.url("/healthz"), "", nil)
+	return err == nil
+}
+
+// CreateTenant provisions a namespace with its own protected memory.
+func (c *Client) CreateTenant(name string, cfg TenantConfig) error {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(http.MethodPut, c.url("/admin/tenants/"+name), "application/json", body)
+	return err
+}
+
+// DropTenant drains and removes a namespace.
+func (c *Client) DropTenant(name string) error {
+	_, err := c.do(http.MethodDelete, c.url("/admin/tenants/"+name), "", nil)
+	return err
+}
+
+// Tenants lists the service's namespaces.
+func (c *Client) Tenants() ([]TenantInfo, error) {
+	body, err := c.do(http.MethodGet, c.url("/admin/tenants"), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	var infos []TenantInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// MigrateTenant live-migrates a namespace to another protection scheme
+// while it serves traffic.
+func (c *Client) MigrateTenant(name, scheme string, chunkBlocks int) error {
+	body, _ := json.Marshal(map[string]any{"scheme": scheme, "chunk_blocks": chunkBlocks})
+	_, err := c.do(http.MethodPost, c.url("/admin/tenants/"+name+"/migrate"), "application/json", body)
+	return err
+}
+
+// ReshardTenant live-changes a namespace's stripe count.
+func (c *Client) ReshardTenant(name string, shards int) error {
+	body, _ := json.Marshal(map[string]int{"shards": shards})
+	_, err := c.do(http.MethodPost, c.url("/admin/tenants/"+name+"/reshard"), "application/json", body)
+	return err
+}
+
+// ScrubTenant starts ("start") or stops ("stop") the namespace's patrol
+// scrubber. intervalUS and chunkBlocks apply to "start" (0: defaults).
+func (c *Client) ScrubTenant(name, action string, intervalUS, chunkBlocks int) error {
+	body, _ := json.Marshal(map[string]any{
+		"action": action, "interval_us": intervalUS, "chunk_blocks": chunkBlocks,
+	})
+	_, err := c.do(http.MethodPost, c.url("/admin/tenants/"+name+"/scrub"), "application/json", body)
+	return err
+}
+
+// ServiceSnapshot fetches the whole-service merged telemetry tree.
+func (c *Client) ServiceSnapshot() (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	body, err := c.do(http.MethodGet, c.url("/snapshot"), "", nil)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}

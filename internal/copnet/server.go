@@ -1,0 +1,795 @@
+package copnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cop/internal/cli"
+	"cop/internal/memctrl"
+	"cop/internal/migrate"
+	"cop/internal/shard"
+	"cop/internal/telemetry"
+	"cop/internal/trace"
+)
+
+// Store is the protected-memory surface the server fronts. cop.Store
+// satisfies it (the method set is a subset with identical signatures), so
+// a server can be handed any front-end; capability interfaces below
+// unlock ranges, fault injection, and batched windows when the concrete
+// store supports them.
+type Store interface {
+	ReadInto(dst []byte, addr uint64) (memctrl.ReadInfo, error)
+	Write(addr uint64, data []byte) error
+	Flush() error
+	Snapshot() telemetry.Snapshot
+}
+
+// rangeStore unlocks the byte-range operations.
+type rangeStore interface {
+	ReadBytesInto(dst []byte, addr uint64) error
+	WriteBytes(addr uint64, data []byte) error
+}
+
+// faultStore unlocks the fault-campaign surface (settle, ground-truth
+// image queries, injections) that soak-mode load harnesses drive.
+type faultStore interface {
+	Settle(addr uint64) error
+	StoredKind(addr uint64) memctrl.StoredKind
+	InjectBitFlip(addr uint64, bit int) bool
+	InjectChipFailure(addr uint64, chip int, pattern byte) bool
+}
+
+// TenantConfig parameterizes an admin-created tenant memory. The zero
+// value opens a cop-er batched memory with auto topology and the paper's
+// 4 MB / 16-way LLC.
+type TenantConfig struct {
+	// Scheme is the protection scheme by canonical cli name
+	// (cli.SchemeNames); empty selects "cop-er" — the scheme that
+	// protects incompressible blocks too, the right default for a
+	// service asserting zero silent corruption.
+	Scheme string `json:"scheme,omitempty"`
+	// Shards is the stripe count (0: auto).
+	Shards int `json:"shards,omitempty"`
+	// RingSize / BatchMax size the per-shard rings and worker batches
+	// (0: 256 / 64).
+	RingSize int `json:"ring_size,omitempty"`
+	BatchMax int `json:"batch_max,omitempty"`
+	// LLCBytes / LLCWays size the total LLC (0: 4 MiB / 16).
+	LLCBytes int `json:"llc_bytes,omitempty"`
+	LLCWays  int `json:"llc_ways,omitempty"`
+}
+
+// Open builds the tenant's batched memory. Callers own Close (or hand the
+// store to a Server, whose Close covers it).
+func (c TenantConfig) Open() (*shard.Batched, error) {
+	name := c.Scheme
+	if name == "" {
+		name = "cop-er"
+	}
+	sc, err := cli.SingleScheme(name)
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewBatchedChecked(shard.BatchedConfig{
+		Shard: shard.Config{
+			Mem:    memctrl.Config{Mode: sc.Mode, LLCBytes: c.LLCBytes, LLCWays: c.LLCWays},
+			Shards: c.Shards,
+		},
+		RingSize: c.RingSize,
+		BatchMax: c.BatchMax,
+	})
+}
+
+// Tenant is one namespace: an isolated protected memory plus its optional
+// background scrubber.
+type Tenant struct {
+	name    string
+	store   Store
+	batched *shard.Batched // non-nil when store supports windows/drain/reconfiguration
+	owned   bool           // server built the store and closes it
+
+	scrubMu sync.Mutex
+	scrub   *migrate.Scrubber
+}
+
+// Name returns the tenant's namespace name.
+func (t *Tenant) Name() string { return t.name }
+
+// Store returns the tenant's memory.
+func (t *Tenant) Store() Store { return t.store }
+
+// Batched returns the tenant's batched front-end, nil when the registered
+// store is not one.
+func (t *Tenant) Batched() *shard.Batched { return t.batched }
+
+// TenantInfo is the admin listing entry for one tenant.
+type TenantInfo struct {
+	Name   string `json:"name"`
+	Scheme string `json:"scheme"`
+	Shards int    `json:"shards,omitempty"`
+	Ops    uint64 `json:"ops,omitempty"`
+}
+
+// Server is the multi-tenant block-store service core: tenant registry,
+// request execution, probes, admin, and the drain choreography. It carries
+// no listener — mount Handler on whatever server (TLS/h2 or plaintext)
+// the binary runs, or hit it in-process.
+type Server struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+
+	// inflight tracks datapath and admin requests so Drain can fence:
+	// once draining flips, new requests bounce with 503 and Drain waits
+	// out everything already admitted.
+	inflight sync.WaitGroup
+	draining atomic.Bool
+
+	tracer  *trace.Tracer
+	handler http.Handler
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithServerTracer mounts the flight recorder's /trace endpoints and
+// attaches it to every tenant memory created afterwards.
+func WithServerTracer(t *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
+// NewServer builds an empty service core.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{tenants: make(map[string]*Tenant)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.handler = s.buildHandler()
+	return s
+}
+
+// CreateTenant opens a fresh batched memory per cfg and registers it
+// under name. The server owns (and will Close) the store.
+func (s *Server) CreateTenant(name string, cfg TenantConfig) (*Tenant, error) {
+	b, err := cfg.Open()
+	if err != nil {
+		return nil, err
+	}
+	if s.tracer != nil {
+		b.SetTracer(s.tracer)
+	}
+	t, err := s.addTenant(name, b, b, true)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// AddTenant registers an externally owned store under name. Any Store
+// works; a *shard.Batched additionally gets windowed batches, drain
+// coverage, and the reconfiguration admin surface.
+func (s *Server) AddTenant(name string, st Store) (*Tenant, error) {
+	b, _ := st.(*shard.Batched)
+	return s.addTenant(name, st, b, false)
+}
+
+func (s *Server) addTenant(name string, st Store, b *shard.Batched, owned bool) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("copnet: empty tenant name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[name]; dup {
+		return nil, fmt.Errorf("copnet: tenant %q already exists", name)
+	}
+	t := &Tenant{name: name, store: st, batched: b, owned: owned}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// RemoveTenant drains (server-owned stores only) and deregisters a tenant.
+func (s *Server) RemoveTenant(name string) error {
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if ok {
+		delete(s.tenants, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("copnet: no tenant %q", name)
+	}
+	t.stopScrub()
+	if t.owned && t.batched != nil {
+		err := t.batched.Drain()
+		t.batched.Close()
+		return err
+	}
+	return nil
+}
+
+// Tenant looks a namespace up.
+func (s *Server) Tenant(name string) (*Tenant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[name]
+	return t, ok
+}
+
+// TenantInfos lists the registered tenants, name-sorted.
+func (s *Server) TenantInfos() []TenantInfo {
+	s.mu.RLock()
+	infos := make([]TenantInfo, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		info := TenantInfo{Name: t.name, Scheme: t.store.Snapshot().Scheme}
+		if t.batched != nil {
+			info.Shards = t.batched.NumShards()
+			info.Ops = t.batched.Ops()
+		}
+		infos = append(infos, info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Snapshot merges every tenant's telemetry tree (name order, so the merge
+// is deterministic); it makes the Server a telemetry.Source for the
+// mounted /metrics and /snapshot endpoints.
+func (s *Server) Snapshot() telemetry.Snapshot {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stores := make([]Store, len(names))
+	for i, name := range names {
+		stores[i] = s.tenants[name].store
+	}
+	s.mu.RUnlock()
+	var snap telemetry.Snapshot
+	for i, st := range stores {
+		if i == 0 {
+			snap = st.Snapshot()
+		} else {
+			snap.Merge(st.Snapshot())
+		}
+	}
+	return snap
+}
+
+// Ready reports whether the service accepts traffic (false once draining).
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// Drain executes the graceful-shutdown sequence: flip to not-ready (new
+// requests bounce with 503, /readyz goes red), wait out every admitted
+// request — so every acknowledged write has fully executed — stop the
+// patrol scrubbers, then quiesce each batched tenant via the shard drain
+// machinery (rings emptied, LLCs flushed, shards fenced). After a nil
+// return, every acknowledged write is durable in the tenants' DRAM
+// images. ctx bounds only the wait for admitted requests; tenant drains
+// run to completion regardless.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("copnet: drain fence: %w", ctx.Err())
+	}
+	s.mu.RLock()
+	tenants := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	var firstErr error
+	for _, t := range tenants {
+		t.stopScrub()
+		if t.batched != nil {
+			if err := t.batched.Drain(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else if err := t.store.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close drains (unbounded fence) and closes every server-owned store.
+func (s *Server) Close() error {
+	err := s.Drain(context.Background())
+	s.mu.Lock()
+	tenants := s.tenants
+	s.tenants = make(map[string]*Tenant)
+	s.mu.Unlock()
+	for _, t := range tenants {
+		if t.owned && t.batched != nil {
+			t.batched.Close()
+		}
+	}
+	return err
+}
+
+func (t *Tenant) startScrub(opts migrate.ScrubOptions) error {
+	if t.batched == nil {
+		return fmt.Errorf("copnet: tenant %q store has no scrub capability", t.name)
+	}
+	t.scrubMu.Lock()
+	defer t.scrubMu.Unlock()
+	if t.scrub != nil {
+		return fmt.Errorf("copnet: tenant %q scrubber already running", t.name)
+	}
+	t.scrub = migrate.NewScrubber(t.batched, opts)
+	t.scrub.Start()
+	return nil
+}
+
+func (t *Tenant) stopScrub() {
+	t.scrubMu.Lock()
+	sc := t.scrub
+	t.scrub = nil
+	t.scrubMu.Unlock()
+	if sc != nil {
+		sc.Stop()
+	}
+}
+
+// --- request execution ---------------------------------------------------
+
+// execBatch runs one decoded request frame against the tenant and returns
+// the response frame. With a batched store, consecutive read/write runs
+// ride one group window (deep per-shard batches); barrier ops fence the
+// window exactly like Group.Wait. A window error is conservatively
+// attributed to every operation in that window (the group reports only the
+// first), so no failed write is ever acknowledged.
+func (t *Tenant) execBatch(ops []reqOp) []byte {
+	results := make([]opResult, len(ops))
+	// Single-op frames take the synchronous path even on a batched store:
+	// there is no window to amortize, and the sync read carries the full
+	// ReadInfo decode verdict (group windows report only data), which the
+	// fault campaign's classifier wants end-to-end.
+	if t.batched != nil && len(ops) > 1 {
+		t.execWindowed(ops, results)
+	} else {
+		t.execSequential(ops, results)
+	}
+	resp := make([]byte, 0, respSizeHint(ops))
+	resp = append(resp, frameHeader()...)
+	for i := range ops {
+		resp = appendResult(resp, ops[i].kind, &results[i])
+	}
+	return resp
+}
+
+// respSizeHint estimates the response frame size to avoid regrows.
+func respSizeHint(ops []reqOp) int {
+	n := 2
+	for i := range ops {
+		switch ops[i].kind {
+		case OpRead:
+			n += 1 + packedInfoLen + BlockBytes
+		case OpReadRange:
+			n += 5 + int(ops[i].n)
+		default:
+			n += 2
+		}
+	}
+	return n
+}
+
+// execWindowed executes ops through the batched front-end.
+func (t *Tenant) execWindowed(ops []reqOp, results []opResult) {
+	b := t.batched
+	g := b.NewGroup()
+	start := 0 // first op of the open window
+	flush := func(end int) {
+		if err := g.Wait(); err != nil {
+			for i := start; i < end; i++ {
+				if ops[i].isWindowOp() && results[i].err == nil {
+					results[i].err = err
+				}
+			}
+		}
+		start = end
+	}
+	for i := range ops {
+		op := &ops[i]
+		r := &results[i]
+		switch op.kind {
+		case OpRead:
+			r.data = make([]byte, BlockBytes)
+			g.Read(r.data, op.addr)
+		case OpWrite:
+			g.Write(op.addr, op.data)
+		default:
+			flush(i)
+			t.execOne(op, r)
+			start = i + 1
+		}
+	}
+	flush(len(ops))
+	// Window reads carry no per-op info through the group API; mark what
+	// is knowable: the data came from the hierarchy (hit or decode).
+}
+
+// execSequential executes ops one by one against a plain Store.
+func (t *Tenant) execSequential(ops []reqOp, results []opResult) {
+	for i := range ops {
+		op := &ops[i]
+		r := &results[i]
+		switch op.kind {
+		case OpRead:
+			r.data = make([]byte, BlockBytes)
+			r.info, r.err = t.store.ReadInto(r.data, op.addr)
+		case OpWrite:
+			r.err = t.store.Write(op.addr, op.data)
+		default:
+			t.execOne(op, r)
+		}
+	}
+}
+
+// execOne executes a barrier op synchronously.
+func (t *Tenant) execOne(op *reqOp, r *opResult) {
+	switch op.kind {
+	case OpFlush:
+		r.err = t.store.Flush()
+	case OpReadRange:
+		rs, ok := t.store.(rangeStore)
+		if !ok {
+			r.err = fmt.Errorf("store does not support range reads")
+			return
+		}
+		r.data = make([]byte, op.n)
+		r.err = rs.ReadBytesInto(r.data, op.addr)
+	case OpWriteRange:
+		rs, ok := t.store.(rangeStore)
+		if !ok {
+			r.err = fmt.Errorf("store does not support range writes")
+			return
+		}
+		r.err = rs.WriteBytes(op.addr, op.data)
+	case OpSettle:
+		fs, ok := t.store.(faultStore)
+		if !ok {
+			r.err = fmt.Errorf("store does not support settle")
+			return
+		}
+		r.err = fs.Settle(op.addr)
+	case OpStoredKind:
+		fs, ok := t.store.(faultStore)
+		if !ok {
+			r.err = fmt.Errorf("store does not support image queries")
+			return
+		}
+		r.flag = byte(fs.StoredKind(op.addr))
+	case OpInjectBit:
+		fs, ok := t.store.(faultStore)
+		if !ok {
+			r.err = fmt.Errorf("store does not support fault injection")
+			return
+		}
+		if fs.InjectBitFlip(op.addr, int(op.arg)) {
+			r.flag = 1
+		}
+	case OpInjectChip:
+		fs, ok := t.store.(faultStore)
+		if !ok {
+			r.err = fmt.Errorf("store does not support fault injection")
+			return
+		}
+		if fs.InjectChipFailure(op.addr, int(op.arg), op.pat) {
+			r.flag = 1
+		}
+	default:
+		r.err = fmt.Errorf("unexpected op %v", op.kind)
+	}
+}
+
+// --- HTTP surface --------------------------------------------------------
+
+// Handler returns the service's full HTTP surface: the /v1 datapath, the
+// /admin control plane, /healthz + /readyz probes, and the telemetry
+// handler (/metrics, /snapshot, /debug/*, and /trace* when a tracer is
+// mounted) as the fallback for everything else.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+
+	mux.HandleFunc("POST /v1/tenants/{tenant}/batch", s.gated(s.handleBatch))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/block/{addr}", s.gated(s.handleBlockGet))
+	mux.HandleFunc("PUT /v1/tenants/{tenant}/block/{addr}", s.gated(s.handleBlockPut))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/flush", s.gated(s.handleFlush))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/snapshot", s.gated(s.handleTenantSnapshot))
+
+	mux.HandleFunc("GET /admin/tenants", s.gated(s.handleTenantList))
+	mux.HandleFunc("PUT /admin/tenants/{tenant}", s.gated(s.handleTenantCreate))
+	mux.HandleFunc("DELETE /admin/tenants/{tenant}", s.gated(s.handleTenantDelete))
+	mux.HandleFunc("POST /admin/tenants/{tenant}/migrate", s.gated(s.handleMigrate))
+	mux.HandleFunc("POST /admin/tenants/{tenant}/reshard", s.gated(s.handleReshard))
+	mux.HandleFunc("POST /admin/tenants/{tenant}/scrub", s.gated(s.handleScrub))
+
+	// Telemetry fallback: /metrics, /snapshot (whole service), /debug/*,
+	// /trace* with a tracer.
+	mux.Handle("/", telemetry.HandlerWithTracer(s, s.tracer))
+	return mux
+}
+
+// gated wraps a handler with the drain fence: reject once draining,
+// otherwise account the request so Drain waits it out.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		// Re-check after registering: a Drain that flipped between the
+		// load and the Add may already have passed the fence wait.
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) pathTenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	name := r.PathValue("tenant")
+	t, ok := s.Tenant(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no tenant %q", name), http.StatusNotFound)
+		return nil, false
+	}
+	return t, true
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	body, err := readBody(r, 8+maxFrameOps*(9+BlockBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ops, err := decodeRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := t.execBatch(ops)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(resp)
+}
+
+func (s *Server) handleBlockGet(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	addr, err := strconv.ParseUint(r.PathValue("addr"), 0, 64)
+	if err != nil {
+		http.Error(w, "bad address: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	dst := make([]byte, BlockBytes)
+	info, err := t.store.ReadInto(dst, addr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Cop-Llc-Hit", strconv.FormatBool(info.LLCHit))
+	w.Header().Set("X-Cop-Compressed", strconv.FormatBool(info.DecodedCompressed))
+	w.Header().Set("X-Cop-Corrected", strconv.Itoa(info.Corrected))
+	_, _ = w.Write(dst)
+}
+
+func (s *Server) handleBlockPut(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	addr, err := strconv.ParseUint(r.PathValue("addr"), 0, 64)
+	if err != nil {
+		http.Error(w, "bad address: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := readBody(r, BlockBytes+1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) != BlockBytes {
+		http.Error(w, fmt.Sprintf("block write wants exactly %d bytes, got %d", BlockBytes, len(body)), http.StatusBadRequest)
+		return
+	}
+	if err := t.store.Write(addr, body); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	if err := t.store.Flush(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTenantSnapshot(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, t.store.Snapshot())
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.TenantInfos())
+}
+
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	var cfg TenantConfig
+	if err := decodeJSON(r, &cfg); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := s.CreateTenant(name, cfg); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.RemoveTenant(r.PathValue("tenant")); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	if t.batched == nil {
+		http.Error(w, "tenant store does not support live migration", http.StatusConflict)
+		return
+	}
+	var req struct {
+		Scheme      string `json:"scheme"`
+		ChunkBlocks int    `json:"chunk_blocks,omitempty"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := migrate.MigrateTo(t.batched, req.Scheme, migrate.Options{ChunkBlocks: req.ChunkBlocks}); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]string{"scheme": req.Scheme})
+}
+
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	if t.batched == nil {
+		http.Error(w, "tenant store does not support resharding", http.StatusConflict)
+		return
+	}
+	var req struct {
+		Shards int `json:"shards"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := t.batched.Reshard(req.Shards); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]int{"shards": t.batched.NumShards()})
+}
+
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Action      string `json:"action"`
+		IntervalUS  int    `json:"interval_us,omitempty"`
+		ChunkBlocks int    `json:"chunk_blocks,omitempty"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch req.Action {
+	case "start":
+		opts := migrate.ScrubOptions{ChunkBlocks: req.ChunkBlocks}
+		if req.IntervalUS > 0 {
+			opts.Interval = time.Duration(req.IntervalUS) * time.Microsecond
+		}
+		if err := t.startScrub(opts); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+	case "stop":
+		t.stopScrub()
+	default:
+		http.Error(w, fmt.Sprintf("scrub action %q: want start or stop", req.Action), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]string{"scrub": req.Action})
+}
+
+// readBody reads at most limit bytes of the request body, erroring on
+// oversize payloads rather than truncating.
+func readBody(r *http.Request, limit int) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(limit)+1))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	if len(body) > limit {
+		return nil, fmt.Errorf("request body exceeds %d bytes", limit)
+	}
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	return nil
+}

@@ -145,6 +145,44 @@ func BucketBound(i int) uint64 {
 	return 1<<uint(i) - 1
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) of the observed
+// distribution: the target rank is located in the cumulative bucket
+// counts, then interpolated linearly within the bucket's [2^(i-1), 2^i)
+// value range. Power-of-two buckets bound the estimate within 2x of the
+// true value — adequate for the p50/p99/p999 latency reporting it exists
+// for. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			if i == 0 {
+				return 0
+			}
+			lo := uint64(1) << uint(i-1)
+			hi := uint64(1) << uint(i)
+			frac := (rank - cum) / float64(n)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	// Rank beyond the trimmed buckets (floating-point slack): the maximum.
+	if n := len(s.Buckets); n > 1 {
+		return uint64(1) << uint(n-1)
+	}
+	return 0
+}
+
 // Mean returns the average observed value (0 when empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

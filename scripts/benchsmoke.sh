@@ -8,7 +8,9 @@
 # batched-8g's, so the tolerance directly bounds the scrubbing overhead),
 # and the codec datapath (BenchmarkEncode / BenchmarkDecode for the COP-4
 # and COP-8 geometries, the word-parallel encode/decode the whole
-# simulator sits on).
+# simulator sits on), plus the networked service datapath
+# (BenchmarkServeThroughput — client batch frames over a loopback HTTP
+# listener into server-side group windows).
 #
 # Primary comparison is self-calibrating: the same benchmarks are built and
 # run from the merge-base commit in a temporary git worktree on the SAME
@@ -36,6 +38,7 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 # attached but disabled — it pins the disabled-tracing overhead.
 SHARD_KEYS="ShardedThroughput/sharded-8g ShardedThroughput/sharded-8g-traceoff BatchedThroughput/batched-8g MigrationOverhead/scrub-8g"
 CODEC_KEYS="Encode/COP-4 Encode/COP-8 Decode/COP-4 Decode/COP-8"
+SERVE_KEYS="ServeThroughput/serve-8g"
 
 # bench_out DIR PKG PATTERN — run the benchmarks, print raw output.
 bench_out() {
@@ -56,6 +59,7 @@ best() {
 collect() { # collect DIR OUTFILE — run every guarded group in DIR
     bench_out "$1" . 'BenchmarkShardedThroughput/sharded-8g|BenchmarkBatchedThroughput/batched-8g|BenchmarkMigrationOverhead/scrub-8g' >"$2"
     bench_out "$1" ./internal/core 'BenchmarkEncode$|BenchmarkDecode$' >>"$2"
+    bench_out "$1" ./internal/copnet 'BenchmarkServeThroughput' >>"$2"
 }
 
 after_out="$(mktemp)"
@@ -75,7 +79,7 @@ if [ -n "$base" ] && [ "$base" != "$(git -C "$REPO" rev-parse HEAD)" ]; then
 fi
 
 fail=0
-for key in $SHARD_KEYS $CODEC_KEYS; do
+for key in $SHARD_KEYS $CODEC_KEYS $SERVE_KEYS; do
     after="$(best "$after_out" "$key")"
     if [ -z "$after" ]; then
         echo "benchsmoke: no benchmark output for $key" >&2
