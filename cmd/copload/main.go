@@ -140,8 +140,8 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("target %s not ready (is copserve up? TLS: -ca or -insecure)", base)
 	}
 
-	fmt.Fprintf(stdout, "copload: target=%s tenant=%s workers=%d window=%d keys=%d mix=%s workload=%s seed=%#x\n",
-		base, *tenant, *load.Workers, *load.Window, *load.Keys, *load.Mix, prof.Name, *load.Seed)
+	fmt.Fprintf(stdout, "copload: target=%s tenant=%s workers=%d window=%d pipeline=%d keys=%d mix=%s workload=%s seed=%#x\n",
+		base, *tenant, *load.Workers, *load.Window, *load.Pipeline, *load.Keys, *load.Mix, prof.Name, *load.Seed)
 
 	// Soak campaign: its own client on the same tenant, every settle /
 	// inject / classify read crossing the wire, concurrent with traffic.
@@ -179,13 +179,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	r := newRunner(c, prof, runnerConfig{
-		workers: *load.Workers,
-		window:  *load.Window,
-		keys:    *load.Keys,
-		qps:     *load.QPS,
-		ops:     *load.Ops,
-		mix:     mix,
-		seed:    *load.Seed,
+		workers:  *load.Workers,
+		window:   *load.Window,
+		keys:     *load.Keys,
+		qps:      *load.QPS,
+		ops:      *load.Ops,
+		pipeline: *load.Pipeline,
+		mix:      mix,
+		seed:     *load.Seed,
 	})
 
 	stop := make(chan struct{})
@@ -271,6 +272,7 @@ func report(stdout io.Writer, r *runner, elapsed time.Duration, soakRes *faultsi
 
 type runnerConfig struct {
 	workers, window, keys, qps, ops int
+	pipeline                        int // frames in flight per worker
 	mix                             [4]int
 	seed                            uint64
 }
@@ -295,6 +297,9 @@ func newRunner(c *copnet.Client, prof *workload.Profile, cfg runnerConfig) *runn
 	}
 	if cfg.keys < cfg.workers {
 		cfg.keys = cfg.workers
+	}
+	if cfg.pipeline < 1 {
+		cfg.pipeline = 1
 	}
 	return &runner{c: c, prof: prof, cfg: cfg}
 }
@@ -362,11 +367,31 @@ type pendingOp struct {
 	want []byte // expected read content (gets only)
 }
 
+// stream is one of a worker's in-flight request pipelines. A worker's key
+// slice is partitioned into pipeline-many disjoint strided subsets (stream
+// s owns local keys s, s+depth, s+2·depth, …), each with its own batch and
+// at most one frame in flight: operations on the same key always ride the
+// same stream in issue order, so the shadow oracle's per-key history stays
+// exact no matter how the server interleaves concurrent frames.
+type stream struct {
+	batch    *copnet.Batch
+	pending  []pendingOp
+	inflight *copnet.PendingBatch
+	sentAt   time.Time
+}
+
 func (r *runner) worker(w int, lo uint64, keys int, stop <-chan struct{}) error {
 	rng := splitmix(r.cfg.seed + uint64(w)*0x9E3779B97F4A7C15)
 	state := make([]keyState, keys)
-	batch := r.c.NewBatch()
-	pending := make([]pendingOp, 0, r.cfg.window)
+	depth := r.cfg.pipeline
+	if depth > keys {
+		depth = keys
+	}
+	streams := make([]stream, depth)
+	for i := range streams {
+		streams[i].batch = r.c.NewBatch()
+		streams[i].pending = make([]pendingOp, 0, r.cfg.window)
+	}
 
 	// Pacing: each worker owes one window every windowEvery (absolute
 	// schedule, so delays are recovered rather than compounded).
@@ -376,16 +401,6 @@ func (r *runner) worker(w int, lo uint64, keys int, stop <-chan struct{}) error 
 	}
 	startAt := time.Now()
 
-	hotKeys := int(float64(keys) * r.prof.HotFrac)
-	if hotKeys < 1 {
-		hotKeys = 1
-	}
-	pickKey := func() int {
-		if r.prof.HotProb > 0 && float64(rng.next()%1000)/1000 < r.prof.HotProb {
-			return int(rng.next() % uint64(hotKeys))
-		}
-		return int(rng.next() % uint64(keys))
-	}
 	pickOp := func() int {
 		p := int(rng.next() % 100)
 		for op, cum := 0, 0; ; op++ {
@@ -395,31 +410,88 @@ func (r *runner) worker(w int, lo uint64, keys int, stop <-chan struct{}) error 
 			}
 		}
 	}
+	// pickKey draws from stream s's strided subset, hot-skewed within it.
+	pickKey := func(s int) int {
+		n := keys / depth
+		if s < keys%depth {
+			n++
+		}
+		hot := int(float64(n) * r.prof.HotFrac)
+		if hot < 1 {
+			hot = 1
+		}
+		var j int
+		if r.prof.HotProb > 0 && float64(rng.next()%1000)/1000 < r.prof.HotProb {
+			j = int(rng.next() % uint64(hot))
+		} else {
+			j = int(rng.next() % uint64(n))
+		}
+		return s + j*depth
+	}
 
 	done := 0
+	// reap blocks on a stream's in-flight frame, verifies its results
+	// against the oracle, and clears the stream for refilling.
+	reap := func(s *stream) error {
+		results, err := s.inflight.Wait()
+		r.lat.Observe(uint64(time.Since(s.sentAt)))
+		s.inflight = nil
+		if err != nil {
+			return err
+		}
+		r.frames.Add(1)
+		r.verify(results, s.pending, state)
+		done += len(results)
+		return nil
+	}
+	// drain reaps every stream still in flight (shutdown path) so no
+	// frame's results escape the oracle.
+	drain := func() error {
+		var ferr error
+		for i := range streams {
+			if streams[i].inflight == nil {
+				continue
+			}
+			if err := reap(&streams[i]); err != nil && ferr == nil {
+				ferr = err
+			}
+		}
+		return ferr
+	}
+
 	for window := 0; ; window++ {
+		s := &streams[window%depth]
+		if s.inflight != nil {
+			if err := reap(s); err != nil {
+				derr := drain()
+				if derr == nil {
+					derr = err
+				}
+				return fmt.Errorf("worker %d window %d: %w", w, window, derr)
+			}
+		}
 		select {
 		case <-stop:
-			return nil
+			return drain()
 		default:
 		}
 		if r.cfg.ops > 0 && done >= r.cfg.ops {
-			return nil
+			return drain()
 		}
 		if windowEvery > 0 {
 			next := startAt.Add(time.Duration(window) * windowEvery)
 			if d := time.Until(next); d > 0 {
 				select {
 				case <-stop:
-					return nil
+					return drain()
 				case <-time.After(d):
 				}
 			}
 		}
 
-		pending = pending[:0]
+		s.pending = s.pending[:0]
 		for i := 0; i < r.cfg.window; i++ {
-			key := pickKey()
+			key := pickKey(window % depth)
 			st := &state[key]
 			addr := (lo + uint64(key)) * copnet.BlockBytes
 			switch op := pickOp(); op {
@@ -428,67 +500,66 @@ func (r *runner) worker(w int, lo uint64, keys int, stop <-chan struct{}) error 
 				if !st.tainted {
 					want = r.expected(addr, st)
 				}
-				batch.Read(addr)
-				pending = append(pending, pendingOp{kind: opGet, key: key, want: want})
+				s.batch.Read(addr)
+				s.pending = append(s.pending, pendingOp{kind: opGet, key: key, want: want})
 			case opSet:
 				st.version++
 				st.delta, st.written, st.deleted = 0, true, false
-				batch.Write(addr, r.expected(addr, st))
-				pending = append(pending, pendingOp{kind: opSet, key: key})
+				s.batch.Write(addr, r.expected(addr, st))
+				s.pending = append(s.pending, pendingOp{kind: opSet, key: key})
 			case opDelete:
 				st.delta, st.written, st.deleted = 0, true, true
-				batch.Write(addr, r.expected(addr, st))
-				pending = append(pending, pendingOp{kind: opDelete, key: key})
+				s.batch.Write(addr, r.expected(addr, st))
+				s.pending = append(s.pending, pendingOp{kind: opDelete, key: key})
 			case opIncr:
 				st.delta++
 				st.written = true
-				batch.Write(addr, r.expected(addr, st))
-				pending = append(pending, pendingOp{kind: opIncr, key: key})
+				s.batch.Write(addr, r.expected(addr, st))
+				s.pending = append(s.pending, pendingOp{kind: opIncr, key: key})
 			}
 		}
 
-		reqStart := time.Now()
-		results, err := batch.Do()
-		r.lat.Observe(uint64(time.Since(reqStart)))
-		if err != nil {
-			return fmt.Errorf("worker %d window %d: %w", w, window, err)
-		}
-		r.frames.Add(1)
-		for i, res := range results {
-			p := &pending[i]
-			st := &state[p.key]
+		s.sentAt = time.Now()
+		s.inflight = s.batch.Start()
+	}
+}
+
+// verify checks one reaped frame's results against the shadow oracle and
+// folds them into the op counters.
+func (r *runner) verify(results []copnet.Result, pending []pendingOp, state []keyState) {
+	for i, res := range results {
+		p := &pending[i]
+		st := &state[p.key]
+		switch p.kind {
+		case opGet:
+			r.gets.Add(1)
+			if res.Err != nil {
+				r.opErrors.Add(1)
+				continue
+			}
+			if p.want == nil {
+				continue // key tainted by an earlier failed write
+			}
+			r.verified.Add(1)
+			if !bytes.Equal(res.Data, p.want) {
+				r.mismatches.Add(1)
+			}
+		case opSet, opDelete, opIncr:
 			switch p.kind {
-			case opGet:
-				r.gets.Add(1)
-				if res.Err != nil {
-					r.opErrors.Add(1)
-					continue
-				}
-				if p.want == nil {
-					continue // key tainted by an earlier failed write
-				}
-				r.verified.Add(1)
-				if !bytes.Equal(res.Data, p.want) {
-					r.mismatches.Add(1)
-				}
-			case opSet, opDelete, opIncr:
-				switch p.kind {
-				case opSet:
-					r.sets.Add(1)
-				case opDelete:
-					r.deletes.Add(1)
-				default:
-					r.incrs.Add(1)
-				}
-				if res.Err != nil {
-					r.opErrors.Add(1)
-					st.tainted = true
-				} else {
-					st.tainted = false
-				}
+			case opSet:
+				r.sets.Add(1)
+			case opDelete:
+				r.deletes.Add(1)
+			default:
+				r.incrs.Add(1)
+			}
+			if res.Err != nil {
+				r.opErrors.Add(1)
+				st.tainted = true
+			} else {
+				st.tainted = false
 			}
 		}
-		done += len(results)
 	}
 }
 

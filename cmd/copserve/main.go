@@ -170,6 +170,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	if err := srv.Drain(ctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
+	if n := srv.Snapshot().Net; n != nil {
+		fmt.Fprintf(stdout, "copserve: served %d frames carrying %d ops (%d B in, %d B out, peak concurrency %d)\n",
+			n.Frames, n.Ops, n.BytesIn, n.BytesOut, n.MaxInflight)
+	}
 	for _, hs := range servers {
 		_ = hs.Shutdown(ctx)
 	}

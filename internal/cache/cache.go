@@ -67,6 +67,7 @@ type Cache struct {
 	tick     uint64
 	tel      telemetry.CacheCounters
 	th       *trace.Handle
+	onDrop   func(Line)
 }
 
 // New builds a cache of sizeBytes capacity with the given associativity
@@ -94,6 +95,26 @@ func New(sizeBytes, ways, blockBytes int) *Cache {
 		c.sets[i] = make([]way, ways)
 	}
 	return c
+}
+
+// SetOnDrop registers fn to receive lines the cache discards internally —
+// clean eviction victims and lines displaced by a replacing Insert — which
+// are otherwise unreachable to the owner. Dirty victims are still returned
+// through Insert/Lookup, never passed to fn. Owners use the hook to
+// recycle line buffers; fn runs synchronously on the calling goroutine.
+func (c *Cache) SetOnDrop(fn func(Line)) { c.onDrop = fn }
+
+// drop hands a discarded line to the onDrop hook, skipping the call when
+// the replacing line shares the same backing buffer (an in-place refresh
+// must not surrender a buffer that is still live).
+func (c *Cache) drop(old, repl Line) {
+	if c.onDrop == nil || len(old.Data) == 0 {
+		return
+	}
+	if len(repl.Data) != 0 && &old.Data[0] == &repl.Data[0] {
+		return
+	}
+	c.onDrop(old)
 }
 
 // Sets returns the number of sets.
@@ -295,6 +316,7 @@ func (c *Cache) Insert(line Line) (victim Line, writeback bool) {
 		w := &c.sets[si][i]
 		if w.valid && w.line.Addr == line.Addr {
 			c.tick++
+			c.drop(w.line, line)
 			w.line = line
 			w.lru = c.tick
 			return Line{}, false
@@ -340,6 +362,7 @@ func (c *Cache) insertInto(si int, line Line) (victim Line, writeback bool) {
 			c.tel.Writebacks.Inc()
 			return victim, true
 		}
+		c.drop(victim, Line{})
 		return Line{}, false
 	}
 	// Every way is alias-pinned: spill the LRU alias to overflow.

@@ -126,6 +126,7 @@ type LoadFlags struct {
 	Ops      *int
 	Keys     *int
 	Window   *int
+	Pipeline *int
 	Mix      *string
 	Workload *string
 	Seed     *uint64
@@ -140,6 +141,7 @@ func AddLoadFlags(fs *flag.FlagSet) *LoadFlags {
 		Ops:      fs.Int("ops", 0, "stop after this many operations per worker (0: unbounded)"),
 		Keys:     fs.Int("keys", 1<<14, "footprint in 64-byte blocks across all workers"),
 		Window:   fs.Int("window", 8, "operations batched into one request window"),
+		Pipeline: fs.Int("pipeline", 1, "request windows each worker keeps in flight (keys partition into per-frame streams, so per-key order is preserved)"),
 		Mix:      fs.String("mix", "60/30/5/5", "get/set/delete/increment percentages"),
 		Workload: WorkloadFlag(fs, "workload", "gcc", "workload profile supplying block contents and hot-key skew"),
 		Seed:     SeedFlag(fs, "seed", 0x10AD, "load-generator seed (same seed, same op stream)"),

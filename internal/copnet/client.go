@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"cop/internal/memctrl"
 	"cop/internal/telemetry"
@@ -26,11 +27,19 @@ import (
 // analogue of shard.Group.
 //
 // A Client is safe for concurrent use; each Batch is single-submitter,
-// like the shard.Group it maps onto.
+// like the shard.Group it maps onto. For pipelining, run several batches
+// concurrently — Batch.Start issues a frame without blocking, so one
+// goroutine can keep N frames in flight over N batches (HTTP/2 multiplexes
+// them onto one connection; HTTP/1.1 falls back to pooled connections).
 type Client struct {
 	base   string
 	tenant string
 	hc     *http.Client
+
+	// batches recycles Batch objects (wire buffer, response body, result
+	// table) across the single-op Store/Target methods, so a steady-state
+	// Read/Write rebuilds no buffers.
+	batches sync.Pool
 }
 
 // ClientOption configures Dial.
@@ -73,6 +82,11 @@ func WithInsecureTLS() ClientOption {
 // Dial builds a client for the service at base (e.g. "https://127.0.0.1:7070"
 // or "http://..." for the plaintext listener). No connection is made until
 // the first request.
+//
+// The default transport keeps a deep per-host idle pool: many Clients (or
+// one Client with many frames in flight) would thrash connections through
+// http.DefaultTransport's two-per-host idle cap, paying a dial plus
+// handshake on most frames.
 func Dial(base string, opts ...ClientOption) (*Client, error) {
 	if base == "" {
 		return nil, fmt.Errorf("copnet: empty base URL")
@@ -80,7 +94,12 @@ func Dial(base string, opts ...ClientOption) (*Client, error) {
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
-	c := &Client{base: strings.TrimRight(base, "/"), tenant: "default", hc: &http.Client{}}
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		ForceAttemptHTTP2:   true,
+	}}
+	c := &Client{base: strings.TrimRight(base, "/"), tenant: "default", hc: hc}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -96,9 +115,27 @@ func (c *Client) tenantURL(suffix string) string {
 	return c.base + "/v1/tenants/" + c.tenant + suffix
 }
 
+// maxJSONResponseBytes caps the admin/telemetry JSON bodies the client
+// will buffer; binary batch responses carry a per-batch bound instead.
+const maxJSONResponseBytes = 1 << 24
+
+// maxErrMsgBytes is the per-op error-message allowance folded into a
+// batch's response-size bound (server messages are short; the slack only
+// widens the bound, it never allocates).
+const maxErrMsgBytes = 4096
+
 // do issues a request and returns the whole response body; non-2xx
 // statuses become errors carrying the server's message.
 func (c *Client) do(method, url, contentType string, body []byte) ([]byte, error) {
+	return c.doInto(nil, method, url, contentType, body, maxJSONResponseBytes)
+}
+
+// doInto issues a request and reads the response into dst (capacity
+// reused), bounding the read at limit bytes — the response analogue of
+// the server's readBodyInto, so a misbehaving or hostile server cannot
+// balloon the client. Non-2xx statuses become errors carrying the
+// server's message.
+func (c *Client) doInto(dst []byte, method, url, contentType string, body []byte, limit int) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -115,26 +152,74 @@ func (c *Client) do(method, url, contentType string, body []byte) ([]byte, error
 		return nil, err
 	}
 	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return nil, fmt.Errorf("copnet: %s %s: %s: %s",
-			method, url, resp.Status, strings.TrimSpace(string(out)))
+		// Error bodies are human-readable lines; buffer at most the
+		// message allowance and truncate the rest — the status must
+		// surface whatever the body's size claims.
+		buf := grow(dst, maxErrMsgBytes)
+		n, _ := io.ReadFull(resp.Body, buf)
+		return buf[:0], fmt.Errorf("copnet: %s %s: %s: %s",
+			method, url, resp.Status, strings.TrimSpace(string(buf[:n])))
 	}
-	return out, nil
+	return readRespInto(dst, resp, limit)
+}
+
+// readRespInto reads an HTTP response body into buf (capacity reused),
+// erroring if it exceeds limit. A declared Content-Length presizes the
+// buffer and reads it in full pulls; chunked bodies fall back to
+// incremental appends under the same cap.
+func readRespInto(buf []byte, resp *http.Response, limit int) ([]byte, error) {
+	if cl := resp.ContentLength; cl >= 0 {
+		if cl > int64(limit) {
+			return buf[:0], fmt.Errorf("copnet: response of %d bytes exceeds the %d-byte cap", cl, limit)
+		}
+		buf = grow(buf, int(cl))
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return buf[:0], fmt.Errorf("copnet: read response: %w", err)
+		}
+		return buf, nil
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := resp.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > limit {
+			return buf[:0], fmt.Errorf("copnet: response exceeds the %d-byte cap", limit)
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf[:0], fmt.Errorf("copnet: read response: %w", err)
+		}
+	}
 }
 
 // --- batches -------------------------------------------------------------
 
 // Batch accumulates operations for one request frame. Read/Write runs map
 // onto one server-side group window; Flush/Settle/StoredKind/Inject* are
-// barriers, exactly as in shard.Group. Build, then Do.
+// barriers, exactly as in shard.Group. Build, then Do (blocking) or Start
+// (pipelined).
+//
+// A Batch is reusable: Do resets it keeping every buffer's capacity, so a
+// loop of fill→Do→fill→Do reaches a steady state with zero allocations on
+// the client frame path.
 type Batch struct {
 	c     *Client
 	buf   []byte
 	kinds []OpKind
+
+	// respBound is the proven upper bound on this frame's response size:
+	// per op, the larger of its success payload and the error-message
+	// allowance. It bounds doInto's read — never allocated, only checked.
+	respBound int
+
+	body    []byte   // reused response frame buffer
+	results []Result // reused result table (Data fields alias body)
 }
 
 // Result is one operation's outcome. Data aliases the response buffer
@@ -150,50 +235,67 @@ type Result struct {
 
 // NewBatch starts an empty operation frame against the client's tenant.
 func (c *Client) NewBatch() *Batch {
-	return &Batch{c: c, buf: frameHeader()}
+	b := &Batch{c: c}
+	b.Reset()
+	return b
 }
 
-func (b *Batch) add(kind OpKind) { b.kinds = append(b.kinds, kind) }
+// Reset clears the batch for refilling, keeping every buffer's capacity.
+// Do calls it automatically; explicit Reset is only needed to abandon a
+// half-built frame.
+func (b *Batch) Reset() {
+	b.buf = append(b.buf[:0], wireMagic, wireVersion)
+	b.kinds = b.kinds[:0]
+	b.respBound = 2
+}
+
+// add records an enqueued op and folds its response-size contribution
+// into the frame bound: the larger of the op's success payload and an
+// error result (status + length + capped message).
+func (b *Batch) add(kind OpKind, okBytes int) {
+	b.kinds = append(b.kinds, kind)
+	b.respBound += max(okBytes, 1+4+maxErrMsgBytes)
+}
 
 // Read enqueues a 64-byte block read.
 func (b *Batch) Read(addr uint64) *Batch {
 	b.buf = appendRead(b.buf, addr)
-	b.add(OpRead)
+	b.add(OpRead, 1+packedInfoLen+BlockBytes)
 	return b
 }
 
 // Write enqueues a 64-byte block write.
 func (b *Batch) Write(addr uint64, data []byte) *Batch {
 	b.buf = appendWrite(b.buf, addr, data)
-	b.add(OpWrite)
+	b.add(OpWrite, 1)
 	return b
 }
 
 // ReadRange enqueues an n-byte range read at addr (barrier op).
 func (b *Batch) ReadRange(addr uint64, n int) *Batch {
 	b.buf = appendReadRange(b.buf, addr, uint32(n))
-	b.add(OpReadRange)
+	b.add(OpReadRange, 1+4+n)
 	return b
 }
 
 // WriteRange enqueues a byte-range write (barrier op).
 func (b *Batch) WriteRange(addr uint64, data []byte) *Batch {
 	b.buf = appendWriteRange(b.buf, addr, data)
-	b.add(OpWriteRange)
+	b.add(OpWriteRange, 1)
 	return b
 }
 
 // Flush enqueues a full LLC write-back barrier.
 func (b *Batch) Flush() *Batch {
 	b.buf = appendFlush(b.buf)
-	b.add(OpFlush)
+	b.add(OpFlush, 1)
 	return b
 }
 
 // Settle enqueues a single-block write-back barrier.
 func (b *Batch) Settle(addr uint64) *Batch {
 	b.buf = appendAddrOp(b.buf, OpSettle, addr)
-	b.add(OpSettle)
+	b.add(OpSettle, 1)
 	return b
 }
 
@@ -201,7 +303,7 @@ func (b *Batch) Settle(addr uint64) *Batch {
 // holds the memctrl.StoredKind.
 func (b *Batch) StoredKind(addr uint64) *Batch {
 	b.buf = appendAddrOp(b.buf, OpStoredKind, addr)
-	b.add(OpStoredKind)
+	b.add(OpStoredKind, 2)
 	return b
 }
 
@@ -209,14 +311,14 @@ func (b *Batch) StoredKind(addr uint64) *Batch {
 // existed and the flip landed.
 func (b *Batch) InjectBit(addr uint64, bit int) *Batch {
 	b.buf = appendInjectBit(b.buf, addr, int32(bit))
-	b.add(OpInjectBit)
+	b.add(OpInjectBit, 2)
 	return b
 }
 
 // InjectChip enqueues a whole-chip failure injection.
 func (b *Batch) InjectChip(addr uint64, chip int, pattern byte) *Batch {
 	b.buf = appendInjectChip(b.buf, addr, int32(chip), pattern)
-	b.add(OpInjectChip)
+	b.add(OpInjectChip, 2)
 	return b
 }
 
@@ -226,66 +328,132 @@ func (b *Batch) Len() int { return len(b.kinds) }
 // Do ships the frame and returns per-op results in enqueue order. A
 // non-nil error means the frame itself failed (transport, HTTP status,
 // malformed response) and no per-op outcome is known; per-op failures
-// land in Result.Err. The batch resets for reuse either way.
+// land in Result.Err. The batch resets for refilling either way; the
+// returned results (and their Data payloads) stay valid until the next
+// Do on this batch.
 func (b *Batch) Do() ([]Result, error) {
-	buf, kinds := b.buf, b.kinds
-	b.buf, b.kinds = frameHeader(), nil
-	if len(kinds) == 0 {
+	if len(b.kinds) == 0 {
 		return nil, nil
 	}
-	body, err := b.c.do(http.MethodPost, b.c.tenantURL("/batch"), "application/octet-stream", buf)
+	body, err := b.c.doInto(b.body[:0], http.MethodPost, b.c.tenantURL("/batch"),
+		"application/octet-stream", b.buf, b.respBound)
+	b.body = body
 	if err != nil {
+		b.Reset()
 		return nil, err
 	}
-	rest, err := checkHeader(body)
+	results, err := parseResults(body, b.kinds, b.results[:0])
+	b.results = results
+	b.Reset()
 	if err != nil {
 		return nil, err
-	}
-	results := make([]Result, len(kinds))
-	for i, kind := range kinds {
-		var r opResult
-		r, rest, err = decodeResult(rest, kind)
-		if err != nil {
-			return nil, fmt.Errorf("copnet: response op %d/%d: %w", i, len(kinds), err)
-		}
-		results[i] = Result{Err: r.err, Info: r.info, Data: r.data, Flag: r.flag}
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("copnet: %d trailing bytes after %d results", len(rest), len(kinds))
 	}
 	return results, nil
 }
 
+// parseResults decodes a response frame's result stream into out
+// (capacity reused), one Result per request op. Data payloads alias body.
+func parseResults(body []byte, kinds []OpKind, out []Result) ([]Result, error) {
+	rest, err := checkHeader(body)
+	if err != nil {
+		return out, err
+	}
+	for i, kind := range kinds {
+		var r opResult
+		r, rest, err = decodeResult(rest, kind)
+		if err != nil {
+			return out, fmt.Errorf("copnet: response op %d/%d: %w", i, len(kinds), err)
+		}
+		out = append(out, Result{Err: r.err, Info: r.info, Data: r.data, Flag: r.flag})
+	}
+	if len(rest) != 0 {
+		return out, fmt.Errorf("copnet: %d trailing bytes after %d results", len(rest), len(kinds))
+	}
+	return out, nil
+}
+
+// PendingBatch is a frame in flight, issued by Batch.Start.
+type PendingBatch struct {
+	b       *Batch
+	results []Result
+	err     error
+	done    chan struct{}
+}
+
+// Start ships the frame without waiting for the response, so one
+// goroutine can keep several frames in flight over several batches —
+// HTTP/2 multiplexes them as concurrent streams on one connection
+// (HTTP/1.1 falls back to pooled connections). The batch must not be
+// touched until Wait returns.
+func (b *Batch) Start() *PendingBatch {
+	p := &PendingBatch{b: b, done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.results, p.err = b.Do()
+	}()
+	return p
+}
+
+// Wait blocks until the response arrives and returns exactly what the
+// underlying Do did. The batch is reset and may be refilled and
+// restarted; the results stay valid until its next Do or Start.
+func (p *PendingBatch) Wait() ([]Result, error) {
+	<-p.done
+	return p.results, p.err
+}
+
 // --- single-op Store / Target surface ------------------------------------
 
-// one runs a single-op frame and returns its result.
-func (c *Client) one(build func(*Batch)) (Result, error) {
-	b := c.NewBatch()
+// getBatch takes a pooled batch (falling back to NewBatch on a cold pool).
+func (c *Client) getBatch() *Batch {
+	if v := c.batches.Get(); v != nil {
+		return v.(*Batch)
+	}
+	return c.NewBatch()
+}
+
+// putBatch recycles b. A batch whose buffers outgrew the retention cap
+// (a huge range op) is dropped so the pool does not pin its slabs.
+func (c *Client) putBatch(b *Batch) {
+	if cap(b.buf) > maxRetainBytes || cap(b.body) > maxRetainBytes {
+		return
+	}
+	c.batches.Put(b)
+}
+
+// one runs a single-op frame through a pooled batch and returns its
+// result. Any payload is detached from the pooled response buffer by
+// copying it into dst (capacity reused; nil allocates exactly), so the
+// returned Result outlives the batch's recycling.
+func (c *Client) one(dst []byte, build func(*Batch)) (Result, error) {
+	b := c.getBatch()
 	build(b)
 	rs, err := b.Do()
 	if err != nil {
+		c.putBatch(b)
 		return Result{}, err
 	}
-	return rs[0], nil
+	r := rs[0]
+	if r.Data != nil {
+		r.Data = append(dst[:0], r.Data...)
+	}
+	c.putBatch(b)
+	return r, nil
 }
 
 // Read fetches one block.
 func (c *Client) Read(addr uint64) ([]byte, error) {
-	r, err := c.one(func(b *Batch) { b.Read(addr) })
-	if err != nil {
+	out := make([]byte, BlockBytes)
+	if _, err := c.ReadInto(out, addr); err != nil {
 		return nil, err
 	}
-	if r.Err != nil {
-		return nil, r.Err
-	}
-	out := make([]byte, BlockBytes)
-	copy(out, r.Data)
 	return out, nil
 }
 
-// ReadInto fetches one block into dst.
+// ReadInto fetches one block into dst (len ≥ BlockBytes), allocation-free
+// once the client's batch pool is warm.
 func (c *Client) ReadInto(dst []byte, addr uint64) (memctrl.ReadInfo, error) {
-	r, err := c.one(func(b *Batch) { b.Read(addr) })
+	r, err := c.one(dst, func(b *Batch) { b.Read(addr) })
 	if err != nil {
 		return memctrl.ReadInfo{}, err
 	}
@@ -308,7 +476,7 @@ func (c *Client) ReadWithInfo(addr uint64) ([]byte, memctrl.ReadInfo, error) {
 
 // Write stores one block.
 func (c *Client) Write(addr uint64, data []byte) error {
-	r, err := c.one(func(b *Batch) { b.Write(addr, data) })
+	r, err := c.one(nil, func(b *Batch) { b.Write(addr, data) })
 	if err != nil {
 		return err
 	}
@@ -317,7 +485,7 @@ func (c *Client) Write(addr uint64, data []byte) error {
 
 // Flush writes back every dirty LLC line on the tenant.
 func (c *Client) Flush() error {
-	r, err := c.one(func(b *Batch) { b.Flush() })
+	r, err := c.one(nil, func(b *Batch) { b.Flush() })
 	if err != nil {
 		return err
 	}
@@ -326,7 +494,7 @@ func (c *Client) Flush() error {
 
 // Settle writes back one block if dirty (faultsim.Target).
 func (c *Client) Settle(addr uint64) error {
-	r, err := c.one(func(b *Batch) { b.Settle(addr) })
+	r, err := c.one(nil, func(b *Batch) { b.Settle(addr) })
 	if err != nil {
 		return err
 	}
@@ -336,7 +504,7 @@ func (c *Client) Settle(addr uint64) error {
 // StoredKind queries the tenant's ground-truth DRAM image
 // (faultsim.Target). Transport failures report StoredNone.
 func (c *Client) StoredKind(addr uint64) memctrl.StoredKind {
-	r, err := c.one(func(b *Batch) { b.StoredKind(addr) })
+	r, err := c.one(nil, func(b *Batch) { b.StoredKind(addr) })
 	if err != nil || r.Err != nil {
 		return memctrl.StoredNone
 	}
@@ -346,33 +514,38 @@ func (c *Client) StoredKind(addr uint64) memctrl.StoredKind {
 // InjectBitFlip flips one stored bit in the tenant's DRAM image
 // (faultsim.Target); false when no image exists or the frame failed.
 func (c *Client) InjectBitFlip(addr uint64, bit int) bool {
-	r, err := c.one(func(b *Batch) { b.InjectBit(addr, bit) })
+	r, err := c.one(nil, func(b *Batch) { b.InjectBit(addr, bit) })
 	return err == nil && r.Err == nil && r.Flag == 1
 }
 
 // InjectChipFailure corrupts one chip's slice of the stored image.
 func (c *Client) InjectChipFailure(addr uint64, chip int, pattern byte) bool {
-	r, err := c.one(func(b *Batch) { b.InjectChip(addr, chip, pattern) })
+	r, err := c.one(nil, func(b *Batch) { b.InjectChip(addr, chip, pattern) })
 	return err == nil && r.Err == nil && r.Flag == 1
 }
 
 // ReadBytes fetches an arbitrary byte range.
 func (c *Client) ReadBytes(addr uint64, n int) ([]byte, error) {
-	r, err := c.one(func(b *Batch) { b.ReadRange(addr, n) })
+	return c.ReadBytesInto(nil, addr, n)
+}
+
+// ReadBytesInto fetches an n-byte range into dst's storage (capacity
+// reused, reallocated when short; nil allocates exactly), returning the
+// filled slice.
+func (c *Client) ReadBytesInto(dst []byte, addr uint64, n int) ([]byte, error) {
+	r, err := c.one(dst, func(b *Batch) { b.ReadRange(addr, n) })
 	if err != nil {
 		return nil, err
 	}
 	if r.Err != nil {
 		return nil, r.Err
 	}
-	out := make([]byte, len(r.Data))
-	copy(out, r.Data)
-	return out, nil
+	return r.Data, nil
 }
 
 // WriteBytes stores an arbitrary byte range.
 func (c *Client) WriteBytes(addr uint64, data []byte) error {
-	r, err := c.one(func(b *Batch) { b.WriteRange(addr, data) })
+	r, err := c.one(nil, func(b *Batch) { b.WriteRange(addr, data) })
 	if err != nil {
 		return err
 	}

@@ -132,6 +132,12 @@ type Server struct {
 	inflight sync.WaitGroup
 	draining atomic.Bool
 
+	// net is the serve-datapath telemetry section; scratch pools the
+	// per-request frame state (see pool.go) so the steady-state frame
+	// path allocates nothing.
+	net     telemetry.NetCounters
+	scratch sync.Pool
+
 	tracer  *trace.Tracer
 	handler http.Handler
 }
@@ -263,6 +269,9 @@ func (s *Server) Snapshot() telemetry.Snapshot {
 			snap.Merge(st.Snapshot())
 		}
 	}
+	net := s.net.Snapshot()
+	snap.Net = &net
+	snap.Finalize()
 	return snap
 }
 
@@ -347,14 +356,48 @@ func (t *Tenant) stopScrub() {
 
 // --- request execution ---------------------------------------------------
 
-// execBatch runs one decoded request frame against the tenant and returns
-// the response frame. With a batched store, consecutive read/write runs
-// ride one group window (deep per-shard batches); barrier ops fence the
-// window exactly like Group.Wait. A window error is conservatively
-// attributed to every operation in that window (the group reports only the
-// first), so no failed write is ever acknowledged.
-func (t *Tenant) execBatch(ops []reqOp) []byte {
-	results := make([]opResult, len(ops))
+// execBatch runs the decoded request frame in sc against the tenant and
+// returns the response frame (backed by sc.resp). With a batched store,
+// consecutive read/write runs ride one group window (deep per-shard
+// batches); barrier ops fence the window exactly like Group.Wait. A
+// window error is conservatively attributed to every operation in that
+// window (the group reports only the first), so no failed write is ever
+// acknowledged.
+//
+// Every read payload is carved out of sc.arena — one slab per frame
+// instead of one make per op — and the response is appended into sc.resp,
+// so a steady-state frame touches the heap only when a slab has to grow.
+func (t *Tenant) execBatch(sc *frameScratch) []byte {
+	ops := sc.ops
+	sc.results = growResults(sc.results, len(ops))
+	results := sc.results
+
+	// Payload arena: size once, slice per op. Read-range payloads are
+	// bounded by maxRangeBytes each, so the sum is bounded by the request
+	// cap the handler already enforced.
+	need := 0
+	for i := range ops {
+		switch ops[i].kind {
+		case OpRead:
+			need += BlockBytes
+		case OpReadRange:
+			need += int(ops[i].n)
+		}
+	}
+	sc.arena = grow(sc.arena, need)
+	off := 0
+	for i := range ops {
+		switch ops[i].kind {
+		case OpRead:
+			results[i].data = sc.arena[off : off+BlockBytes : off+BlockBytes]
+			off += BlockBytes
+		case OpReadRange:
+			n := int(ops[i].n)
+			results[i].data = sc.arena[off : off+n : off+n]
+			off += n
+		}
+	}
+
 	// Single-op frames take the synchronous path even on a batched store:
 	// there is no window to amortize, and the sync read carries the full
 	// ReadInfo decode verdict (group windows report only data), which the
@@ -364,11 +407,13 @@ func (t *Tenant) execBatch(ops []reqOp) []byte {
 	} else {
 		t.execSequential(ops, results)
 	}
-	resp := make([]byte, 0, respSizeHint(ops))
-	resp = append(resp, frameHeader()...)
+
+	resp := grow(sc.resp, respSizeHint(ops))[:0]
+	resp = append(resp, wireMagic, wireVersion)
 	for i := range ops {
 		resp = appendResult(resp, ops[i].kind, &results[i])
 	}
+	sc.resp = resp
 	return resp
 }
 
@@ -388,7 +433,8 @@ func respSizeHint(ops []reqOp) int {
 	return n
 }
 
-// execWindowed executes ops through the batched front-end.
+// execWindowed executes ops through the batched front-end. Read payload
+// buffers are preassigned in results[i].data.
 func (t *Tenant) execWindowed(ops []reqOp, results []opResult) {
 	b := t.batched
 	g := b.NewGroup()
@@ -408,7 +454,6 @@ func (t *Tenant) execWindowed(ops []reqOp, results []opResult) {
 		r := &results[i]
 		switch op.kind {
 		case OpRead:
-			r.data = make([]byte, BlockBytes)
 			g.Read(r.data, op.addr)
 		case OpWrite:
 			g.Write(op.addr, op.data)
@@ -419,6 +464,7 @@ func (t *Tenant) execWindowed(ops []reqOp, results []opResult) {
 		}
 	}
 	flush(len(ops))
+	b.PutGroup(g)
 	// Window reads carry no per-op info through the group API; mark what
 	// is knowable: the data came from the hierarchy (hit or decode).
 }
@@ -430,7 +476,6 @@ func (t *Tenant) execSequential(ops []reqOp, results []opResult) {
 		r := &results[i]
 		switch op.kind {
 		case OpRead:
-			r.data = make([]byte, BlockBytes)
 			r.info, r.err = t.store.ReadInto(r.data, op.addr)
 		case OpWrite:
 			r.err = t.store.Write(op.addr, op.data)
@@ -451,7 +496,7 @@ func (t *Tenant) execOne(op *reqOp, r *opResult) {
 			r.err = fmt.Errorf("store does not support range reads")
 			return
 		}
-		r.data = make([]byte, op.n)
+		// r.data is the arena slice execBatch preassigned (len op.n).
 		r.err = rs.ReadBytesInto(r.data, op.addr)
 	case OpWriteRange:
 		rs, ok := t.store.(rangeStore)
@@ -541,7 +586,8 @@ func (s *Server) buildHandler() http.Handler {
 }
 
 // gated wraps a handler with the drain fence: reject once draining,
-// otherwise account the request so Drain waits it out.
+// otherwise account the request so Drain waits it out. Admitted requests
+// also feed the Net inflight level and its high-water mark.
 func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -556,6 +602,9 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
+		s.net.Inflight.Add(1)
+		s.net.MaxInflight.Observe(uint64(s.net.Inflight.Load()))
+		defer s.net.Inflight.Add(-1)
 		h(w, r)
 	}
 }
@@ -575,18 +624,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	body, err := readBody(r, 8+maxFrameOps*(9+BlockBytes))
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	var err error
+	sc.body, err = readBodyInto(sc.body, r, 8+maxFrameOps*(9+BlockBytes))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ops, err := decodeRequest(body)
+	sc.ops, err = decodeRequestInto(sc.ops[:0], sc.body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := t.execBatch(ops)
+	resp := t.execBatch(sc)
+	s.net.Frames.Inc()
+	s.net.Ops.Add(uint64(len(sc.ops)))
+	s.net.BytesIn.Add(uint64(len(sc.body)))
+	s.net.BytesOut.Add(uint64(len(resp)))
 	w.Header().Set("Content-Type", "application/octet-stream")
+	// An explicit length keeps the response out of chunked encoding: one
+	// frame, one write, and the client can presize its read buffer.
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
 	_, _ = w.Write(resp)
 }
 
@@ -600,13 +659,17 @@ func (s *Server) handleBlockGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad address: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	dst := make([]byte, BlockBytes)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	sc.arena = grow(sc.arena, BlockBytes)
+	dst := sc.arena
 	info, err := t.store.ReadInto(dst, addr)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(BlockBytes))
 	w.Header().Set("X-Cop-Llc-Hit", strconv.FormatBool(info.LLCHit))
 	w.Header().Set("X-Cop-Compressed", strconv.FormatBool(info.DecodedCompressed))
 	w.Header().Set("X-Cop-Corrected", strconv.Itoa(info.Corrected))
@@ -623,7 +686,10 @@ func (s *Server) handleBlockPut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad address: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	body, err := readBody(r, BlockBytes+1)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	body, err := readBodyInto(sc.body, r, BlockBytes+1)
+	sc.body = body[:0]
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -765,17 +831,39 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"scrub": req.Action})
 }
 
-// readBody reads at most limit bytes of the request body, erroring on
-// oversize payloads rather than truncating.
-func readBody(r *http.Request, limit int) ([]byte, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, int64(limit)+1))
-	if err != nil {
-		return nil, fmt.Errorf("read body: %w", err)
+// readBodyInto reads the request body into buf (reusing its capacity,
+// allocation-free once warm), erroring on oversize payloads rather than
+// truncating. A declared Content-Length presizes the buffer and reads it
+// in full pulls instead of io.ReadAll's doubling loop; chunked bodies
+// fall back to incremental appends under the same cap.
+func readBodyInto(buf []byte, r *http.Request, limit int) ([]byte, error) {
+	if cl := r.ContentLength; cl >= 0 {
+		if cl > int64(limit) {
+			return buf[:0], fmt.Errorf("request body exceeds %d bytes", limit)
+		}
+		buf = grow(buf, int(cl))
+		if _, err := io.ReadFull(r.Body, buf); err != nil {
+			return buf[:0], fmt.Errorf("read body: %w", err)
+		}
+		return buf, nil
 	}
-	if len(body) > limit {
-		return nil, fmt.Errorf("request body exceeds %d bytes", limit)
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > limit {
+			return buf[:0], fmt.Errorf("request body exceeds %d bytes", limit)
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf[:0], fmt.Errorf("read body: %w", err)
+		}
 	}
-	return body, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -184,77 +184,83 @@ func appendInjectChip(b []byte, addr uint64, chip int32, pattern byte) []byte {
 // decodeRequest parses a request frame into ops. Op data slices alias
 // body.
 func decodeRequest(body []byte) ([]reqOp, error) {
+	return decodeRequestInto(nil, body)
+}
+
+// decodeRequestInto parses a request frame, appending into ops (pass a
+// length-zero slice with retained capacity to parse allocation-free). Op
+// data slices alias body, so they are valid only while the body buffer
+// is. On error the returned slice holds the ops decoded so far.
+func decodeRequestInto(ops []reqOp, body []byte) ([]reqOp, error) {
 	rest, err := checkHeader(body)
 	if err != nil {
-		return nil, err
+		return ops, err
 	}
-	var ops []reqOp
 	for len(rest) > 0 {
 		if len(ops) >= maxFrameOps {
-			return nil, fmt.Errorf("copnet: frame exceeds %d operations", maxFrameOps)
+			return ops, fmt.Errorf("copnet: frame exceeds %d operations", maxFrameOps)
 		}
 		kind := OpKind(rest[0])
 		rest = rest[1:]
 		op := reqOp{kind: kind}
-		need := func(n int) bool { return len(rest) >= n }
 		switch kind {
 		case OpRead, OpSettle, OpStoredKind:
-			if !need(8) {
-				return nil, truncated(kind)
+			if len(rest) < 8 {
+				return ops, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			rest = rest[8:]
 		case OpWrite:
-			if !need(8 + BlockBytes) {
-				return nil, truncated(kind)
+			if len(rest) < 8+BlockBytes {
+				return ops, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.data = rest[8 : 8+BlockBytes]
 			rest = rest[8+BlockBytes:]
 		case OpReadRange:
-			if !need(12) {
-				return nil, truncated(kind)
+			if len(rest) < 12 {
+				return ops, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.n = binary.LittleEndian.Uint32(rest[8:])
 			if op.n > maxRangeBytes {
-				return nil, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
+				return ops, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
 			}
 			rest = rest[12:]
 		case OpWriteRange:
-			if !need(12) {
-				return nil, truncated(kind)
+			if len(rest) < 12 {
+				return ops, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.n = binary.LittleEndian.Uint32(rest[8:])
 			if op.n > maxRangeBytes {
-				return nil, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
+				return ops, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
 			}
 			rest = rest[12:]
-			if !need(int(op.n)) {
-				return nil, truncated(kind)
+			if len(rest) < int(op.n) {
+				return ops, truncated(kind)
 			}
 			op.data = rest[:op.n]
 			rest = rest[op.n:]
 		case OpFlush:
 			// no fields
 		case OpInjectBit:
-			if !need(12) {
-				return nil, truncated(kind)
+			if len(rest) < 12 {
+				return ops, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.arg = int32(binary.LittleEndian.Uint32(rest[8:]))
 			rest = rest[12:]
 		case OpInjectChip:
-			if !need(13) {
-				return nil, truncated(kind)
+			if len(rest) < 13 {
+				return ops, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.arg = int32(binary.LittleEndian.Uint32(rest[8:]))
 			op.pat = rest[12]
 			rest = rest[13:]
 		default:
-			return nil, fmt.Errorf("copnet: unknown op kind %d", kind)
+			return ops, fmt.Errorf("copnet: unknown op kind %d", kind)
 		}
 		ops = append(ops, op)
 	}

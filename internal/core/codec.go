@@ -269,7 +269,7 @@ func (c *Codec) EncodeInto(dst, block []byte, sc *CodecScratch) StoreStatus {
 	sc.w.Reset(c.capBits)
 	nbits, ok := compress.CompressToWriter(c.cfg.Scheme, &sc.w, block, c.capBits)
 	if !ok {
-		if c.CountValidCodewords(block) >= c.cfg.Threshold {
+		if c.meetsThreshold(block) {
 			return RejectedAlias
 		}
 		copy(dst, block)
@@ -475,7 +475,7 @@ func (c *Codec) Classify(block []byte) StoreStatus {
 	if ok {
 		return StoredCompressed
 	}
-	if c.CountValidCodewords(block) >= c.cfg.Threshold {
+	if c.meetsThreshold(block) {
 		return RejectedAlias
 	}
 	return StoredRaw
@@ -488,7 +488,7 @@ func (c *Codec) Classify(block []byte) StoreStatus {
 // data), so callers that previously ran a full Classify (or worse, a full
 // Encode) before every real Encode no longer compress each block twice.
 func (c *Codec) WouldReject(block []byte) bool {
-	if c.CountValidCodewords(block) < c.cfg.Threshold {
+	if !c.meetsThreshold(block) {
 		return false
 	}
 	sc := c.pool.Get().(*CodecScratch)
@@ -496,6 +496,39 @@ func (c *Codec) WouldReject(block []byte) bool {
 	_, ok := compress.CompressToWriter(c.cfg.Scheme, &sc.w, block, c.capBits)
 	c.pool.Put(sc)
 	return !ok
+}
+
+// meetsThreshold reports CountValidCodewords(block) >= Threshold, bailing
+// out of the syndrome scan as soon as either outcome is decided. Random
+// (incompressible) data fails code word after code word, so the alias
+// check on the write path usually stops once the threshold has become
+// unreachable instead of always paying for all Segments syndromes.
+func (c *Codec) meetsThreshold(block []byte) bool {
+	t := c.cfg.Threshold
+	if t <= 0 {
+		return true
+	}
+	if !c.wordOK {
+		return c.CountValidCodewords(block) >= t
+	}
+	n := c.cfg.Segments
+	valid := 0
+	for s := 0; s < n; s++ {
+		lo := binary.BigEndian.Uint64(block[c.segOff[s]:]) ^ c.hashLo[s]
+		var hi uint64
+		if c.cwLen == 16 {
+			hi = binary.BigEndian.Uint64(block[c.segOff[s]+8:]) ^ c.hashHi[s]
+		}
+		if c.cfg.Code.SyndromeWords(lo, hi) == 0 {
+			valid++
+			if valid >= t {
+				return true
+			}
+		} else if valid+(n-1-s) < t {
+			return false
+		}
+	}
+	return false
 }
 
 // CountValidCodewords counts how many of the block's segments would look
@@ -536,7 +569,7 @@ func (c *Codec) CountValidCodewords(block []byte) int {
 // IsAlias reports whether a block in its raw form would be mistaken for a
 // protected block.
 func (c *Codec) IsAlias(block []byte) bool {
-	return c.CountValidCodewords(block) >= c.cfg.Threshold
+	return c.meetsThreshold(block)
 }
 
 // get64 reads the 64 bits at bit offset o from a block held as eight

@@ -172,13 +172,14 @@ type Controller struct {
 	ck       *chipkill.ERCodec
 	llc      *cache.Cache
 
-	store   map[uint64][]byte // DRAM images, block-aligned address → 64B
+	store   *imageStore       // DRAM images, block-aligned address → 64B
 	dimmECC map[uint64][]byte // ECCDIMM: 8 check bytes per block
 	regECC  map[uint64]uint16 // ECCRegion: 11-bit parity per block (2-byte entry)
 
 	everRaw    map[uint64]bool       // blocks ever stored uncompressed (Fig 12)
 	kinds      map[uint64]StoredKind // ground-truth form of each DRAM image
 	aliasSpill []cache.Line          // alias lines parked during Flush
+	freeBlk    [][]byte              // recycled line buffers (see getBlock)
 	old        *oldScheme            // non-nil while a live scheme migration is in flight
 	tel        telemetry.ControllerCounters
 	hooks      *telemetry.Hooks // nil until the first Subscribe
@@ -221,10 +222,15 @@ func New(cfg Config) *Controller {
 		mode:    cfg.Mode,
 		scrub:   cfg.ScrubOnCorrect,
 		llc:     cache.New(cfg.LLCBytes, cfg.LLCWays, BlockBytes),
-		store:   map[uint64][]byte{},
+		store:   newImageStore(),
 		everRaw: map[uint64]bool{},
 		kinds:   map[uint64]StoredKind{},
 	}
+	// Clean drops (evictions, flushes) surrender their buffers back to
+	// the free list; line buffers are exclusively owned by their cache
+	// entry in every mode (fills and misses always allocate or recycle a
+	// private buffer, and no image encoder retains one — see scrubBlock).
+	c.llc.SetOnDrop(func(l cache.Line) { c.putBlock(l.Data) })
 	copCfg := cfg.COPConfig
 	if copCfg.Code == nil {
 		copCfg = core.NewConfig4()
@@ -346,6 +352,41 @@ func align(addr uint64) uint64 { return addr &^ (BlockBytes - 1) }
 
 // Write stores a full 64-byte block at addr (allocating in the LLC; DRAM
 // is updated when the line is eventually evicted or flushed).
+// maxFreeBlocks caps the line-buffer free list (64 B each, 256 KB at the
+// cap). The LLC's working set cycles buffers between fills and evictions;
+// the free list closes that loop so the steady-state datapath stops
+// feeding the GC one dead 64-byte buffer per miss.
+const maxFreeBlocks = 4096
+
+// getBlock returns a BlockBytes buffer with unspecified contents,
+// recycling the free list before allocating.
+func (c *Controller) getBlock() []byte {
+	if n := len(c.freeBlk); n > 0 {
+		b := c.freeBlk[n-1]
+		c.freeBlk[n-1] = nil
+		c.freeBlk = c.freeBlk[:n-1]
+		return b
+	}
+	return make([]byte, BlockBytes)
+}
+
+// getZeroBlock is getBlock with the contents cleared (fresh-page reads).
+func (c *Controller) getZeroBlock() []byte {
+	b := c.getBlock()
+	clear(b)
+	return b
+}
+
+// putBlock returns a dead line buffer to the free list. Callers must own
+// the buffer exclusively: nothing in the LLC, the DRAM store, or a result
+// still in flight may alias it.
+func (c *Controller) putBlock(b []byte) {
+	if len(b) != BlockBytes || len(c.freeBlk) >= maxFreeBlocks {
+		return
+	}
+	c.freeBlk = append(c.freeBlk, b)
+}
+
 func (c *Controller) Write(addr uint64, data []byte) error {
 	if len(data) != BlockBytes {
 		return fmt.Errorf("memctrl: Write needs %d bytes", BlockBytes)
@@ -363,7 +404,7 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 		// into the cache), so nothing else aliases it and the steady-state
 		// store path allocates nothing.
 		if line.Data == nil {
-			line.Data = make([]byte, BlockBytes)
+			line.Data = c.getBlock()
 		}
 		copy(line.Data, data)
 		line.Dirty = true
@@ -372,11 +413,11 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 		// dirty victim that must reach DRAM. (line must not be used after
 		// writeback: it can reshuffle the set.)
 		if wb {
-			return c.writeback(victim)
+			return c.writebackEvicted(victim)
 		}
 		return nil
 	}
-	buf := make([]byte, BlockBytes)
+	buf := c.getBlock()
 	copy(buf, data)
 	line := cache.Line{Addr: addr, Dirty: true, Data: buf}
 	// Preserve an existing COP-ER entry association across the miss: the
@@ -419,11 +460,27 @@ func (c *Controller) insert(line cache.Line) error {
 	if !wb {
 		return nil
 	}
-	return c.writeback(victim)
+	return c.writebackEvicted(victim)
 }
 
-// writeback encodes a dirty victim into its DRAM image.
+// writeback encodes a dirty victim into its DRAM image, leaving the
+// victim's buffer alone — scrubBlock passes a buffer that stays resident.
+// Callers whose victim has actually left the LLC use writebackEvicted so
+// the buffer is recycled.
 func (c *Controller) writeback(victim cache.Line) error {
+	return c.writebackOpt(victim, false)
+}
+
+// writebackEvicted is writeback for a line that has left the LLC: once
+// the image encode is done with the buffer it joins the block free list.
+// COP-family encoders build fresh images, so the buffer is dead; the
+// raw-storing modes (Unprotected, ECC region/DIMM) take ownership of it
+// as the image instead, and it is not recycled.
+func (c *Controller) writebackEvicted(victim cache.Line) error {
+	return c.writebackOpt(victim, true)
+}
+
+func (c *Controller) writebackOpt(victim cache.Line, recycle bool) error {
 	c.tel.Writebacks.Inc()
 	addr := victim.Addr
 	status, err := c.encodeImage(addr, victim.Data, victim.Ptr, victim.WasUncompressed)
@@ -439,6 +496,12 @@ func (c *Controller) writeback(victim cache.Line) error {
 		c.traceAliasRetained(addr)
 		victim.Alias = true
 		return c.insert(victim)
+	}
+	if recycle {
+		switch c.mode {
+		case COP, COPER, COPChipkill, COPAdaptive:
+			c.putBlock(victim.Data)
+		}
 	}
 	if c.th.Enabled() {
 		f := trace.FlagWrite
@@ -460,7 +523,7 @@ func (c *Controller) encodeImage(addr uint64, data []byte, prevPtr uint32, hasPr
 	var status core.StoreStatus
 	switch c.mode {
 	case Unprotected:
-		c.store[addr] = data
+		c.store.set(addr, data)
 		c.kinds[addr] = StoredKindRaw
 		c.tel.StoredRaw.Inc()
 		status = core.StoredRaw
@@ -468,22 +531,33 @@ func (c *Controller) encodeImage(addr uint64, data []byte, prevPtr uint32, hasPr
 		// Encode straight into the block's DRAM image buffer (reused across
 		// writebacks of the same address) via the controller's scratch: the
 		// steady-state write path allocates nothing.
-		image, ok := c.store[addr]
+		image, ok := c.store.get(addr)
 		if !ok {
 			image = make([]byte, BlockBytes)
 		}
 		status = c.codec.EncodeInto(image, data, c.sc)
 		switch status {
 		case core.StoredCompressed:
-			c.store[addr] = image
+			if !ok {
+				// EncodeInto rewrote the existing image in place; only a
+				// fresh buffer needs entering the map.
+				c.store.set(addr, image)
+			}
 			c.kinds[addr] = StoredKindCompressed
 			c.tel.StoredCompressed.Inc()
 		case core.StoredRaw:
-			c.store[addr] = image
+			if !ok {
+				c.store.set(addr, image)
+			}
 			c.kinds[addr] = StoredKindRaw
 			c.tel.StoredRaw.Inc()
 			c.markEverRaw(addr)
 		case core.RejectedAlias:
+			if !ok {
+				// EncodeInto rejects aliases before writing dst, so the
+				// fresh buffer is untouched and dead.
+				c.putBlock(image)
+			}
 			return status, nil
 		}
 	case COPER:
@@ -495,7 +569,7 @@ func (c *Controller) encodeImage(addr uint64, data []byte, prevPtr uint32, hasPr
 		if err != nil {
 			return 0, err
 		}
-		c.store[addr] = image
+		c.store.set(addr, image)
 		c.kinds[addr] = kindOf(compressed)
 		if compressed {
 			c.tel.StoredCompressed.Inc()
@@ -515,7 +589,7 @@ func (c *Controller) encodeImage(addr uint64, data []byte, prevPtr uint32, hasPr
 		if err != nil {
 			return 0, err
 		}
-		c.store[addr] = image
+		c.store.set(addr, image)
 		c.kinds[addr] = kindOf(inline)
 		if inline {
 			c.tel.StoredCompressed.Inc()
@@ -531,11 +605,11 @@ func (c *Controller) encodeImage(addr uint64, data []byte, prevPtr uint32, hasPr
 		image, _, status = c.adaptive.Encode(data)
 		switch status {
 		case core.StoredCompressed:
-			c.store[addr] = image
+			c.store.set(addr, image)
 			c.kinds[addr] = StoredKindCompressed
 			c.tel.StoredCompressed.Inc()
 		case core.StoredRaw:
-			c.store[addr] = image
+			c.store.set(addr, image)
 			c.kinds[addr] = StoredKindRaw
 			c.tel.StoredRaw.Inc()
 			c.markEverRaw(addr)
@@ -543,14 +617,14 @@ func (c *Controller) encodeImage(addr uint64, data []byte, prevPtr uint32, hasPr
 			return status, nil
 		}
 	case ECCRegion:
-		c.store[addr] = data
+		c.store.set(addr, data)
 		c.regECC[addr] = blockParity523(data)
 		c.kinds[addr] = StoredKindRaw
 		c.tel.StoredRaw.Inc()
 		c.tel.RegionReads.Inc()
 		status = core.StoredRaw
 	case ECCDIMM:
-		c.store[addr] = data
+		c.store.set(addr, data)
 		c.dimmECC[addr] = dimmCheckBytes(data)
 		c.kinds[addr] = StoredKindRaw
 		c.tel.StoredCompressed.Inc() // protected, inline — closest bucket
@@ -627,7 +701,7 @@ func (c *Controller) ReadInto(dst []byte, addr uint64) (ReadInfo, error) {
 		// An overflow promotion during the lookup may have evicted a dirty
 		// line; its writeback must not be dropped.
 		if wb {
-			if err := c.writeback(victim); err != nil {
+			if err := c.writebackEvicted(victim); err != nil {
 				return ReadInfo{}, err
 			}
 		}
@@ -665,10 +739,10 @@ func (c *Controller) ReadInto(dst []byte, addr uint64) (ReadInfo, error) {
 
 // fill decodes the DRAM image at addr into a cache line.
 func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
-	image, present := c.store[addr]
+	image, present := c.store.get(addr)
 	if !present {
 		// Untouched memory reads as zeros (fresh pages).
-		return cache.Line{Addr: addr, Data: make([]byte, BlockBytes)}, ReadInfo{}, nil
+		return cache.Line{Addr: addr, Data: c.getZeroBlock()}, ReadInfo{}, nil
 	}
 	if o := c.old; o != nil {
 		if _, pend := o.pending[addr]; pend {
@@ -681,12 +755,13 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 	var segMask uint64 // bitmask of corrected code-word segments (COP modes)
 	switch c.mode {
 	case Unprotected:
-		line.Data = copyBlock(image)
+		line.Data = c.getBlock()
+		copy(line.Data, image)
 	case COP:
 		// The line needs its own buffer anyway; decode straight into it via
 		// the controller's scratch (CorrectedSegments aliases the scratch,
 		// so only its length is read here).
-		block := make([]byte, BlockBytes)
+		block := c.getBlock()
 		info, err := c.codec.DecodeInto(block, image, c.sc)
 		rinfo.DecodedCompressed = info.Compressed
 		rinfo.ValidCodewords = info.ValidCodewords
@@ -694,6 +769,7 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 		segMask = segmentMask(info.CorrectedSegments)
 		if err != nil {
 			c.tel.UncorrectableErrors.Inc()
+			c.putBlock(block)
 			return cache.Line{}, rinfo, fmt.Errorf("%w: %v", ErrUncorrectable, err)
 		}
 		if rinfo.Corrected > 0 {
@@ -833,6 +909,7 @@ func (c *Controller) Flush() error {
 	var ferr error
 	c.llc.FlushAll(func(l cache.Line) {
 		if !l.Dirty {
+			c.putBlock(l.Data)
 			return
 		}
 		if l.Alias && (c.mode == COP || c.mode == COPAdaptive) {
@@ -848,7 +925,7 @@ func (c *Controller) Flush() error {
 			c.aliasSpill = append(c.aliasSpill, l)
 			return
 		}
-		if err := c.writeback(l); err != nil && ferr == nil {
+		if err := c.writebackEvicted(l); err != nil && ferr == nil {
 			ferr = err
 		}
 	})
@@ -883,7 +960,7 @@ func (c *Controller) Quiesced() bool { return c.llc.DirtyLines(true) == 0 }
 // false when the block is not resident in DRAM (e.g. still dirty in the
 // LLC or never written). bit is 0..511.
 func (c *Controller) InjectBitFlip(addr uint64, bit int) bool {
-	image, ok := c.store[align(addr)]
+	image, ok := c.store.get(align(addr))
 	if !ok || bit < 0 || bit >= 8*BlockBytes {
 		return false
 	}
@@ -893,7 +970,7 @@ func (c *Controller) InjectBitFlip(addr uint64, bit int) bool {
 
 // InDRAM reports whether addr has a DRAM image.
 func (c *Controller) InDRAM(addr uint64) bool {
-	_, ok := c.store[align(addr)]
+	_, ok := c.store.get(align(addr))
 	return ok
 }
 
@@ -910,10 +987,14 @@ func (c *Controller) StoredKind(addr uint64) StoredKind {
 // makes an injected corruption observable on the very next access.
 func (c *Controller) Settle(addr uint64) error {
 	line, dirty, found := c.llc.Evict(align(addr))
-	if !found || !dirty {
+	if !found {
 		return nil
 	}
-	return c.writeback(line)
+	if !dirty {
+		c.putBlock(line.Data)
+		return nil
+	}
+	return c.writebackEvicted(line)
 }
 
 // EverIncompressibleBlocks returns how many distinct blocks were ever
@@ -998,7 +1079,7 @@ func (c *Controller) scrubBlock(addr uint64, data []byte) error {
 		// images — extracting one from a compressed image would yield
 		// garbage that could collide with another block's live entry.
 		prev := core.NoPointer
-		if old := c.store[addr]; c.codec.CountValidCodewords(old) < c.codec.Config().Threshold {
+		if old, _ := c.store.get(addr); c.codec.CountValidCodewords(old) < c.codec.Config().Threshold {
 			if ptr, ok := c.er.PointerOf(old); ok && c.er.Region().Valid(ptr) {
 				prev = ptr
 			}
@@ -1007,22 +1088,31 @@ func (c *Controller) scrubBlock(addr uint64, data []byte) error {
 		if err != nil {
 			return err
 		}
-		c.store[addr] = image
+		c.store.set(addr, image)
 		c.kinds[addr] = kindOf(compressed)
 		return nil
 	case COPChipkill:
 		prev := chipkill.NoPointer
-		if ptr, ok := c.ck.PointerOf(c.store[addr]); ok && c.ck.Store().Valid(ptr) {
+		old, _ := c.store.get(addr)
+		if ptr, ok := c.ck.PointerOf(old); ok && c.ck.Store().Valid(ptr) {
 			prev = ptr
 		}
 		image, _, inline, err := c.ck.Write(data, prev)
 		if err != nil {
 			return err
 		}
-		c.store[addr] = image
+		c.store.set(addr, image)
 		c.kinds[addr] = kindOf(inline)
 		return nil
 	default:
+		if c.mode == ECCRegion || c.mode == ECCDIMM {
+			// Raw-storing encodes take ownership of the data slice; the
+			// caller's buffer is (or becomes) a resident cache line, so
+			// handing it to the store would alias the two — a later
+			// in-place refresh of the line would silently rewrite the
+			// "clean" image out from under its check bits.
+			data = copyBlock(data)
+		}
 		return c.writeback(cache.Line{Addr: addr, Data: data, Dirty: true})
 	}
 }
@@ -1095,7 +1185,7 @@ func (c *Controller) WriteBytes(addr uint64, data []byte) error {
 // from it; the other modes demonstrate why chipkill needs more than
 // SECDED.
 func (c *Controller) InjectChipFailure(addr uint64, chip int, pattern byte) bool {
-	image, ok := c.store[align(addr)]
+	image, ok := c.store.get(align(addr))
 	if !ok || chip < 0 || chip >= chipkill.Chips {
 		return false
 	}

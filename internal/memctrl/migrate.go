@@ -140,10 +140,10 @@ func (c *Controller) BeginMigration(to Mode, copCfg core.Config) error {
 		adaptive: c.adaptive,
 		dimmECC:  c.dimmECC,
 		regECC:   c.regECC,
-		pending:  make(map[uint64]struct{}, len(c.store)),
-		queue:    make([]uint64, 0, len(c.store)),
+		pending:  make(map[uint64]struct{}, c.store.len()),
+		queue:    make([]uint64, 0, c.store.len()),
 	}
-	for addr := range c.store {
+	for _, addr := range c.store.keys(nil) {
 		o.pending[addr] = struct{}{}
 		o.queue = append(o.queue, addr)
 	}
@@ -223,13 +223,13 @@ func (c *Controller) convertOne(addr uint64) error {
 		// converted — the eventual writeback re-encodes the block under
 		// the current scheme. Drop the old image so nothing ever decodes
 		// it again.
-		delete(c.store, addr)
+		c.store.del(addr)
 		delete(c.kinds, addr)
 		o.dropEntry(addr)
 		c.tel.MigratedBlocks.Inc()
 		return nil
 	}
-	image, ok := c.store[addr]
+	image, ok := c.store.get(addr)
 	if !ok {
 		o.dropEntry(addr)
 		return nil
@@ -250,7 +250,7 @@ func (c *Controller) convertOne(addr uint64) error {
 		// Incompressible alias under the new scheme: the block cannot
 		// live in DRAM, so pin it in the LLC (mirroring the writeback
 		// RejectedAlias path) and drop the old image.
-		delete(c.store, addr)
+		c.store.del(addr)
 		delete(c.kinds, addr)
 		o.dropEntry(addr)
 		c.tel.AliasRetained.Inc()
@@ -287,7 +287,7 @@ func (c *Controller) ScrubBlock(addr uint64) (scanned bool, err error) {
 			return true, c.convertOne(addr)
 		}
 	}
-	image, ok := c.store[addr]
+	image, ok := c.store.get(addr)
 	if !ok {
 		return false, nil
 	}
@@ -425,10 +425,7 @@ func (c *Controller) fillOld(addr uint64, image []byte) (cache.Line, ReadInfo, e
 // AppendDRAMAddrs appends the block address of every resident DRAM image
 // to dst (unordered) — the scrubber's walk list.
 func (c *Controller) AppendDRAMAddrs(dst []uint64) []uint64 {
-	for addr := range c.store {
-		dst = append(dst, addr)
-	}
-	return dst
+	return c.store.keys(dst)
 }
 
 // AppendResidentAddrs appends the address of every block the controller
@@ -437,11 +434,12 @@ func (c *Controller) AppendDRAMAddrs(dst []uint64) []uint64 {
 // list; clean zero-fill lines without an image are skipped because they
 // represent never-written memory.
 func (c *Controller) AppendResidentAddrs(dst []uint64) []uint64 {
-	seen := make(map[uint64]struct{}, len(c.store))
-	for addr := range c.store {
+	seen := make(map[uint64]struct{}, c.store.len())
+	c.store.foreach(func(addr uint64, _ []byte) bool {
 		seen[addr] = struct{}{}
 		dst = append(dst, addr)
-	}
+		return true
+	})
 	c.llc.ForEachLine(func(l *cache.Line) {
 		if !l.Dirty || l.Data == nil {
 			return
@@ -464,7 +462,7 @@ func (c *Controller) DecodeResident(addr uint64) (data []byte, ok bool, err erro
 	if line, found := c.llc.Peek(addr); found && line.Data != nil {
 		return copyBlock(line.Data), true, nil
 	}
-	image, found := c.store[addr]
+	image, found := c.store.get(addr)
 	if !found {
 		return nil, false, nil
 	}
@@ -482,9 +480,10 @@ func (c *Controller) DecodeResident(addr uint64) (data []byte, ok bool, err erro
 // address — the raw encoded bytes, for byte-identity assertions in
 // migration and resharding tests.
 func (c *Controller) DumpDRAM() map[uint64][]byte {
-	out := make(map[uint64][]byte, len(c.store))
-	for addr, image := range c.store {
+	out := make(map[uint64][]byte, c.store.len())
+	c.store.foreach(func(addr uint64, image []byte) bool {
 		out[addr] = append([]byte(nil), image...)
-	}
+		return true
+	})
 	return out
 }

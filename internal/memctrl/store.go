@@ -1,0 +1,134 @@
+package memctrl
+
+// imageStore maps block-aligned addresses to DRAM images. It replaces a
+// map[uint64][]byte on the controller's two hottest paths — the fill
+// lookup on every LLC read miss and the image update on every writeback —
+// with a two-level page table indexed by block number: two shifts and two
+// loads instead of a hash probe (the map machinery showed up at ~10% of
+// serve-datapath CPU). Unaligned or beyond-range addresses fall back to a
+// real map, so arbitrary address spaces keep exact map semantics; only
+// the dense aligned case takes the fast path.
+//
+// Images must be non-empty: a nil entry in a page means "absent" (no code
+// path stores a zero-length image — stored forms are 64-byte blocks or
+// their ECC/compressed encodings).
+
+// Page geometry: 4096 block slots per page (256 KiB of address space),
+// directories up to 1<<16 pages — a 16 GiB dense range — before spilling
+// to the overflow map.
+const (
+	storePageBits = 12
+	storePageSize = 1 << storePageBits
+	storeMaxPages = 1 << 16
+)
+
+type imagePage [storePageSize][]byte
+
+type imageStore struct {
+	pages    []*imagePage
+	overflow map[uint64][]byte
+	count    int
+}
+
+func newImageStore() *imageStore { return &imageStore{} }
+
+// paged reports whether addr belongs in the page table and, if so, its
+// directory and slot.
+func (s *imageStore) paged(addr uint64) (dir uint64, slot uint64, ok bool) {
+	if addr%BlockBytes != 0 {
+		return 0, 0, false
+	}
+	idx := addr / BlockBytes
+	dir = idx >> storePageBits
+	if dir >= storeMaxPages {
+		return 0, 0, false
+	}
+	return dir, idx & (storePageSize - 1), true
+}
+
+func (s *imageStore) get(addr uint64) ([]byte, bool) {
+	if dir, slot, ok := s.paged(addr); ok {
+		if dir >= uint64(len(s.pages)) || s.pages[dir] == nil {
+			return nil, false
+		}
+		img := s.pages[dir][slot]
+		return img, img != nil
+	}
+	img, ok := s.overflow[addr]
+	return img, ok
+}
+
+func (s *imageStore) set(addr uint64, img []byte) {
+	if dir, slot, ok := s.paged(addr); ok {
+		for uint64(len(s.pages)) <= dir {
+			s.pages = append(s.pages, nil)
+		}
+		p := s.pages[dir]
+		if p == nil {
+			p = new(imagePage)
+			s.pages[dir] = p
+		}
+		if p[slot] == nil {
+			s.count++
+		}
+		p[slot] = img
+		return
+	}
+	if s.overflow == nil {
+		s.overflow = make(map[uint64][]byte)
+	}
+	if _, ok := s.overflow[addr]; !ok {
+		s.count++
+	}
+	s.overflow[addr] = img
+}
+
+func (s *imageStore) del(addr uint64) {
+	if dir, slot, ok := s.paged(addr); ok {
+		if dir < uint64(len(s.pages)) && s.pages[dir] != nil && s.pages[dir][slot] != nil {
+			s.pages[dir][slot] = nil
+			s.count--
+		}
+		return
+	}
+	if _, ok := s.overflow[addr]; ok {
+		delete(s.overflow, addr)
+		s.count--
+	}
+}
+
+func (s *imageStore) len() int { return s.count }
+
+// foreach visits every stored image in address order (overflow entries
+// last, unordered). Returning false stops the walk. The callback must not
+// mutate the store.
+func (s *imageStore) foreach(fn func(addr uint64, img []byte) bool) {
+	for dir, p := range s.pages {
+		if p == nil {
+			continue
+		}
+		for slot := range p {
+			if p[slot] == nil {
+				continue
+			}
+			addr := (uint64(dir)<<storePageBits | uint64(slot)) * BlockBytes
+			if !fn(addr, p[slot]) {
+				return
+			}
+		}
+	}
+	for addr, img := range s.overflow {
+		if !fn(addr, img) {
+			return
+		}
+	}
+}
+
+// keys appends every stored address to dst (foreach order) and returns it.
+func (s *imageStore) keys(dst []uint64) []uint64 {
+	s.foreach(func(addr uint64, _ []byte) bool {
+		dst = append(dst, addr)
+		return true
+	})
+	return dst
+}

@@ -67,10 +67,10 @@ func (m Mode) String() string {
 type txnOp uint8
 
 const (
-	opNone txnOp = iota
-	opRead       // read t.n bytes at t.off within the block into t.dst
-	opWrite      // write t.data[:t.n] at t.off (RMW when partial)
-	opWriteRaw   // full-block write of t.dst (invalid-length passthrough)
+	opNone     txnOp = iota
+	opRead           // read t.n bytes at t.off within the block into t.dst
+	opWrite          // write t.data[:t.n] at t.off (RMW when partial)
+	opWriteRaw       // full-block write of t.dst (invalid-length passthrough)
 	opFlush
 	opSettle
 	opInjectBit
@@ -266,8 +266,8 @@ type Batched struct {
 type batchShard struct {
 	ring     *txnRing
 	slot     *shardSlot
-	idx      int  // stripe index within the topology the shard was built for
-	logN     uint // log2 of that topology's stripe count
+	idx      int          // stripe index within the topology the shard was built for
+	logN     uint         // log2 of that topology's stripe count
 	inflight atomic.Int64 // producers between route resolution and publish
 	mode     atomic.Int32 // Mode; fast-path mirror of the mu-guarded state
 	sleeping atomic.Bool  // worker parked (or parking)
@@ -954,6 +954,18 @@ func (b *Batched) Flush() error {
 // deeper the batches the shard workers can execute. The group is reusable
 // after Wait.
 func (b *Batched) NewGroup() *Group { return b.getGroup() }
+
+// PutGroup returns a group to the front-end's pool for reuse. Callers
+// that submit one window per request (the networked serve datapath) would
+// otherwise allocate a fresh group — and its wake channel — per frame.
+// The group must be quiescent: every issued op waited out, and no further
+// use after the call.
+func (b *Batched) PutGroup(g *Group) {
+	if g == nil || g.b != b {
+		return
+	}
+	b.gpool.Put(g)
+}
 
 // Read enqueues an asynchronous full-block read of addr into dst (at
 // least BlockBytes long). dst must stay untouched until Wait returns.

@@ -84,6 +84,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		p.gauge("migration_active", "reconfigurations currently in progress", float64(m.Active))
 	}
 
+	if n := s.Net; n != nil {
+		p.counter("net_frames", "request frames executed by the serve datapath", n.Frames)
+		p.counter("net_ops", "operations carried by executed request frames", n.Ops)
+		p.counter("net_bytes_in", "request frame bytes received", n.BytesIn)
+		p.counter("net_bytes_out", "response frame bytes sent", n.BytesOut)
+		p.counter("net_pool_hits", "frame-scratch acquisitions served from the pool", n.PoolHits)
+		p.counter("net_pool_misses", "frame-scratch acquisitions that allocated", n.PoolMisses)
+		p.gauge("net_inflight", "admitted requests currently executing", float64(n.Inflight))
+		p.gauge("net_max_inflight", "highest request concurrency observed", float64(n.MaxInflight))
+	}
+
 	p.gauge("derived_llc_hit_rate", "cache hits over lookups", s.Derived.LLCHitRate)
 	p.gauge("derived_compressed_fraction", "compressed writebacks over all stored blocks", s.Derived.CompressedFraction)
 	p.gauge("derived_corrected_per_million_loads", "corrected errors per million loads", s.Derived.CorrectedPerMillionLoads)

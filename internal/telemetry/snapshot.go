@@ -382,6 +382,68 @@ func (c *MigrationCounters) Snapshot() MigrationStats {
 	}
 }
 
+// NetStats is the networked-service section (the copnet serve datapath):
+// frame and byte accounting for the wire front door, scratch-pool
+// effectiveness, and the request-concurrency level. Present only on
+// snapshots produced by a network server; per-tenant memory snapshots
+// omit it. Inflight is a level and MaxInflight a high-water mark, not
+// sums.
+type NetStats struct {
+	// Frames counts request frames executed; Ops the operations they
+	// carried (Ops/Frames is the window-amortization factor).
+	Frames uint64 `json:"frames"`
+	Ops    uint64 `json:"ops"`
+	// BytesIn / BytesOut count request and response frame bytes.
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+	// PoolHits / PoolMisses classify frame-scratch acquisitions: a miss
+	// allocated a fresh arena, a hit reused one. Steady state is all hits.
+	PoolHits   uint64 `json:"pool_hits"`
+	PoolMisses uint64 `json:"pool_misses"`
+	// Inflight is the number of admitted requests currently executing;
+	// MaxInflight is the highest concurrency ever observed.
+	Inflight    int64  `json:"inflight"`
+	MaxInflight uint64 `json:"max_inflight"`
+}
+
+// Merge accumulates o into s (Inflight sums as a level across servers;
+// MaxInflight merges by maximum).
+func (s *NetStats) Merge(o NetStats) {
+	s.Frames += o.Frames
+	s.Ops += o.Ops
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	s.PoolHits += o.PoolHits
+	s.PoolMisses += o.PoolMisses
+	s.Inflight += o.Inflight
+	if o.MaxInflight > s.MaxInflight {
+		s.MaxInflight = o.MaxInflight
+	}
+}
+
+// NetCounters is the live atomic counter set behind NetStats.
+type NetCounters struct {
+	Frames, Ops          Counter
+	BytesIn, BytesOut    Counter
+	PoolHits, PoolMisses Counter
+	Inflight             Gauge
+	MaxInflight          Max
+}
+
+// Snapshot freezes the counters.
+func (c *NetCounters) Snapshot() NetStats {
+	return NetStats{
+		Frames:      c.Frames.Load(),
+		Ops:         c.Ops.Load(),
+		BytesIn:     c.BytesIn.Load(),
+		BytesOut:    c.BytesOut.Load(),
+		PoolHits:    c.PoolHits.Load(),
+		PoolMisses:  c.PoolMisses.Load(),
+		Inflight:    c.Inflight.Load(),
+		MaxInflight: c.MaxInflight.Load(),
+	}
+}
+
 // DerivedStats are rates computed from the merged monotonic sections.
 // They are recomputed after every merge, never merged themselves.
 type DerivedStats struct {
@@ -410,6 +472,7 @@ type Snapshot struct {
 	DRAM       *DRAMStats      `json:"dram,omitempty"`
 	Batch      *BatchStats     `json:"batch,omitempty"`
 	Migration  *MigrationStats `json:"migration,omitempty"`
+	Net        *NetStats       `json:"net,omitempty"`
 	Derived    DerivedStats    `json:"derived"`
 }
 
@@ -445,6 +508,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 			s.Migration = &MigrationStats{}
 		}
 		s.Migration.Merge(*o.Migration)
+	}
+	if o.Net != nil {
+		if s.Net == nil {
+			s.Net = &NetStats{}
+		}
+		s.Net.Merge(*o.Net)
 	}
 	s.Finalize()
 }

@@ -308,3 +308,62 @@ func TestHandlerAndRegistry(t *testing.T) {
 		t.Errorf("/debug/vars: %d", code)
 	}
 }
+
+func TestNetStatsMergeAndExposition(t *testing.T) {
+	var c NetCounters
+	c.Frames.Add(10)
+	c.Ops.Add(1280)
+	c.BytesIn.Add(4096)
+	c.BytesOut.Add(8192)
+	c.PoolHits.Add(9)
+	c.PoolMisses.Add(1)
+	c.Inflight.Add(2)
+	c.MaxInflight.Observe(5)
+
+	a := Snapshot{Net: func() *NetStats { n := c.Snapshot(); return &n }()}
+	b := Snapshot{Net: &NetStats{Frames: 5, Ops: 640, BytesIn: 100, BytesOut: 200,
+		PoolHits: 5, Inflight: 1, MaxInflight: 7}}
+	a.Merge(b)
+
+	n := a.Net
+	if n.Frames != 15 || n.Ops != 1920 || n.BytesIn != 4196 || n.BytesOut != 8392 {
+		t.Errorf("merged sums wrong: %+v", n)
+	}
+	if n.PoolHits != 14 || n.PoolMisses != 1 {
+		t.Errorf("merged pool counters wrong: %+v", n)
+	}
+	if n.Inflight != 3 {
+		t.Errorf("inflight level = %d, want 3", n.Inflight)
+	}
+	if n.MaxInflight != 7 {
+		t.Errorf("max inflight = %d, want max-merge 7", n.MaxInflight)
+	}
+
+	// A snapshot without a Net section stays without one; merging a Net
+	// section into it materializes the field.
+	var empty Snapshot
+	empty.Merge(Snapshot{})
+	if empty.Net != nil {
+		t.Error("merge of two netless snapshots materialized Net")
+	}
+	empty.Merge(a)
+	if empty.Net == nil || empty.Net.Frames != 15 {
+		t.Errorf("merge did not materialize Net: %+v", empty.Net)
+	}
+
+	var sb strings.Builder
+	if err := a.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cop_net_frames_total{scheme=""} 15`,
+		`cop_net_ops_total{scheme=""} 1920`,
+		`cop_net_inflight{scheme=""} 3`,
+		`cop_net_max_inflight{scheme=""} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}

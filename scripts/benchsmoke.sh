@@ -38,7 +38,7 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 # attached but disabled — it pins the disabled-tracing overhead.
 SHARD_KEYS="ShardedThroughput/sharded-8g ShardedThroughput/sharded-8g-traceoff BatchedThroughput/batched-8g MigrationOverhead/scrub-8g"
 CODEC_KEYS="Encode/COP-4 Encode/COP-8 Decode/COP-4 Decode/COP-8"
-SERVE_KEYS="ServeThroughput/serve-8g"
+SERVE_KEYS="ServeThroughput/serve-8g ServeThroughput/serve-pipelined-8g"
 
 # bench_out DIR PKG PATTERN — run the benchmarks, print raw output.
 bench_out() {
