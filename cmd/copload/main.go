@@ -18,14 +18,22 @@
 //	copload -workers 8 -qps 50000 -mix 70/20/5/5 -workload lbm
 //	copload -soak -soak-faults 500 -duration 5s     # traffic + fault campaign
 //	copload -duration 2s                            # no -target: self-served in-process
+//	copload -duration 2s -json > report.json        # machine-readable report
+//	copload -duration 2s -trace-out merged.json     # one Perfetto timeline, client+server
 //
 // The load footprint sits above the campaign footprint (disjoint address
 // ranges on the shared tenant), so the two oracles never alias.
+//
+// The shadow oracle starts empty — it expects zeros from keys it has not
+// written — so repeat runs against a persistent server need their own
+// namespace (-tenant NAME -create) rather than rereading a previous
+// run's data.
 package main
 
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +51,7 @@ import (
 	"cop/internal/faultsim"
 	"cop/internal/reliability"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 	"cop/internal/workload"
 )
 
@@ -70,11 +79,19 @@ func run(args []string, stdout io.Writer) error {
 		soak       = fs.Bool("soak", false, "run a seeded fault campaign over the same tenant while traffic flows; fail on any silent corruption")
 		soakFaults = fs.Int("soak-faults", 400, "fault events the soak campaign injects")
 		soakBlocks = fs.Int("soak-blocks", 2048, "soak campaign footprint in blocks (disjoint from traffic keys)")
+		jsonOut    = fs.Bool("json", false, "write a machine-readable JSON report to stdout (progress and verdict go to stderr)")
+		traceOut   = fs.String("trace-out", "", "record the run and write one merged client+server execution trace (Chrome JSON, open in Perfetto) here")
 		load       = cli.AddLoadFlags(fs)
 		mem        = cli.AddMemoryFlags(fs, "cop-er")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// With -json the only stdout bytes are the report object; everything
+	// human-facing moves to stderr so `copload -json | jq` just works.
+	msg := stdout
+	if *jsonOut {
+		msg = os.Stderr
 	}
 	if *load.Duration == 0 && *load.Ops == 0 {
 		return fmt.Errorf("unbounded run: set -duration or -ops (or interrupt with ^C)")
@@ -97,11 +114,24 @@ func run(args []string, stdout io.Writer) error {
 		LLCWays:  *mem.LLCWays,
 	}
 
+	// -trace-out: one flight recorder for the whole run. Self-serve shares
+	// it between client and server (records land in one ring, inherently
+	// merged); against a remote target the client records locally and the
+	// server's rings are fetched and clock-aligned afterwards.
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{})
+	}
+
 	base := *target
 	if base == "" {
 		// Self-serve: a real loopback listener, not a stubbed transport —
 		// the bytes still cross a socket.
-		srv := copnet.NewServer()
+		var srvOpts []copnet.ServerOption
+		if tracer != nil {
+			srvOpts = append(srvOpts, copnet.WithServerTracer(tracer))
+		}
+		srv := copnet.NewServer(srvOpts...)
 		if _, err := srv.CreateTenant(*tenant, tcfg); err != nil {
 			return err
 		}
@@ -113,11 +143,14 @@ func run(args []string, stdout io.Writer) error {
 		go func() { _ = hs.Serve(ln) }()
 		defer func() { _ = hs.Close(); _ = srv.Close() }()
 		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(stdout, "copload: self-serving %s (tenant %q, scheme %s)\n", base, *tenant, *mem.Scheme)
+		fmt.Fprintf(msg, "copload: self-serving %s (tenant %q, scheme %s)\n", base, *tenant, *mem.Scheme)
 	}
 
 	var copts []copnet.ClientOption
 	copts = append(copts, copnet.WithTenant(*tenant))
+	if tracer != nil {
+		copts = append(copts, copnet.WithClientTracer(tracer))
+	}
 	if *caPath != "" {
 		pem, err := os.ReadFile(*caPath)
 		if err != nil {
@@ -140,8 +173,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("target %s not ready (is copserve up? TLS: -ca or -insecure)", base)
 	}
 
-	fmt.Fprintf(stdout, "copload: target=%s tenant=%s workers=%d window=%d pipeline=%d keys=%d mix=%s workload=%s seed=%#x\n",
+	fmt.Fprintf(msg, "copload: target=%s tenant=%s workers=%d window=%d pipeline=%d keys=%d mix=%s workload=%s seed=%#x\n",
 		base, *tenant, *load.Workers, *load.Window, *load.Pipeline, *load.Keys, *load.Mix, prof.Name, *load.Seed)
+
+	if tracer != nil {
+		if *target != "" {
+			if err := c.TraceStart(); err != nil {
+				fmt.Fprintf(msg, "copload: server tracing unavailable (%v) — writing a client-only trace\n", err)
+			}
+		}
+		tracer.Start()
+	}
 
 	// Soak campaign: its own client on the same tenant, every settle /
 	// inject / classify read crossing the wire, concurrent with traffic.
@@ -157,7 +199,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "copload: soak campaign: %d faults over %d blocks (concurrent with traffic)\n",
+		fmt.Fprintf(msg, "copload: soak campaign: %d faults over %d blocks (concurrent with traffic)\n",
 			*soakFaults, *soakBlocks)
 		soakWG.Add(1)
 		go func() {
@@ -219,7 +261,18 @@ func run(args []string, stdout io.Writer) error {
 	soakWG.Wait()
 	signal.Stop(interrupted)
 
-	report(stdout, r, elapsed, soakRes)
+	if tracer != nil {
+		if err := writeMergedTrace(msg, c, tracer, *target != "", *traceOut); err != nil {
+			return err
+		}
+	}
+
+	report(msg, r, elapsed, soakRes)
+	if *jsonOut {
+		if err := writeJSONReport(stdout, r, elapsed, base, *tenant, c.Snapshot(), soakRes); err != nil {
+			return err
+		}
+	}
 
 	if runErr != nil {
 		return runErr
@@ -227,7 +280,36 @@ func run(args []string, stdout io.Writer) error {
 	if soakErr != nil {
 		return fmt.Errorf("soak campaign: %w", soakErr)
 	}
-	return verdict(stdout, r, soakRes)
+	return verdict(msg, r, soakRes)
+}
+
+// writeMergedTrace stops recording, joins the server's rings to the local
+// client records (one shared tracer when self-serving; fetch + clock-align
+// when remote), and writes a single Chrome-JSON timeline for Perfetto.
+func writeMergedTrace(msg io.Writer, c *copnet.Client, tracer *trace.Tracer, remote bool, path string) error {
+	tracer.Stop()
+	recs := tracer.Snapshot()
+	if remote {
+		_ = c.TraceStop()
+		if d, err := c.TraceDump(); err == nil {
+			recs = trace.MergeAligned(d.Records, recs)
+		} else {
+			fmt.Fprintf(msg, "copload: fetching server trace: %v — writing a client-only trace\n", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := trace.ExportChromeJSON(f, recs)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
+	fmt.Fprintf(msg, "copload: merged trace: %d records -> %s (open in Perfetto)\n", len(recs), path)
+	return nil
 }
 
 // verdict enforces the zero-silent-corruption acceptance: traffic oracle
@@ -266,6 +348,127 @@ func report(stdout io.Writer, r *runner, elapsed time.Duration, soakRes *faultsi
 			soakRes.Outcomes(faultsim.Detected), soakRes.Outcomes(faultsim.Silent),
 			soakRes.Outcomes(faultsim.FalseAlias), soakRes.BackgroundReads, soakRes.BackgroundMismatches)
 	}
+}
+
+// --- machine-readable report ---------------------------------------------
+
+// latencyJSON summarizes one latency histogram in nanoseconds.
+type latencyJSON struct {
+	Count  uint64 `json:"count"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
+}
+
+func latencyOf(h telemetry.HistogramSnapshot) latencyJSON {
+	return latencyJSON{
+		Count:  h.Count,
+		P50Ns:  h.Quantile(0.50),
+		P99Ns:  h.Quantile(0.99),
+		P999Ns: h.Quantile(0.999),
+	}
+}
+
+// stageJSON is one named sub-series of the server's serve-stage or per-op
+// latency decomposition.
+type stageJSON struct {
+	Name string `json:"name"`
+	latencyJSON
+}
+
+func stagesOf(named []telemetry.NamedHistogram) []stageJSON {
+	out := make([]stageJSON, 0, len(named))
+	for _, nh := range named {
+		out = append(out, stageJSON{Name: nh.Name, latencyJSON: latencyOf(nh.Nanos)})
+	}
+	return out
+}
+
+// serverJSON is the server-side view of the run, scraped from the tenant's
+// /snapshot after traffic stops: wall-clock frame latency and its
+// per-stage decomposition as the server measured them.
+type serverJSON struct {
+	Scheme     string      `json:"scheme"`
+	Frame      latencyJSON `json:"frame"`
+	Stages     []stageJSON `json:"stages,omitempty"`
+	Ops        []stageJSON `json:"ops,omitempty"`
+	SlowFrames uint64      `json:"slow_frames"`
+}
+
+type soakJSON struct {
+	Corrected            int `json:"corrected"`
+	Masked               int `json:"masked"`
+	Detected             int `json:"detected"`
+	Silent               int `json:"silent"`
+	FalseAlias           int `json:"false_alias"`
+	BackgroundReads      int `json:"background_reads"`
+	BackgroundMismatches int `json:"background_mismatches"`
+}
+
+type reportJSON struct {
+	Target         string      `json:"target"`
+	Tenant         string      `json:"tenant"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Ops            uint64      `json:"ops"`
+	OpsPerSecond   float64     `json:"ops_per_second"`
+	Gets           uint64      `json:"gets"`
+	Sets           uint64      `json:"sets"`
+	Deletes        uint64      `json:"deletes"`
+	Increments     uint64      `json:"increments"`
+	Frames         uint64      `json:"frames"`
+	OpErrors       uint64      `json:"op_errors"`
+	VerifiedGets   uint64      `json:"verified_gets"`
+	Mismatches     uint64      `json:"mismatches"`
+	Latency        latencyJSON `json:"latency"`
+	Server         *serverJSON `json:"server,omitempty"`
+	Soak           *soakJSON   `json:"soak,omitempty"`
+}
+
+// writeJSONReport renders the run as one indented JSON object on w: the
+// client-side counters and request-latency quantiles, the server's own
+// per-stage breakdown from the tenant snapshot, and the soak outcomes.
+func writeJSONReport(w io.Writer, r *runner, elapsed time.Duration, target, tenant string,
+	snap telemetry.Snapshot, soakRes *faultsim.Result) error {
+	ops := r.gets.Load() + r.sets.Load() + r.deletes.Load() + r.incrs.Load()
+	rep := reportJSON{
+		Target:         target,
+		Tenant:         tenant,
+		ElapsedSeconds: elapsed.Seconds(),
+		Ops:            ops,
+		OpsPerSecond:   float64(ops) / elapsed.Seconds(),
+		Gets:           r.gets.Load(),
+		Sets:           r.sets.Load(),
+		Deletes:        r.deletes.Load(),
+		Increments:     r.incrs.Load(),
+		Frames:         r.frames.Load(),
+		OpErrors:       r.opErrors.Load(),
+		VerifiedGets:   r.verified.Load(),
+		Mismatches:     r.mismatches.Load(),
+		Latency:        latencyOf(r.lat.Snapshot()),
+	}
+	if snap.Serve != nil {
+		rep.Server = &serverJSON{
+			Scheme:     snap.Scheme,
+			Frame:      latencyOf(snap.Serve.Frame),
+			Stages:     stagesOf(snap.Serve.Stages),
+			Ops:        stagesOf(snap.Serve.Ops),
+			SlowFrames: snap.Serve.SlowFrames,
+		}
+	}
+	if soakRes != nil {
+		rep.Soak = &soakJSON{
+			Corrected:            soakRes.Outcomes(faultsim.Corrected),
+			Masked:               soakRes.Outcomes(faultsim.Masked),
+			Detected:             soakRes.Outcomes(faultsim.Detected),
+			Silent:               soakRes.Outcomes(faultsim.Silent),
+			FalseAlias:           soakRes.Outcomes(faultsim.FalseAlias),
+			BackgroundReads:      soakRes.BackgroundReads,
+			BackgroundMismatches: soakRes.BackgroundMismatches,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // --- closed-loop runner --------------------------------------------------

@@ -19,6 +19,7 @@
 //	copserve -tenants red,blue -scheme cop       # two namespaces, plain COP
 //	copserve -plain-addr 127.0.0.1:7071         # extra plaintext listener
 //	copserve -scrub 50ms                        # patrol scrubber per tenant
+//	copserve -trace -slow-threshold 5ms -slow-freeze  # tail-latency black box
 //
 // Endpoints: POST /v1/tenants/{t}/batch (binary frames), GET|PUT
 // /v1/tenants/{t}/block/{addr}, POST .../flush, GET .../snapshot, admin
@@ -66,6 +67,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		scrubEach = fs.Duration("scrub", 0, "start a patrol scrubber per tenant with this pass interval (0: off)")
 		drainWait = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests during shutdown")
 		traceOn   = fs.Bool("trace", false, "mount the execution-trace flight recorder (/trace/start, /trace.json)")
+		slowThr   = fs.Duration("slow-threshold", 0, "capture frames slower than this into /debug/slowlog (0: off unless armed via POST /debug/slowlog)")
+		slowAdapt = fs.Bool("slow-adaptive", false, "retune the slow-frame threshold to 2x each tenant's live p99.9 (floored at -slow-threshold)")
+		slowLog   = fs.Int("slow-log", 0, "slow-frame log capacity in entries (0: default)")
+		slowFrz   = fs.Bool("slow-freeze", false, "freeze the flight recorder on a slow frame (black-box dump; needs -trace)")
 		mem       = cli.AddMemoryFlags(fs, "cop-er")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +85,14 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	if *traceOn {
 		tracer = trace.New(trace.Config{})
 		opts = append(opts, copnet.WithServerTracer(tracer))
+	}
+	if *slowThr > 0 || *slowAdapt || *slowLog > 0 || *slowFrz {
+		opts = append(opts, copnet.WithSlowFrames(copnet.SlowFrameConfig{
+			Threshold: *slowThr,
+			Adaptive:  *slowAdapt,
+			LogSize:   *slowLog,
+			Freeze:    *slowFrz,
+		}))
 	}
 	srv := copnet.NewServer(opts...)
 	cfg := copnet.TenantConfig{

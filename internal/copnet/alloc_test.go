@@ -57,7 +57,7 @@ func TestWireZeroAlloc(t *testing.T) {
 	// Server decode: parse the request frame into a reused op table.
 	sc := &frameScratch{}
 	var decodeErr error
-	decode := func() { sc.ops, decodeErr = decodeRequestInto(sc.ops[:0], batch.buf) }
+	decode := func() { sc.ops, sc.traceID, decodeErr = decodeRequestInto(sc.ops[:0], batch.buf) }
 	decode()
 	if decodeErr != nil {
 		t.Fatalf("setup: decode: %v", decodeErr)

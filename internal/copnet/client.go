@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cop/internal/memctrl"
 	"cop/internal/telemetry"
+	"cop/internal/trace"
 )
 
 // Client talks to a copserve instance. It implements the cop.Store method
@@ -40,6 +42,14 @@ type Client struct {
 	// table) across the single-op Store/Target methods, so a steady-state
 	// Read/Write rebuilds no buffers.
 	batches sync.Pool
+
+	// th is the flight-recorder handle traced batches record into (nil
+	// without WithClientTracer — every use is through the nil-safe Handle
+	// methods, so the untraced cost is one nil check per frame). traceCtr
+	// feeds nextTraceID.
+	tracer   *trace.Tracer
+	th       *trace.Handle
+	traceCtr atomic.Uint64
 }
 
 // ClientOption configures Dial.
@@ -66,6 +76,31 @@ func WithServerCert(certPEM []byte) ClientOption {
 			ForceAttemptHTTP2: true,
 		}}
 	}
+}
+
+// WithClientTracer attaches a flight recorder to the client: while it is
+// recording, every batch becomes a version-2 traced frame carrying a
+// fresh 64-bit trace id, the client records submit/send/receive events
+// under the derived span ids, and a server sharing the tracer (or merged
+// later via trace.MergeAligned) joins its own records to the same flows.
+func WithClientTracer(tr *trace.Tracer) ClientOption {
+	return func(c *Client) {
+		c.tracer = tr
+		if tr != nil {
+			c.th = tr.Handle(0)
+		}
+	}
+}
+
+// nextTraceID allocates a nonzero wire trace id. Sequential counter values
+// are scrambled through mix64 so concurrent clients' ids (and the span
+// runs derived from them) spread across the flow-id space.
+func (c *Client) nextTraceID() uint64 {
+	id := mix64(c.traceCtr.Add(1))
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // WithInsecureTLS skips certificate verification (self-signed dev certs);
@@ -213,6 +248,11 @@ type Batch struct {
 	buf   []byte
 	kinds []OpKind
 
+	// trace is the frame's wire trace id: nonzero exactly when the owning
+	// client has a recording tracer, in which case the frame went out as
+	// a version-2 header and per-op span ids derive from it.
+	trace uint64
+
 	// respBound is the proven upper bound on this frame's response size:
 	// per op, the larger of its success payload and the error-message
 	// allowance. It bounds doInto's read — never allocated, only checked.
@@ -242,17 +282,35 @@ func (c *Client) NewBatch() *Batch {
 
 // Reset clears the batch for refilling, keeping every buffer's capacity.
 // Do calls it automatically; explicit Reset is only needed to abandon a
-// half-built frame.
+// half-built frame. While the owning client's tracer records, the frame
+// starts as a version-2 header carrying a fresh trace id.
 func (b *Batch) Reset() {
-	b.buf = append(b.buf[:0], wireMagic, wireVersion)
+	b.trace = 0
+	if c := b.c; c != nil && c.th.Enabled() {
+		b.trace = c.nextTraceID()
+		b.buf = appendU64(append(b.buf[:0], wireMagic, wireVersionTraced), b.trace)
+	} else {
+		b.buf = append(b.buf[:0], wireMagic, wireVersion)
+	}
 	b.kinds = b.kinds[:0]
-	b.respBound = 2
+	b.respBound = 2 // responses are always version 1
 }
+
+// TraceID returns the wire trace id the current frame carries (0 when
+// untraced). Valid until the next Reset/Do.
+func (b *Batch) TraceID() uint64 { return b.trace }
 
 // add records an enqueued op and folds its response-size contribution
 // into the frame bound: the larger of the op's success payload and an
-// error result (status + length + capped message).
+// error result (status + length + capped message). Traced frames record
+// the submission under the op's derived span id — the same id the server
+// threads into the shard window, which is what joins client submit to
+// server execution in the merged trace.
 func (b *Batch) add(kind OpKind, okBytes int) {
+	if b.trace != 0 {
+		b.c.th.RecordFlow(trace.KindNetOp, OpSpan(b.trace, len(b.kinds)), 0,
+			uint32(kind), 0, uint64(len(b.kinds)), 0, 0)
+	}
 	b.kinds = append(b.kinds, kind)
 	b.respBound += max(okBytes, 1+4+maxErrMsgBytes)
 }
@@ -335,12 +393,21 @@ func (b *Batch) Do() ([]Result, error) {
 	if len(b.kinds) == 0 {
 		return nil, nil
 	}
+	tid, n := b.trace, len(b.kinds)
+	if tid != 0 {
+		b.c.th.RecordFlow(trace.KindNetFrameSend, FrameSpan(tid), 0,
+			uint32(n), 0, tid, 0, 0)
+	}
 	body, err := b.c.doInto(b.body[:0], http.MethodPost, b.c.tenantURL("/batch"),
 		"application/octet-stream", b.buf, b.respBound)
 	b.body = body
 	if err != nil {
 		b.Reset()
 		return nil, err
+	}
+	if tid != 0 {
+		b.c.th.RecordFlow(trace.KindNetFrameRecv, FrameSpan(tid), 0,
+			uint32(n), 0, tid, 0, 0)
 	}
 	results, err := parseResults(body, b.kinds, b.results[:0])
 	b.results = results
@@ -631,6 +698,31 @@ func (c *Client) ScrubTenant(name, action string, intervalUS, chunkBlocks int) e
 	})
 	_, err := c.do(http.MethodPost, c.url("/admin/tenants/"+name+"/scrub"), "application/json", body)
 	return err
+}
+
+// TraceStart resets the server's flight recorder and begins recording
+// (the server must be running with tracing mounted, e.g. copserve -trace).
+func (c *Client) TraceStart() error {
+	_, err := c.do(http.MethodPost, c.url("/trace/start"), "", nil)
+	return err
+}
+
+// TraceStop stops the server's flight recorder; the rings keep their
+// contents for TraceDump.
+func (c *Client) TraceStop() error {
+	_, err := c.do(http.MethodPost, c.url("/trace/stop"), "", nil)
+	return err
+}
+
+// TraceDump fetches the server's ring contents as a binary flight-recorder
+// dump. Merge with local client records via trace.MergeAligned to get one
+// cross-machine timeline.
+func (c *Client) TraceDump() (*trace.Dump, error) {
+	body, err := c.do(http.MethodGet, c.url("/trace.bin"), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadDump(bytes.NewReader(body))
 }
 
 // ServiceSnapshot fetches the whole-service merged telemetry tree.

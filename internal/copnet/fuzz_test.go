@@ -12,6 +12,11 @@ import (
 	"testing"
 )
 
+// tracedHeader builds a version-2 request header carrying traceID.
+func tracedHeader(traceID uint64) []byte {
+	return appendU64([]byte{wireMagic, wireVersionTraced}, traceID)
+}
+
 func FuzzWireFrame(f *testing.F) {
 	block := make([]byte, BlockBytes)
 	for i := range block {
@@ -48,6 +53,12 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add([]byte{wireMagic, wireVersion, statusOK, 0, 0, 0})
 	f.Add([]byte{wireMagic, wireVersion, statusErr, 0xFF, 0xFF, 0xFF, 0xFF, 'x'})
 
+	// Version-2 traced frames: well-formed, zero trace id, and a header
+	// truncated inside the trace-id field.
+	f.Add(appendRead(tracedHeader(0xDEADBEEFCAFE), 0x40))
+	f.Add(appendWrite(tracedHeader(0), 0x80, block))
+	f.Add([]byte{wireMagic, wireVersionTraced, 1, 2, 3})
+
 	// Every kind a result stream is parsed against, cycled so arbitrary
 	// input exercises each payload shape.
 	kinds := []OpKind{
@@ -57,10 +68,14 @@ func FuzzWireFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Request side: must not panic, and an accepted frame must
-		// re-encode to exactly the bytes that produced it.
-		ops, err := decodeRequest(data)
+		// re-encode to exactly the bytes that produced it (matching the
+		// version the frame arrived as).
+		ops, traceID, err := decodeRequestInto(nil, data)
 		if err == nil {
 			enc := frameHeader()
+			if data[1] == wireVersionTraced {
+				enc = tracedHeader(traceID)
+			}
 			for i := range ops {
 				op := &ops[i]
 				switch op.kind {

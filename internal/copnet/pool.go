@@ -1,5 +1,7 @@
 package copnet
 
+import "cop/internal/trace"
+
 // Pooled per-request server state. The serve datapath's whole per-frame
 // footprint — request body, decoded op list, result table, read-payload
 // arena, and response buffer — lives in one frameScratch recycled through
@@ -22,6 +24,13 @@ type frameScratch struct {
 	results []opResult // per-op outcomes (data slices alias arena)
 	arena   []byte     // one slab backing every read/read-range payload
 	resp    []byte     // encoded response frame
+
+	// Per-frame observability state: the wire trace id (0 when untraced),
+	// whether flight-recorder records should be emitted for this frame,
+	// and the per-stage wall-clock attribution the handler accumulates.
+	traceID uint64
+	traced  bool
+	stageNs [trace.NumServeStages]uint64
 }
 
 // getScratch takes a scratch from the pool (counting a hit) or allocates

@@ -1,0 +1,134 @@
+package copnet
+
+// Per-tenant serve-datapath telemetry and the slow-frame capture log.
+//
+// Every tenant carries its own counter/histogram set so the Prometheus
+// surface can export per-tenant series next to the merged totals, and so
+// the adaptive slow-frame threshold tracks each tenant's own tail. All of
+// it is atomics over preallocated storage: observing a frame allocates
+// nothing, which keeps the always-on stage timers inside the wire
+// datapath's zero-alloc budget.
+
+import (
+	"sync"
+
+	"cop/internal/telemetry"
+	"cop/internal/trace"
+)
+
+// numOpKinds sizes the per-op-kind histogram table (index by OpKind).
+const numOpKinds = int(OpInjectChip) + 1
+
+// tenantTelemetry is one tenant's serve-side observability state: wire
+// counters, the whole-frame latency histogram, per-stage and per-op-kind
+// latency histograms (ns, power-of-two buckets), and the slow-frame count.
+type tenantTelemetry struct {
+	net   telemetry.NetCounters
+	frame telemetry.Histogram
+	stage [trace.NumServeStages]telemetry.Histogram
+	op    [numOpKinds]telemetry.Histogram
+	slow  telemetry.Counter
+}
+
+// serveStats snapshots the tenant's serve section. Stage entries are
+// always complete (fixed name set); op entries cover only kinds the
+// tenant has actually served, named by their wire-op names.
+func (tt *tenantTelemetry) serveStats() *telemetry.ServeStats {
+	st := &telemetry.ServeStats{
+		Frame:      tt.frame.Snapshot(),
+		SlowFrames: tt.slow.Load(),
+	}
+	st.Stages = make([]telemetry.NamedHistogram, 0, len(tt.stage))
+	for i := range tt.stage {
+		st.Stages = append(st.Stages, telemetry.NamedHistogram{
+			Name:  trace.ServeStage(i).String(),
+			Nanos: tt.stage[i].Snapshot(),
+		})
+	}
+	for k := 1; k < numOpKinds; k++ {
+		if tt.op[k].Count() == 0 {
+			continue
+		}
+		st.Ops = append(st.Ops, telemetry.NamedHistogram{
+			Name:  OpKind(k).String(),
+			Nanos: tt.op[k].Snapshot(),
+		})
+	}
+	return st
+}
+
+// SlowStages is a captured frame's per-stage wall-clock breakdown.
+type SlowStages struct {
+	ReadNs     uint64 `json:"read_ns"`
+	ParseNs    uint64 `json:"parse_ns"`
+	RingWaitNs uint64 `json:"ring_wait_ns"`
+	WindowNs   uint64 `json:"window_ns"`
+	EncodeNs   uint64 `json:"encode_ns"`
+	WriteNs    uint64 `json:"write_ns"`
+}
+
+// slowStagesFrom lifts the handler's stage array into the JSON form.
+func slowStagesFrom(ns *[trace.NumServeStages]uint64) SlowStages {
+	return SlowStages{
+		ReadNs:     ns[trace.StageRead],
+		ParseNs:    ns[trace.StageParse],
+		RingWaitNs: ns[trace.StageRingWait],
+		WindowNs:   ns[trace.StageWindow],
+		EncodeNs:   ns[trace.StageEncode],
+		WriteNs:    ns[trace.StageWrite],
+	}
+}
+
+// SlowFrame is one captured tail-latency outlier: which tenant and trace
+// it belonged to, how slow it was, and where the time went.
+type SlowFrame struct {
+	UnixNano int64      `json:"unix_nano"`
+	Tenant   string     `json:"tenant"`
+	TraceID  uint64     `json:"trace_id,omitempty"`
+	Ops      int        `json:"ops"`
+	TotalNs  uint64     `json:"total_ns"`
+	Stages   SlowStages `json:"stages"`
+}
+
+// defaultSlowLogSize bounds the capture ring when the config leaves it 0.
+const defaultSlowLogSize = 64
+
+// slowLog is the bounded in-memory capture ring behind /debug/slowlog.
+// Captures are rare by construction (they are tail outliers), so a mutex
+// over a preallocated ring is plenty; the total counter keeps counting
+// after the ring starts overwriting.
+type slowLog struct {
+	mu      sync.Mutex
+	entries []SlowFrame // ring storage, preallocated to capacity
+	next    int         // overwrite cursor once the ring is full
+	total   uint64
+}
+
+func newSlowLog(size int) *slowLog {
+	if size <= 0 {
+		size = defaultSlowLogSize
+	}
+	return &slowLog{entries: make([]SlowFrame, 0, size)}
+}
+
+func (l *slowLog) add(e SlowFrame) {
+	l.mu.Lock()
+	l.total++
+	if len(l.entries) < cap(l.entries) {
+		l.entries = append(l.entries, e)
+	} else {
+		l.entries[l.next] = e
+		l.next = (l.next + 1) % len(l.entries)
+	}
+	l.mu.Unlock()
+}
+
+// snapshot copies the captured entries oldest-first.
+func (l *slowLog) snapshot() (entries []SlowFrame, total uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	entries = make([]SlowFrame, 0, len(l.entries))
+	entries = append(entries, l.entries[l.next:]...)
+	entries = append(entries, l.entries[:l.next]...)
+	return entries, l.total
+}

@@ -96,6 +96,12 @@ type Tenant struct {
 	batched *shard.Batched // non-nil when store supports windows/drain/reconfiguration
 	owned   bool           // server built the store and closes it
 
+	// tel is the tenant's serve-side telemetry (wire counters, frame and
+	// per-stage latency histograms). A value field, so a directly
+	// constructed Tenant observes into valid storage with no nil checks
+	// on the hot path.
+	tel tenantTelemetry
+
 	scrubMu sync.Mutex
 	scrub   *migrate.Scrubber
 }
@@ -128,7 +134,11 @@ type Server struct {
 
 	// inflight tracks datapath and admin requests so Drain can fence:
 	// once draining flips, new requests bounce with 503 and Drain waits
-	// out everything already admitted.
+	// out everything already admitted. drainMu orders admission against
+	// the flip — an Add only happens while holding the read side with
+	// draining still false, and Drain flips under the write side, so
+	// every Add happens-before the fence Wait (the WaitGroup contract).
+	drainMu  sync.RWMutex
 	inflight sync.WaitGroup
 	draining atomic.Bool
 
@@ -138,7 +148,20 @@ type Server struct {
 	net     telemetry.NetCounters
 	scratch sync.Pool
 
-	tracer  *trace.Tracer
+	tracer *trace.Tracer
+	// netTH is the flight-recorder handle the HTTP goroutines share for
+	// net-layer records (RecordFlow only — no per-handle state, so
+	// concurrent writers are safe). Nil without a tracer; every use goes
+	// through the nil-safe Handle methods.
+	netTH *trace.Handle
+
+	// Slow-frame capture: slowNs is the live threshold (0 disables; the
+	// adaptive mode rewrites it from the frame histogram's tail), slowlog
+	// the bounded capture ring behind /debug/slowlog.
+	slowCfg SlowFrameConfig
+	slowNs  atomic.Int64
+	slowlog *slowLog
+
 	handler http.Handler
 }
 
@@ -151,12 +174,41 @@ func WithServerTracer(t *trace.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = t }
 }
 
+// SlowFrameConfig tunes the tail-latency capturer.
+type SlowFrameConfig struct {
+	// Threshold captures frames at least this slow. 0 disables capture
+	// (unless Adaptive raises a threshold); with Adaptive it is the floor
+	// the adaptive threshold never drops below.
+	Threshold time.Duration
+	// Adaptive re-derives the threshold from the live frame histogram:
+	// every 1024 frames (after a 256-frame warmup) the threshold becomes
+	// 2x the observed p99.9, floored at Threshold — so "slow" tracks the
+	// workload instead of a guess.
+	Adaptive bool
+	// LogSize bounds the capture ring (0: 64 entries).
+	LogSize int
+	// Freeze triggers a flight-recorder anomaly freeze (reason
+	// "slow-frame") on capture, preserving a black-box dump of the rings
+	// around the outlier.
+	Freeze bool
+}
+
+// WithSlowFrames enables slow-frame capture.
+func WithSlowFrames(cfg SlowFrameConfig) ServerOption {
+	return func(s *Server) { s.slowCfg = cfg }
+}
+
 // NewServer builds an empty service core.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{tenants: make(map[string]*Tenant)}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.tracer != nil {
+		s.netTH = s.tracer.Handle(0)
+	}
+	s.slowlog = newSlowLog(s.slowCfg.LogSize)
+	s.slowNs.Store(int64(s.slowCfg.Threshold))
 	s.handler = s.buildHandler()
 	return s
 }
@@ -246,27 +298,41 @@ func (s *Server) TenantInfos() []TenantInfo {
 	return infos
 }
 
-// Snapshot merges every tenant's telemetry tree (name order, so the merge
-// is deterministic); it makes the Server a telemetry.Source for the
-// mounted /metrics and /snapshot endpoints.
-func (s *Server) Snapshot() telemetry.Snapshot {
+// snapshot is the tenant's full telemetry tree: the store's sections plus
+// this tenant's wire counters and serve-datapath latency attribution.
+func (t *Tenant) snapshot() telemetry.Snapshot {
+	snap := t.store.Snapshot()
+	net := t.tel.net.Snapshot()
+	snap.Net = &net
+	snap.Serve = t.tel.serveStats()
+	snap.Finalize()
+	return snap
+}
+
+// sortedTenants returns the registered tenants in name order.
+func (s *Server) sortedTenants() []*Tenant {
 	s.mu.RLock()
-	names := make([]string, 0, len(s.tenants))
-	for name := range s.tenants {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	stores := make([]Store, len(names))
-	for i, name := range names {
-		stores[i] = s.tenants[name].store
+	tenants := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
 	}
 	s.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	return tenants
+}
+
+// Snapshot merges every tenant's telemetry tree (name order, so the merge
+// is deterministic); it makes the Server a telemetry.Source for the
+// mounted /metrics and /snapshot endpoints. The Net section is the
+// service-global counter set (which also carries the scratch-pool and
+// inflight gauges the per-tenant sections do not track).
+func (s *Server) Snapshot() telemetry.Snapshot {
 	var snap telemetry.Snapshot
-	for i, st := range stores {
+	for i, t := range s.sortedTenants() {
 		if i == 0 {
-			snap = st.Snapshot()
+			snap = t.snapshot()
 		} else {
-			snap.Merge(st.Snapshot())
+			snap.Merge(t.snapshot())
 		}
 	}
 	net := s.net.Snapshot()
@@ -287,7 +353,9 @@ func (s *Server) Ready() bool { return !s.draining.Load() }
 // images. ctx bounds only the wait for admitted requests; tenant drains
 // run to completion regardless.
 func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() { s.inflight.Wait(); close(done) }()
 	select {
@@ -403,17 +471,19 @@ func (t *Tenant) execBatch(sc *frameScratch) []byte {
 	// ReadInfo decode verdict (group windows report only data), which the
 	// fault campaign's classifier wants end-to-end.
 	if t.batched != nil && len(ops) > 1 {
-		t.execWindowed(ops, results)
+		t.execWindowed(ops, results, sc)
 	} else {
-		t.execSequential(ops, results)
+		t.execSequential(ops, results, sc)
 	}
 
+	encStart := time.Now()
 	resp := grow(sc.resp, respSizeHint(ops))[:0]
 	resp = append(resp, wireMagic, wireVersion)
 	for i := range ops {
 		resp = appendResult(resp, ops[i].kind, &results[i])
 	}
 	sc.resp = resp
+	sc.stageNs[trace.StageEncode] += uint64(time.Since(encStart))
 	return resp
 }
 
@@ -435,16 +505,33 @@ func respSizeHint(ops []reqOp) int {
 
 // execWindowed executes ops through the batched front-end. Read payload
 // buffers are preassigned in results[i].data.
-func (t *Tenant) execWindowed(ops []reqOp, results []opResult) {
+//
+// Stage attribution: ring-wait is the time spent feeding a window's ops
+// into the shard rings (including back-pressure stalls on a full ring);
+// window is the time from Wait to window completion plus any synchronous
+// barrier execution. Per-op latency for window ops is the window duration
+// they rode — each op's completion latency is its window's, which is what
+// a caller actually experiences. Traced frames thread each op's derived
+// span id into the shard submission, so the flight recorder joins the
+// wire frame to its shard batches and DRAM accesses.
+func (t *Tenant) execWindowed(ops []reqOp, results []opResult, sc *frameScratch) {
 	b := t.batched
 	g := b.NewGroup()
-	start := 0 // first op of the open window
+	var ringWait, window uint64
+	segStart := time.Now() // first enqueue of the open window
+	start := 0             // first op of the open window
 	flush := func(end int) {
-		if err := g.Wait(); err != nil {
-			for i := start; i < end; i++ {
-				if ops[i].isWindowOp() && results[i].err == nil {
-					results[i].err = err
-				}
+		waitStart := time.Now()
+		ringWait += uint64(waitStart.Sub(segStart))
+		err := g.Wait()
+		waitEnd := time.Now()
+		d := uint64(waitEnd.Sub(waitStart))
+		window += d
+		segStart = waitEnd
+		for i := start; i < end; i++ {
+			t.tel.op[ops[i].kind].Observe(d)
+			if err != nil && ops[i].isWindowOp() && results[i].err == nil {
+				results[i].err = err
 			}
 		}
 		start = end
@@ -454,26 +541,44 @@ func (t *Tenant) execWindowed(ops []reqOp, results []opResult) {
 		r := &results[i]
 		switch op.kind {
 		case OpRead:
-			g.Read(r.data, op.addr)
+			if sc.traced {
+				g.ReadFlow(r.data, op.addr, OpSpan(sc.traceID, i))
+			} else {
+				g.Read(r.data, op.addr)
+			}
 		case OpWrite:
-			g.Write(op.addr, op.data)
+			if sc.traced {
+				g.WriteFlow(op.addr, op.data, OpSpan(sc.traceID, i))
+			} else {
+				g.Write(op.addr, op.data)
+			}
 		default:
 			flush(i)
+			opStart := time.Now()
 			t.execOne(op, r)
+			d := uint64(time.Since(opStart))
+			window += d
+			t.tel.op[op.kind].Observe(d)
+			segStart = time.Now()
 			start = i + 1
 		}
 	}
 	flush(len(ops))
 	b.PutGroup(g)
+	sc.stageNs[trace.StageRingWait] += ringWait
+	sc.stageNs[trace.StageWindow] += window
 	// Window reads carry no per-op info through the group API; mark what
 	// is knowable: the data came from the hierarchy (hit or decode).
 }
 
-// execSequential executes ops one by one against a plain Store.
-func (t *Tenant) execSequential(ops []reqOp, results []opResult) {
+// execSequential executes ops one by one against a plain Store. All the
+// execution time is window time (there is no ring to wait on).
+func (t *Tenant) execSequential(ops []reqOp, results []opResult, sc *frameScratch) {
+	var window uint64
 	for i := range ops {
 		op := &ops[i]
 		r := &results[i]
+		opStart := time.Now()
 		switch op.kind {
 		case OpRead:
 			r.info, r.err = t.store.ReadInto(r.data, op.addr)
@@ -482,7 +587,11 @@ func (t *Tenant) execSequential(ops []reqOp, results []opResult) {
 		default:
 			t.execOne(op, r)
 		}
+		d := uint64(time.Since(opStart))
+		window += d
+		t.tel.op[op.kind].Observe(d)
 	}
+	sc.stageNs[trace.StageWindow] += window
 }
 
 // execOne executes a barrier op synchronously.
@@ -579,10 +688,80 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("POST /admin/tenants/{tenant}/reshard", s.gated(s.handleReshard))
 	mux.HandleFunc("POST /admin/tenants/{tenant}/scrub", s.gated(s.handleScrub))
 
-	// Telemetry fallback: /metrics, /snapshot (whole service), /debug/*,
-	// /trace* with a tracer.
+	// Service-aware telemetry endpoints: /metrics adds per-tenant label
+	// variants next to the merged families, /snapshot takes a ?tenant=
+	// filter, /debug/slowlog is the tail-latency capture log. Everything
+	// else (/debug/*, /trace* with a tracer) falls through to the shared
+	// telemetry handler.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.Handle("/", telemetry.HandlerWithTracer(s, s.tracer))
 	return mux
+}
+
+// handleMetrics writes the Prometheus exposition: every family once, with
+// the merged service totals as the unlabeled sample and one
+// tenant-labeled sample per tenant, then the Go runtime health gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	variants := []telemetry.PromVariant{{Snap: s.Snapshot()}}
+	for _, t := range s.sortedTenants() {
+		variants = append(variants, telemetry.PromVariant{
+			Labels: []telemetry.Label{{Name: "tenant", Value: t.name}},
+			Snap:   t.snapshot(),
+		})
+	}
+	_ = telemetry.WritePrometheusVariants(w, variants...)
+	_ = telemetry.WriteRuntimeMetrics(w)
+}
+
+// handleSnapshot serves the merged service snapshot, or one tenant's tree
+// with ?tenant=name.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		t, ok := s.Tenant(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no tenant %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, t.snapshot())
+		return
+	}
+	writeJSON(w, s.Snapshot())
+}
+
+// handleSlowlog serves the slow-frame capture ring (GET) and retunes the
+// live threshold (POST {"threshold_ns": n}; 0 disables). The threshold is
+// POSTable even when the server started without WithSlowFrames, so an
+// operator can arm capture on a live service.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		entries, total := s.slowlog.snapshot()
+		writeJSON(w, map[string]any{
+			"threshold_ns": s.slowNs.Load(),
+			"adaptive":     s.slowCfg.Adaptive,
+			"total":        total,
+			"entries":      entries,
+		})
+	case http.MethodPost:
+		var req struct {
+			ThresholdNs int64 `json:"threshold_ns"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.ThresholdNs < 0 {
+			http.Error(w, "threshold_ns must be >= 0", http.StatusBadRequest)
+			return
+		}
+		s.slowNs.Store(req.ThresholdNs)
+		writeJSON(w, map[string]int64{"threshold_ns": req.ThresholdNs})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 // gated wraps a handler with the drain fence: reject once draining,
@@ -590,18 +769,15 @@ func (s *Server) buildHandler() http.Handler {
 // also feed the Net inflight level and its high-water mark.
 func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		s.drainMu.RLock()
 		if s.draining.Load() {
+			s.drainMu.RUnlock()
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
 		s.inflight.Add(1)
+		s.drainMu.RUnlock()
 		defer s.inflight.Done()
-		// Re-check after registering: a Drain that flipped between the
-		// load and the Add may already have passed the fence wait.
-		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
 		s.net.Inflight.Add(1)
 		s.net.MaxInflight.Observe(uint64(s.net.Inflight.Load()))
 		defer s.net.Inflight.Add(-1)
@@ -624,20 +800,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	start := time.Now()
 	sc := s.getScratch()
 	defer s.putScratch(sc)
 	var err error
 	sc.body, err = readBodyInto(sc.body, r, 8+maxFrameOps*(9+BlockBytes))
+	tRead := time.Now()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	sc.ops, err = decodeRequestInto(sc.ops[:0], sc.body)
+	sc.ops, sc.traceID, err = decodeRequestInto(sc.ops[:0], sc.body)
+	tParse := time.Now()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	sc.stageNs = [trace.NumServeStages]uint64{}
+	sc.traced = sc.traceID != 0 && s.netTH.Enabled()
+	var frameSpan uint64
+	if sc.traced {
+		frameSpan = FrameSpan(sc.traceID)
+		s.netTH.RecordFlow(trace.KindNetFrameBegin, frameSpan, 0,
+			uint32(len(sc.ops)), 0, sc.traceID, 0, 0)
+	}
+
 	resp := t.execBatch(sc)
+
+	t.tel.net.Frames.Inc()
+	t.tel.net.Ops.Add(uint64(len(sc.ops)))
+	t.tel.net.BytesIn.Add(uint64(len(sc.body)))
+	t.tel.net.BytesOut.Add(uint64(len(resp)))
 	s.net.Frames.Inc()
 	s.net.Ops.Add(uint64(len(sc.ops)))
 	s.net.BytesIn.Add(uint64(len(sc.body)))
@@ -646,7 +839,63 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// An explicit length keeps the response out of chunked encoding: one
 	// frame, one write, and the client can presize its read buffer.
 	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
+	wStart := time.Now()
 	_, _ = w.Write(resp)
+	end := time.Now()
+
+	sc.stageNs[trace.StageRead] = uint64(tRead.Sub(start))
+	sc.stageNs[trace.StageParse] = uint64(tParse.Sub(tRead))
+	sc.stageNs[trace.StageWrite] = uint64(end.Sub(wStart))
+	total := uint64(end.Sub(start))
+	t.tel.frame.Observe(total)
+	for i := range sc.stageNs {
+		t.tel.stage[i].Observe(sc.stageNs[i])
+	}
+	if sc.traced {
+		for i := range sc.stageNs {
+			s.netTH.RecordFlow(trace.KindServeStage, frameSpan, 0,
+				uint32(i), 0, sc.stageNs[i], 0, 0)
+		}
+		s.netTH.RecordFlow(trace.KindNetFrameEnd, frameSpan, 0,
+			uint32(len(sc.ops)), 0, total, 0, 0)
+	}
+	s.noteFrame(t, sc, total)
+}
+
+// noteFrame runs the slow-frame detector after a batch frame completes.
+// The disabled path is one atomic load and a compare. Adaptive mode
+// re-derives the threshold from the tenant's own frame histogram every
+// 1024 frames (after a 256-frame warmup): 2x the live p99.9, floored at
+// the configured threshold.
+func (s *Server) noteFrame(t *Tenant, sc *frameScratch, totalNs uint64) {
+	thr := s.slowNs.Load()
+	if s.slowCfg.Adaptive {
+		if c := t.tel.frame.Count(); c >= 256 && c&1023 == 0 {
+			adaptive := int64(2 * t.tel.frame.Quantile(0.999))
+			if floor := int64(s.slowCfg.Threshold); adaptive < floor {
+				adaptive = floor
+			}
+			if adaptive > 0 {
+				s.slowNs.Store(adaptive)
+				thr = adaptive
+			}
+		}
+	}
+	if thr <= 0 || totalNs < uint64(thr) {
+		return
+	}
+	t.tel.slow.Inc()
+	s.slowlog.add(SlowFrame{
+		UnixNano: time.Now().UnixNano(),
+		Tenant:   t.name,
+		TraceID:  sc.traceID,
+		Ops:      len(sc.ops),
+		TotalNs:  totalNs,
+		Stages:   slowStagesFrom(&sc.stageNs),
+	})
+	if s.slowCfg.Freeze && s.tracer != nil {
+		s.tracer.TriggerAnomaly(trace.ReasonSlowFrame, sc.traceID)
+	}
 }
 
 func (s *Server) handleBlockGet(w http.ResponseWriter, r *http.Request) {
@@ -722,7 +971,7 @@ func (s *Server) handleTenantSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, t.store.Snapshot())
+	writeJSON(w, t.snapshot())
 }
 
 func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {

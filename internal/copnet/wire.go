@@ -11,10 +11,17 @@
 // workers dequeue it as deep batches — the same memory-level-parallelism
 // story as the in-process batched front-end, stretched over a connection.
 //
-// Wire format (version 1, little-endian):
+// Wire format (little-endian):
 //
 //	frame  := magic byte (0xCB) | version byte (0x01) | op*
+//	frame  := magic byte (0xCB) | version byte (0x02) | trace id u64 | op*
 //	op     := kind byte | kind-specific fields
+//
+// Version 2 frames carry a client-generated trace context: a nonzero
+// 64-bit trace id from which both sides derive the frame span
+// (FrameSpan) and per-op span ids (OpSpan) deterministically, so no
+// per-op ids travel on the wire. Version 1 frames still parse (trace id
+// 0 = untraced); responses are always version 1.
 //
 // Request operations:
 //
@@ -55,10 +62,12 @@ import (
 // BlockBytes is the service's block granularity.
 const BlockBytes = memctrl.BlockBytes
 
-// Frame header bytes.
+// Frame header bytes. Version 2 inserts an 8-byte trace id between the
+// version byte and the first op; everything else is identical.
 const (
-	wireMagic   = 0xCB
-	wireVersion = 0x01
+	wireMagic         = 0xCB
+	wireVersion       = 0x01
+	wireVersionTraced = 0x02
 )
 
 // OpKind identifies one wire operation.
@@ -129,7 +138,9 @@ func (o *reqOp) isWindowOp() bool { return o.kind == OpRead || o.kind == OpWrite
 // frameHeader returns the two header bytes every frame starts with.
 func frameHeader() []byte { return []byte{wireMagic, wireVersion} }
 
-// checkHeader consumes and validates the header, returning the remainder.
+// checkHeader consumes and validates a version-1 header, returning the
+// remainder. Responses are always version 1, so the client result parser
+// stays strict.
 func checkHeader(b []byte) ([]byte, error) {
 	if len(b) < 2 {
 		return nil, fmt.Errorf("copnet: frame shorter than its header")
@@ -142,6 +153,50 @@ func checkHeader(b []byte) ([]byte, error) {
 	}
 	return b[2:], nil
 }
+
+// checkRequestHeader consumes a request header of either version,
+// returning the remainder and the trace id (0 for version-1 frames).
+func checkRequestHeader(b []byte) ([]byte, uint64, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("copnet: frame shorter than its header")
+	}
+	if b[0] != wireMagic {
+		return nil, 0, fmt.Errorf("copnet: bad frame magic %#x", b[0])
+	}
+	switch b[1] {
+	case wireVersion:
+		return b[2:], 0, nil
+	case wireVersionTraced:
+		if len(b) < 10 {
+			return nil, 0, fmt.Errorf("copnet: traced frame shorter than its header")
+		}
+		return b[10:], binary.LittleEndian.Uint64(b[2:]), nil
+	}
+	return nil, 0, fmt.Errorf("copnet: unsupported wire version %d", b[1])
+}
+
+// --- trace span derivation ----------------------------------------------
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
+// spreads sequential trace ids across the flow-id space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// FrameSpan derives the flight-recorder flow id for a frame from its wire
+// trace id. Client and server compute it independently — that equality is
+// what joins the two sides' records without shipping span ids.
+func FrameSpan(traceID uint64) uint64 { return mix64(traceID) }
+
+// OpSpan derives the flow id for the i-th operation of a traced frame.
+// Spans are the frame span plus 1+i, so a frame's ops occupy a contiguous
+// id run distinct from the frame span itself.
+func OpSpan(traceID uint64, i int) uint64 { return mix64(traceID) + 1 + uint64(i) }
 
 // --- request encoding (client side) -------------------------------------
 
@@ -184,21 +239,23 @@ func appendInjectChip(b []byte, addr uint64, chip int32, pattern byte) []byte {
 // decodeRequest parses a request frame into ops. Op data slices alias
 // body.
 func decodeRequest(body []byte) ([]reqOp, error) {
-	return decodeRequestInto(nil, body)
+	ops, _, err := decodeRequestInto(nil, body)
+	return ops, err
 }
 
 // decodeRequestInto parses a request frame, appending into ops (pass a
-// length-zero slice with retained capacity to parse allocation-free). Op
-// data slices alias body, so they are valid only while the body buffer
-// is. On error the returned slice holds the ops decoded so far.
-func decodeRequestInto(ops []reqOp, body []byte) ([]reqOp, error) {
-	rest, err := checkHeader(body)
+// length-zero slice with retained capacity to parse allocation-free) and
+// returning the frame's trace id (0 when untraced). Op data slices alias
+// body, so they are valid only while the body buffer is. On error the
+// returned slice holds the ops decoded so far.
+func decodeRequestInto(ops []reqOp, body []byte) ([]reqOp, uint64, error) {
+	rest, traceID, err := checkRequestHeader(body)
 	if err != nil {
-		return ops, err
+		return ops, 0, err
 	}
 	for len(rest) > 0 {
 		if len(ops) >= maxFrameOps {
-			return ops, fmt.Errorf("copnet: frame exceeds %d operations", maxFrameOps)
+			return ops, traceID, fmt.Errorf("copnet: frame exceeds %d operations", maxFrameOps)
 		}
 		kind := OpKind(rest[0])
 		rest = rest[1:]
@@ -206,39 +263,39 @@ func decodeRequestInto(ops []reqOp, body []byte) ([]reqOp, error) {
 		switch kind {
 		case OpRead, OpSettle, OpStoredKind:
 			if len(rest) < 8 {
-				return ops, truncated(kind)
+				return ops, traceID, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			rest = rest[8:]
 		case OpWrite:
 			if len(rest) < 8+BlockBytes {
-				return ops, truncated(kind)
+				return ops, traceID, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.data = rest[8 : 8+BlockBytes]
 			rest = rest[8+BlockBytes:]
 		case OpReadRange:
 			if len(rest) < 12 {
-				return ops, truncated(kind)
+				return ops, traceID, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.n = binary.LittleEndian.Uint32(rest[8:])
 			if op.n > maxRangeBytes {
-				return ops, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
+				return ops, traceID, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
 			}
 			rest = rest[12:]
 		case OpWriteRange:
 			if len(rest) < 12 {
-				return ops, truncated(kind)
+				return ops, traceID, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.n = binary.LittleEndian.Uint32(rest[8:])
 			if op.n > maxRangeBytes {
-				return ops, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
+				return ops, traceID, fmt.Errorf("copnet: %v of %d bytes exceeds the %d-byte range cap", kind, op.n, maxRangeBytes)
 			}
 			rest = rest[12:]
 			if len(rest) < int(op.n) {
-				return ops, truncated(kind)
+				return ops, traceID, truncated(kind)
 			}
 			op.data = rest[:op.n]
 			rest = rest[op.n:]
@@ -246,25 +303,25 @@ func decodeRequestInto(ops []reqOp, body []byte) ([]reqOp, error) {
 			// no fields
 		case OpInjectBit:
 			if len(rest) < 12 {
-				return ops, truncated(kind)
+				return ops, traceID, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.arg = int32(binary.LittleEndian.Uint32(rest[8:]))
 			rest = rest[12:]
 		case OpInjectChip:
 			if len(rest) < 13 {
-				return ops, truncated(kind)
+				return ops, traceID, truncated(kind)
 			}
 			op.addr = binary.LittleEndian.Uint64(rest)
 			op.arg = int32(binary.LittleEndian.Uint32(rest[8:]))
 			op.pat = rest[12]
 			rest = rest[13:]
 		default:
-			return ops, fmt.Errorf("copnet: unknown op kind %d", kind)
+			return ops, traceID, fmt.Errorf("copnet: unknown op kind %d", kind)
 		}
 		ops = append(ops, op)
 	}
-	return ops, nil
+	return ops, traceID, nil
 }
 
 func truncated(kind OpKind) error {

@@ -509,6 +509,10 @@ func (c *Controller) writebackOpt(victim cache.Line, recycle bool) error {
 			f |= trace.FlagCompressed
 		}
 		c.th.Record(trace.KindEncode, addr, uint32(c.kinds[addr]), f, 0, uint64(c.mode), 0)
+		// The functional store has no device-time model (that lives in
+		// internal/dram for the simulator), so the image write is recorded
+		// with zero bus cycles; the exporter falls back to wall time.
+		c.th.Record(trace.KindDRAMWrite, addr, uint32(c.kinds[addr]), f, 0, 0, 0)
 	}
 	return nil
 }
@@ -871,6 +875,9 @@ func (c *Controller) fill(addr uint64) (cache.Line, ReadInfo, error) {
 		if rinfo.DecodedCompressed {
 			f |= trace.FlagCompressed
 		}
+		// Image fetch precedes decode; zero bus cycles (no device-time
+		// model on the functional path — the exporter uses wall time).
+		c.th.Record(trace.KindDRAMRead, addr, uint32(len(image)), f, 0, 0, 0)
 		c.th.Record(trace.KindDecode, addr, uint32(rinfo.ValidCodewords), f,
 			uint64(rinfo.Corrected), uint64(c.mode), segMask)
 	}

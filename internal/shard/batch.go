@@ -91,6 +91,7 @@ type Txn struct {
 	arg   int32 // bit index (opInjectBit) or chip (opInjectChip)
 	addr  uint64
 	inner uint64
+	flow  uint64 // externally supplied trace flow id; 0 = allocate
 	data  [BlockBytes]byte  // write payload (copied at submit)
 	dst   []byte            // read destination / raw write payload
 	info  *memctrl.ReadInfo // decoder observations (optional)
@@ -565,7 +566,7 @@ func (bs *batchShard) execOne(t *Txn, scratch *[BlockBytes]byte) {
 	switch t.op {
 	case opRead:
 		s.ops.Add(1)
-		s.traceRoute(t.addr, t.inner, 0)
+		s.traceRouteFlow(t.addr, t.inner, 0, t.flow)
 		if t.off == 0 && int(t.n) == BlockBytes {
 			info, err := s.ctrl.ReadInto(t.dst, t.inner)
 			if t.info != nil {
@@ -585,23 +586,23 @@ func (bs *batchShard) execOne(t *Txn, scratch *[BlockBytes]byte) {
 	case opWrite:
 		s.ops.Add(1)
 		if t.off == 0 && int(t.n) == BlockBytes {
-			s.traceRoute(t.addr, t.inner, trace.FlagWrite)
+			s.traceRouteFlow(t.addr, t.inner, trace.FlagWrite, t.flow)
 			t.err = s.ctrl.Write(t.inner, t.data[:])
 			return
 		}
 		// RMW: the internal load is a read and is traced as one; the
 		// store opens its own write-flagged flow (same as WriteBytes).
-		s.traceRoute(t.addr, t.inner, 0)
+		s.traceRouteFlow(t.addr, t.inner, 0, t.flow)
 		if _, err := s.ctrl.ReadInto(scratch[:], t.inner); err != nil {
 			t.err = err
 		} else {
 			copy(scratch[t.off:int(t.off)+int(t.n)], t.data[:t.n])
-			s.traceRoute(t.addr, t.inner, trace.FlagWrite)
+			s.traceRouteFlow(t.addr, t.inner, trace.FlagWrite, t.flow)
 			t.err = s.ctrl.Write(t.inner, scratch[:])
 		}
 	case opWriteRaw:
 		s.ops.Add(1)
-		s.traceRoute(t.addr, t.inner, trace.FlagWrite)
+		s.traceRouteFlow(t.addr, t.inner, trace.FlagWrite, t.flow)
 		t.err = s.ctrl.Write(t.inner, t.dst)
 	case opFlush:
 		t.err = s.ctrl.Flush()
@@ -971,7 +972,16 @@ func (b *Batched) PutGroup(g *Group) {
 // least BlockBytes long). dst must stay untouched until Wait returns.
 // The transaction is filled directly in its ring cell — the submission
 // fast path copies no Txn and allocates nothing.
-func (g *Group) Read(dst []byte, addr uint64) {
+func (g *Group) Read(dst []byte, addr uint64) { g.ReadFlow(dst, addr, 0) }
+
+// ReadFlow is Read with an explicit flight-recorder flow id: the shard
+// route record and everything the controller performs underneath (cache
+// lookup, decode, DRAM commands) join the given flow instead of
+// allocating a fresh one. The networked serve datapath passes wire-derived
+// span ids here; flow 0 behaves exactly like Read. The flow is written
+// unconditionally because ring cells retain value fields from their
+// previous occupant.
+func (g *Group) ReadFlow(dst []byte, addr uint64, flow uint64) {
 	bs, inner, c, pos, ok := g.b.reserve(g, addr)
 	if !ok {
 		return
@@ -982,6 +992,7 @@ func (g *Group) Read(dst []byte, addr uint64) {
 	t.n = BlockBytes
 	t.addr = addr
 	t.inner = inner
+	t.flow = flow
 	t.dst = dst
 	t.g = g
 	bs.publish(c, pos)
@@ -990,7 +1001,11 @@ func (g *Group) Read(dst []byte, addr uint64) {
 // Write enqueues an asynchronous full-block write. data is copied (once,
 // straight into the ring cell) before Write returns, so the caller may
 // reuse the buffer immediately.
-func (g *Group) Write(addr uint64, data []byte) {
+func (g *Group) Write(addr uint64, data []byte) { g.WriteFlow(addr, data, 0) }
+
+// WriteFlow is Write with an explicit flight-recorder flow id (see
+// ReadFlow).
+func (g *Group) WriteFlow(addr uint64, data []byte, flow uint64) {
 	bs, inner, c, pos, ok := g.b.reserve(g, addr)
 	if !ok {
 		return
@@ -998,6 +1013,7 @@ func (g *Group) Write(addr uint64, data []byte) {
 	t := &c.txn
 	t.addr = addr
 	t.inner = inner
+	t.flow = flow
 	t.g = g
 	if len(data) == BlockBytes {
 		t.op = opWrite

@@ -113,8 +113,20 @@ type shardSlot struct {
 // traceRoute records the shard-routing step and opens the access's flow.
 // Must be called with s.mu held (the handle is single-writer).
 func (s *shardSlot) traceRoute(outer, inner uint64, f trace.Flags) {
+	s.traceRouteFlow(outer, inner, f, 0)
+}
+
+// traceRouteFlow is traceRoute with an externally supplied flow id (0 =
+// allocate a fresh one). The batched front-end passes wire trace spans
+// here, so a client-generated id follows the access through every layer's
+// records down to DRAM.
+func (s *shardSlot) traceRouteFlow(outer, inner uint64, f trace.Flags, flow uint64) {
 	if s.th.Enabled() {
-		s.th.BeginOuter()
+		if flow != 0 {
+			s.th.BeginOuterFlow(flow)
+		} else {
+			s.th.BeginOuter()
+		}
 		s.th.Record(trace.KindShardRoute, inner, 0, f, outer, 0, 0)
 	}
 }

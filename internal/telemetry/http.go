@@ -89,6 +89,7 @@ func HandlerWithTracer(src Source, tr *trace.Tracer) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = src.Snapshot().WritePrometheus(w)
+		_ = WriteRuntimeMetrics(w)
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the estimator's contract at its boundaries:
+// empty histograms, out-of-range q, q at/near 0 and 1, and distributions
+// whose entire mass sits in a single bucket.
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+
+	// Non-positive q is 0 regardless of contents; q > 1 clamps to 1.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+	if got := s.Quantile(-0.5); got != 0 {
+		t.Errorf("Quantile(-0.5) = %d, want 0", got)
+	}
+	if s.Quantile(2) != s.Quantile(1) {
+		t.Errorf("Quantile(2) = %d != Quantile(1) = %d", s.Quantile(2), s.Quantile(1))
+	}
+
+	// Single-bucket mass: 1000 lands in [512, 1024); every quantile must
+	// stay inside that bucket's value range.
+	for _, q := range []float64{1e-9, 0.001, 0.5, 0.999, 1} {
+		got := s.Quantile(q)
+		if got < 512 || got > 1024 {
+			t.Errorf("single-bucket Quantile(%g) = %d, want within [512, 1024]", q, got)
+		}
+	}
+	// q = 1 interpolates to the bucket's upper bound.
+	if got := s.Quantile(1); got != 1024 {
+		t.Errorf("Quantile(1) = %d, want 1024", got)
+	}
+
+	// All mass in bucket 0 (value 0): every quantile is exactly 0.
+	var z Histogram
+	for i := 0; i < 10; i++ {
+		z.Observe(0)
+	}
+	zs := z.Snapshot()
+	for _, q := range []float64{1e-9, 0.5, 1} {
+		if got := zs.Quantile(q); got != 0 {
+			t.Errorf("zero-mass Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+
+	// Tiny q on a mixed distribution selects the lowest occupied bucket.
+	var mix Histogram
+	mix.Observe(0)
+	for i := 0; i < 99; i++ {
+		mix.Observe(1 << 20)
+	}
+	ms := mix.Snapshot()
+	if got := ms.Quantile(1e-9); got != 0 {
+		t.Errorf("mixed Quantile(1e-9) = %d, want 0 (lowest bucket)", got)
+	}
+	if got := ms.Quantile(0.999); got < 1<<19 {
+		t.Errorf("mixed Quantile(0.999) = %d, want in the 2^20 bucket", got)
+	}
+}
+
+// TestLiveQuantileMatchesSnapshot: the allocation-free live estimator must
+// agree with the snapshot path on a quiesced histogram, and allocate
+// nothing.
+func TestLiveQuantileMatchesSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 5, 17, 64, 300, 9000, 1 << 20, 1 << 20} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if live, snap := h.Quantile(q), s.Quantile(q); live != snap {
+			t.Errorf("Quantile(%g): live %d != snapshot %d", q, live, snap)
+		}
+	}
+	if h.Count() != 9 {
+		t.Errorf("Count = %d, want 9", h.Count())
+	}
+	if allocs := testing.AllocsPerRun(200, func() { h.Quantile(0.999) }); allocs != 0 {
+		t.Errorf("live Quantile: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":        "plain",
+		`back\slash`:   `back\\slash`,
+		`quo"te`:       `quo\"te`,
+		"new\nline":    `new\nline`,
+		"\\\"\n":       `\\\"\n`,
+		"":             "",
+		"cop-er":       "cop-er",
+		"mixed\\\nend": `mixed\\\nend`,
+	} {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusLabelEscaping: hostile label values (tenant names, scheme
+// strings) must come out escaped in counter, gauge, histogram, and named-
+// histogram samples.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	s := testSnapshot()
+	s.Scheme = "co\"p\\x\n"
+	s.Serve = &ServeStats{
+		Stages: []NamedHistogram{{Name: "win\"dow", Nanos: HistogramSnapshot{Count: 1, Sum: 5, Buckets: []uint64{0, 0, 0, 1}}}},
+	}
+	var sb strings.Builder
+	if err := WritePrometheusVariants(&sb, PromVariant{
+		Labels: []Label{{Name: "tenant", Value: `a"b\c` + "\n"}},
+		Snap:   s,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cop_controller_loads_total{scheme="co\"p\\x\n",tenant="a\"b\\c\n"} 100`,
+		`cop_derived_llc_hit_rate{scheme="co\"p\\x\n",tenant="a\"b\\c\n"} 0.75`,
+		`cop_serve_stage_nanos_bucket{scheme="co\"p\\x\n",tenant="a\"b\\c\n",stage="win\"dow",le="+Inf"} 1`,
+		`cop_dram_access_latency_cycles_bucket{scheme="co\"p\\x\n",tenant="a\"b\\c\n",le="15"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "co\"p") {
+		t.Error("raw unescaped quote leaked into exposition")
+	}
+}
+
+// TestPrometheusVariants: per-tenant series coexist with the merged
+// totals under a single HELP/TYPE header per family.
+func TestPrometheusVariants(t *testing.T) {
+	merged := testSnapshot()
+	ta := testSnapshot()
+	tb := testSnapshot()
+	var sb strings.Builder
+	if err := WritePrometheusVariants(&sb,
+		PromVariant{Snap: merged},
+		PromVariant{Labels: []Label{{Name: "tenant", Value: "alpha"}}, Snap: ta},
+		PromVariant{Labels: []Label{{Name: "tenant", Value: "beta"}}, Snap: tb},
+	); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cop_controller_loads_total{scheme="cop"} 100`,
+		`cop_controller_loads_total{scheme="cop",tenant="alpha"} 100`,
+		`cop_controller_loads_total{scheme="cop",tenant="beta"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE cop_controller_loads_total counter"); n != 1 {
+		t.Errorf("family header emitted %d times, want once", n)
+	}
+}
+
+// TestServeStatsMerge: stage/op families merge by name and unseen names
+// append; SlowFrames and Frame sum.
+func TestServeStatsMerge(t *testing.T) {
+	obs := func(vals ...uint64) HistogramSnapshot {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h.Snapshot()
+	}
+	a := ServeStats{
+		Frame:      obs(100, 200),
+		Stages:     []NamedHistogram{{Name: "window", Nanos: obs(90)}, {Name: "encode", Nanos: obs(10)}},
+		Ops:        []NamedHistogram{{Name: "read", Nanos: obs(90, 95)}},
+		SlowFrames: 1,
+	}
+	b := ServeStats{
+		Frame:      obs(300),
+		Stages:     []NamedHistogram{{Name: "window", Nanos: obs(250)}, {Name: "write", Nanos: obs(5)}},
+		Ops:        []NamedHistogram{{Name: "write", Nanos: obs(240)}},
+		SlowFrames: 2,
+	}
+	a.Merge(b)
+	if a.Frame.Count != 3 || a.SlowFrames != 3 {
+		t.Errorf("frame count %d slow %d, want 3 and 3", a.Frame.Count, a.SlowFrames)
+	}
+	if len(a.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3 (window, encode, write)", len(a.Stages))
+	}
+	if a.Stages[0].Name != "window" || a.Stages[0].Nanos.Count != 2 {
+		t.Errorf("window stage merged wrong: %+v", a.Stages[0])
+	}
+	if a.Stages[2].Name != "write" || a.Stages[2].Nanos.Count != 1 {
+		t.Errorf("appended stage wrong: %+v", a.Stages[2])
+	}
+	if len(a.Ops) != 2 || a.Ops[1].Name != "write" {
+		t.Errorf("ops merged wrong: %+v", a.Ops)
+	}
+
+	// Snapshot.Merge materializes the Serve section.
+	var s Snapshot
+	s.Merge(Snapshot{Serve: &b})
+	if s.Serve == nil || s.Serve.SlowFrames != 2 {
+		t.Errorf("snapshot merge did not materialize Serve: %+v", s.Serve)
+	}
+}
+
+// TestWriteRuntimeMetrics: the runtime health set must render valid
+// exposition lines including the goroutine gauge and the GC pause
+// histogram.
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRuntimeMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"go_goroutines ",
+		"# TYPE go_heap_objects_bytes gauge",
+		"# TYPE go_gc_cycles_total counter",
+		"# TYPE go_gc_pause_seconds histogram",
+		`go_gc_pause_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in runtime exposition:\n%s", want, out)
+		}
+	}
+}

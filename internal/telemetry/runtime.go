@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"strconv"
+)
+
+// Go runtime health exposition: a small fixed set of runtime/metrics
+// samples rendered in the Prometheus text format, appended to /metrics
+// next to the cop counters so serve-path regressions can be separated
+// from GC noise without a second scrape target.
+
+// runtimeMetric maps one runtime/metrics sample to its exposition name.
+type runtimeMetric struct {
+	sample string // runtime/metrics key
+	name   string // exposition metric name
+	help   string
+	kind   string // "gauge", "counter", or "histogram"
+}
+
+var runtimeMetrics = []runtimeMetric{
+	{"/sched/goroutines:goroutines", "go_goroutines", "number of live goroutines", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "bytes occupied by live heap objects", "gauge"},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "total bytes mapped by the Go runtime", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "completed GC cycles", "counter"},
+	{"/gc/pauses:seconds", "go_gc_pause_seconds", "distribution of GC stop-the-world pause latencies", "histogram"},
+}
+
+// WriteRuntimeMetrics renders the runtime health set in the Prometheus
+// text exposition format. Samples the runtime's own metric registry, so
+// unknown keys (older runtimes) are skipped silently.
+func WriteRuntimeMetrics(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeMetrics))
+	for i := range runtimeMetrics {
+		samples[i].Name = runtimeMetrics[i].sample
+	}
+	metrics.Read(samples)
+	for i, m := range runtimeMetrics {
+		v := samples[i].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+				m.name, m.help, m.name, m.kind, m.name, v.Uint64()); err != nil {
+				return err
+			}
+		case metrics.KindFloat64:
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+				m.name, m.help, m.name, m.kind, m.name,
+				strconv.FormatFloat(v.Float64(), 'g', -1, 64)); err != nil {
+				return err
+			}
+		case metrics.KindFloat64Histogram:
+			if err := writeRuntimeHistogram(w, m, v.Float64Histogram()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeRuntimeHistogram renders a runtime Float64Histogram as cumulative
+// Prometheus buckets keyed by each bucket's upper bound. Runtime buckets
+// whose upper bound is +Inf fold into the final +Inf sample.
+func writeRuntimeHistogram(w io.Writer, m runtimeMetric, h *metrics.Float64Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		upper := h.Buckets[i+1]
+		if math.IsInf(upper, 1) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			m.name, strconv.FormatFloat(upper, 'g', -1, 64), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", m.name, cum, m.name, cum)
+	return err
+}

@@ -444,6 +444,60 @@ func (c *NetCounters) Snapshot() NetStats {
 	}
 }
 
+// NamedHistogram is one labeled sub-series of a histogram family: a serve
+// stage ("window", "encode", ...) or a wire op kind ("read", "write", ...).
+// Families merge by name, so per-tenant snapshots sum exactly.
+type NamedHistogram struct {
+	Name  string            `json:"name"`
+	Nanos HistogramSnapshot `json:"nanos"`
+}
+
+// mergeNamed accumulates src into dst name-wise, appending names dst has
+// not seen yet (in src order, so a stable input order stays stable).
+func mergeNamed(dst *[]NamedHistogram, src []NamedHistogram) {
+	for _, o := range src {
+		found := false
+		for i := range *dst {
+			if (*dst)[i].Name == o.Name {
+				(*dst)[i].Nanos.Merge(o.Nanos)
+				found = true
+				break
+			}
+		}
+		if !found {
+			*dst = append(*dst, NamedHistogram{Name: o.Name, Nanos: o.Nanos})
+		}
+	}
+}
+
+// ServeStats is the serve-datapath latency section: wall-clock frame
+// latency, its per-stage decomposition (read/parse, ring wait, window
+// execution, result encode, response write), per-op-kind latency, and the
+// slow-frame count. All values are nanoseconds in power-of-two buckets.
+// Present only on snapshots produced by a network server.
+type ServeStats struct {
+	// Frame is the end-to-end wall-clock distribution per request frame
+	// (body read through response write).
+	Frame HistogramSnapshot `json:"frame_nanos"`
+	// Stages decomposes frame time by datapath stage; a frame contributes
+	// one observation to every stage, so stage counts match Frame.Count.
+	Stages []NamedHistogram `json:"stages,omitempty"`
+	// Ops is the per-op-kind wall-clock distribution: a windowed op's
+	// latency is its window's execution time, a barrier or sequential op's
+	// is its own execution time.
+	Ops []NamedHistogram `json:"ops,omitempty"`
+	// SlowFrames counts frames that crossed the slow-frame threshold.
+	SlowFrames uint64 `json:"slow_frames"`
+}
+
+// Merge accumulates o into s (stage and op families merge by name).
+func (s *ServeStats) Merge(o ServeStats) {
+	s.Frame.Merge(o.Frame)
+	mergeNamed(&s.Stages, o.Stages)
+	mergeNamed(&s.Ops, o.Ops)
+	s.SlowFrames += o.SlowFrames
+}
+
 // DerivedStats are rates computed from the merged monotonic sections.
 // They are recomputed after every merge, never merged themselves.
 type DerivedStats struct {
@@ -473,6 +527,7 @@ type Snapshot struct {
 	Batch      *BatchStats     `json:"batch,omitempty"`
 	Migration  *MigrationStats `json:"migration,omitempty"`
 	Net        *NetStats       `json:"net,omitempty"`
+	Serve      *ServeStats     `json:"serve,omitempty"`
 	Derived    DerivedStats    `json:"derived"`
 }
 
@@ -514,6 +569,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 			s.Net = &NetStats{}
 		}
 		s.Net.Merge(*o.Net)
+	}
+	if o.Serve != nil {
+		if s.Serve == nil {
+			s.Serve = &ServeStats{}
+		}
+		s.Serve.Merge(*o.Serve)
 	}
 	s.Finalize()
 }

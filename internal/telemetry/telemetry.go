@@ -100,6 +100,27 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[b].Add(1)
 }
 
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates the q-th quantile of the live histogram without
+// snapshotting: bucket counts are read into a stack array, so the call is
+// allocation-free and safe on the hot path (the adaptive slow-frame
+// threshold recomputes from it). Concurrent Observe calls may skew the
+// estimate by the in-flight observations; that slack is irrelevant at the
+// tail it is used for.
+func (h *Histogram) Quantile(q float64) uint64 {
+	var raw [HistBuckets]uint64
+	n := 0
+	for i := range raw {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			n = i + 1
+		}
+	}
+	return quantileFrom(h.count.Load(), raw[:n], q)
+}
+
 // Snapshot captures the histogram's current state. Trailing empty buckets
 // are trimmed so snapshots of lightly used histograms stay compact; the
 // trim is stable under Merge (sums of trimmed snapshots trim identically).
@@ -152,15 +173,21 @@ func BucketBound(i int) uint64 {
 // true value — adequate for the p50/p99/p999 latency reporting it exists
 // for. Returns 0 when the histogram is empty.
 func (s HistogramSnapshot) Quantile(q float64) uint64 {
-	if s.Count == 0 || q <= 0 {
+	return quantileFrom(s.Count, s.Buckets, q)
+}
+
+// quantileFrom is the shared quantile core behind HistogramSnapshot.Quantile
+// and the live, allocation-free Histogram.Quantile.
+func quantileFrom(count uint64, buckets []uint64, q float64) uint64 {
+	if count == 0 || q <= 0 {
 		return 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(s.Count)
+	rank := q * float64(count)
 	var cum float64
-	for i, n := range s.Buckets {
+	for i, n := range buckets {
 		if n == 0 {
 			continue
 		}
@@ -177,7 +204,7 @@ func (s HistogramSnapshot) Quantile(q float64) uint64 {
 		cum = next
 	}
 	// Rank beyond the trimmed buckets (floating-point slack): the maximum.
-	if n := len(s.Buckets); n > 1 {
+	if n := len(buckets); n > 1 {
 		return uint64(1) << uint(n-1)
 	}
 	return 0

@@ -132,9 +132,14 @@ func ExportChromeJSON(w io.Writer, recs []Record) error {
 		}
 		switch r.Kind.Layer() {
 		case LayerDRAM:
-			ev.TS = r.Arg0
-			if r.Arg1 > r.Arg0 {
-				ev.Dur = r.Arg1 - r.Arg0
+			// Simulator DRAM records carry bus-cycle begin/end in
+			// Arg0/Arg1; functional-path image accesses carry neither and
+			// stay on the wall clock like every other layer.
+			if r.Arg0 != 0 || r.Arg1 != 0 {
+				ev.TS = r.Arg0
+				if r.Arg1 > r.Arg0 {
+					ev.Dur = r.Arg1 - r.Arg0
+				}
 			}
 		default:
 		}
@@ -143,6 +148,9 @@ func ExportChromeJSON(w io.Writer, recs []Record) error {
 			ev.Dur = 0
 			ev.Scope = "g"
 			ev.Name = "ANOMALY: " + Reason(r.Aux).String()
+		}
+		if r.Kind == KindServeStage {
+			ev.Name = "stage:" + ServeStage(r.Aux).String()
 		}
 		events = append(events, ev)
 	}
@@ -168,7 +176,7 @@ func ExportChromeJSON(w io.Writer, recs []Record) error {
 				TS:    r.Time,
 				ID:    id,
 			}
-			if r.Kind.Layer() == LayerDRAM {
+			if r.Kind.Layer() == LayerDRAM && (r.Arg0 != 0 || r.Arg1 != 0) {
 				ev.TS = r.Arg0
 			}
 			if e.ph == "f" {

@@ -1,0 +1,69 @@
+package trace
+
+import "sort"
+
+// MergeAligned merges a client-side record stream into a server-side one
+// when the two were recorded by different tracers (separate processes,
+// separate logical clocks). Per-op and per-frame flow ids are shared
+// across the wire, so each client record can be re-timed relative to the
+// server records of the same flow:
+//
+//   - submit-side records (KindNetOp, KindNetFrameSend) land just before
+//     the flow's earliest server record,
+//   - receive-side records (KindNetFrameRecv and anything else) land just
+//     after the flow's latest server record,
+//   - client records whose flow never reached the server (errors, drops)
+//     are appended after the global maximum, preserving their order.
+//
+// The result is sorted stably by Time, so per-track timestamps stay
+// monotonic and flow arrows span both sides. When client and server share
+// one tracer (self-serve copload), the streams are already on one clock
+// and this function is unnecessary.
+func MergeAligned(server, client []Record) []Record {
+	type span struct{ min, max uint64 }
+	spans := make(map[uint64]span, 64)
+	var globalMax uint64
+	for _, r := range server {
+		if r.Time > globalMax {
+			globalMax = r.Time
+		}
+		if r.Flow == 0 {
+			continue
+		}
+		s, ok := spans[r.Flow]
+		if !ok {
+			s = span{min: r.Time, max: r.Time}
+		} else {
+			if r.Time < s.min {
+				s.min = r.Time
+			}
+			if r.Time > s.max {
+				s.max = r.Time
+			}
+		}
+		spans[r.Flow] = s
+	}
+	out := make([]Record, 0, len(server)+len(client))
+	out = append(out, server...)
+	unmatched := uint64(0)
+	for _, r := range client {
+		if s, ok := spans[r.Flow]; ok && r.Flow != 0 {
+			switch r.Kind {
+			case KindNetOp, KindNetFrameSend:
+				if s.min > 0 {
+					r.Time = s.min - 1
+				} else {
+					r.Time = 0
+				}
+			default:
+				r.Time = s.max + 1
+			}
+		} else {
+			unmatched++
+			r.Time = globalMax + unmatched
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBeginOuterFlowAdoption: an adopted outer flow must be consumed by the
+// controller-level Begin (no fresh allocation) and carried by subsequent
+// records, exactly like a BeginOuter-allocated one.
+func TestBeginOuterFlowAdoption(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	tr.Start()
+	h := tr.Handle(0)
+
+	const span = 0xDEADBEEF
+	h.BeginOuterFlow(span)
+	h.Record(KindShardRoute, 1, 0, 0, 0, 0, 0)
+	h.Begin() // must consume the pending adopted flow, not allocate
+	h.Record(KindLoad, 1, 0, 0, 0, 0, 0)
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	for i, r := range recs {
+		if r.Flow != span {
+			t.Errorf("record %d flow = %#x, want %#x", i, r.Flow, span)
+		}
+	}
+	if tr.LastFlow() != 0 {
+		t.Errorf("adopted flow allocated an id: LastFlow = %d", tr.LastFlow())
+	}
+
+	// Disabled handle: BeginOuterFlow is a no-op.
+	tr.Stop()
+	h.BeginOuterFlow(7)
+	if h.Flow() == 7 {
+		t.Error("BeginOuterFlow mutated flow state while disabled")
+	}
+	var nilH *Handle
+	nilH.BeginOuterFlow(1) // must not panic
+}
+
+// TestRecordFlow: explicit-flow records carry the given flow and leave the
+// handle's own flow state untouched (concurrent-writer safety contract).
+func TestRecordFlow(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	tr.Start()
+	h := tr.Handle(0)
+	h.BeginOuter()
+	own := h.Flow()
+
+	h.RecordFlow(KindNetFrameBegin, 42, 0, 3, 0, 99, 0, 0)
+	if h.Flow() != own {
+		t.Errorf("RecordFlow mutated handle flow: %d, want %d", h.Flow(), own)
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 1 || recs[0].Flow != 42 || recs[0].Kind != KindNetFrameBegin || recs[0].Arg0 != 99 {
+		t.Fatalf("recorded %+v", recs)
+	}
+
+	var nilH *Handle
+	nilH.RecordFlow(KindNetOp, 1, 0, 0, 0, 0, 0, 0) // must not panic
+}
+
+// TestNetKindsLayerAndNames: every net-layer kind maps to LayerNet with a
+// non-default name, and serve stages have canonical names.
+func TestNetKindsLayerAndNames(t *testing.T) {
+	for _, k := range []Kind{KindNetOp, KindNetFrameSend, KindNetFrameRecv,
+		KindNetFrameBegin, KindNetFrameEnd, KindServeStage} {
+		if k.Layer() != LayerNet {
+			t.Errorf("%v layer = %v, want LayerNet", k, k.Layer())
+		}
+		if k.String() == "kind?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if LayerNet.String() != "net" {
+		t.Errorf("LayerNet = %q", LayerNet.String())
+	}
+	want := []string{"read", "parse", "ring-wait", "window", "encode", "write"}
+	for i, w := range want {
+		if got := ServeStage(i).String(); got != w {
+			t.Errorf("ServeStage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if ReasonSlowFrame.String() != "slow-frame" {
+		t.Errorf("ReasonSlowFrame = %q", ReasonSlowFrame.String())
+	}
+}
+
+// TestMergeAligned: client records re-time into the server's clock domain
+// around their flow's server records; unmatched client flows append after
+// the global maximum; the merge exports as valid Chrome JSON.
+func TestMergeAligned(t *testing.T) {
+	server := []Record{
+		{Time: 10, Flow: 5, Kind: KindNetFrameBegin},
+		{Time: 11, Flow: 5, Kind: KindShardRoute},
+		{Time: 20, Flow: 5, Kind: KindNetFrameEnd},
+		{Time: 30, Flow: 0, Kind: KindBatchBegin},
+	}
+	client := []Record{
+		{Time: 1, Flow: 5, Kind: KindNetFrameSend, Shard: 0},
+		{Time: 2, Flow: 5, Kind: KindNetFrameRecv, Shard: 0},
+		{Time: 3, Flow: 77, Kind: KindNetFrameSend, Shard: 0}, // never reached server
+	}
+	out := MergeAligned(server, client)
+	if len(out) != 7 {
+		t.Fatalf("merged %d records, want 7", len(out))
+	}
+	times := map[Kind]uint64{}
+	for _, r := range out {
+		if r.Flow == 5 || r.Flow == 77 {
+			if r.Kind == KindNetFrameSend && r.Flow == 77 {
+				if r.Time <= 30 {
+					t.Errorf("unmatched client record at %d, want > 30", r.Time)
+				}
+				continue
+			}
+			times[r.Kind] = r.Time
+		}
+	}
+	if times[KindNetFrameSend] != 9 {
+		t.Errorf("send re-timed to %d, want 9 (min-1)", times[KindNetFrameSend])
+	}
+	if times[KindNetFrameRecv] != 21 {
+		t.Errorf("recv re-timed to %d, want 21 (max+1)", times[KindNetFrameRecv])
+	}
+	// Sorted by time.
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Fatalf("merge not sorted at %d: %d < %d", i, out[i].Time, out[i-1].Time)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ExportChromeJSON(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeJSON(buf.Bytes()); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+}

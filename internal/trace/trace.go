@@ -93,6 +93,15 @@ type Kind uint8
 //	KindMigrateBegin Aux=pending block count, Arg0=from mode, Arg1=to mode
 //	KindMigrateChunk Aux=blocks converted this chunk, Arg0=blocks remaining
 //	KindMigrateEnd   Aux=total blocks migrated
+//	KindNetOp        client queued one wire op; Aux=op kind, Arg0=op index,
+//	                 Flow=the op's span id
+//	KindNetFrameSend client handed a frame to the transport; Aux=op count,
+//	                 Flow=the frame span id
+//	KindNetFrameRecv client parsed the response; Aux=op count
+//	KindNetFrameBegin server decoded a traced frame; Aux=op count,
+//	                 Arg0=wire trace id
+//	KindNetFrameEnd  server wrote the response; Aux=op count, Arg0=total ns
+//	KindServeStage   one serve-datapath stage; Aux=ServeStage, Arg0=ns
 const (
 	KindNone Kind = iota
 	KindShardRoute
@@ -122,6 +131,12 @@ const (
 	KindMigrateBegin
 	KindMigrateChunk
 	KindMigrateEnd
+	KindNetOp
+	KindNetFrameSend
+	KindNetFrameRecv
+	KindNetFrameBegin
+	KindNetFrameEnd
+	KindServeStage
 
 	numKinds
 )
@@ -155,6 +170,12 @@ var kindNames = [numKinds]string{
 	KindMigrateBegin:  "migrate-begin",
 	KindMigrateChunk:  "migrate-chunk",
 	KindMigrateEnd:    "migrate-end",
+	KindNetOp:         "net-op",
+	KindNetFrameSend:  "net-send",
+	KindNetFrameRecv:  "net-recv",
+	KindNetFrameBegin: "net-begin",
+	KindNetFrameEnd:   "net-end",
+	KindServeStage:    "serve-stage",
 }
 
 // String returns the short event name used in exported traces.
@@ -171,7 +192,8 @@ type Layer uint8
 
 // Layers, ordered top (request entry) to bottom (DRAM devices).
 const (
-	LayerShard Layer = iota
+	LayerNet Layer = iota
+	LayerShard
 	LayerMemctrl
 	LayerCache
 	LayerCodec
@@ -182,6 +204,7 @@ const (
 )
 
 var layerNames = [numLayers]string{
+	LayerNet:     "net",
 	LayerShard:   "shard",
 	LayerMemctrl: "memctrl",
 	LayerCache:   "cache",
@@ -216,6 +239,9 @@ func (k Kind) Layer() Layer {
 		return LayerDRAM
 	case KindRegionAlloc, KindRegionFree:
 		return LayerRegion
+	case KindNetOp, KindNetFrameSend, KindNetFrameRecv,
+		KindNetFrameBegin, KindNetFrameEnd, KindServeStage:
+		return LayerNet
 	}
 	return LayerMemctrl
 }
@@ -278,6 +304,9 @@ const (
 	ReasonAliasBurst
 	// ReasonManual: an explicit TriggerAnomaly call (CLI, tests).
 	ReasonManual
+	// ReasonSlowFrame: a serve frame crossed the slow-frame latency
+	// threshold with freeze-on-slow enabled.
+	ReasonSlowFrame
 
 	numReasons
 )
@@ -288,6 +317,7 @@ var reasonNames = [numReasons]string{
 	ReasonSilentCorruption: "silent-corruption",
 	ReasonAliasBurst:       "alias-burst",
 	ReasonManual:           "manual",
+	ReasonSlowFrame:        "slow-frame",
 }
 
 // String names the reason.
@@ -296,6 +326,39 @@ func (r Reason) String() string {
 		return reasonNames[r]
 	}
 	return "reason?"
+}
+
+// ServeStage identifies one stage of the networked serve datapath in
+// KindServeStage records (Aux) and gives the canonical stage names shared
+// by trace exports and the telemetry stage histograms.
+type ServeStage uint8
+
+// Serve-datapath stages in execution order.
+const (
+	StageRead     ServeStage = iota // request body read
+	StageParse                      // frame header + op decode
+	StageRingWait                   // window submission into shard rings
+	StageWindow                     // window/barrier execution (Group.Wait)
+	StageEncode                     // response frame encode
+	StageWrite                      // response write to the client
+	NumServeStages
+)
+
+var serveStageNames = [NumServeStages]string{
+	StageRead:     "read",
+	StageParse:    "parse",
+	StageRingWait: "ring-wait",
+	StageWindow:   "window",
+	StageEncode:   "encode",
+	StageWrite:    "write",
+}
+
+// String returns the stage's canonical name.
+func (s ServeStage) String() string {
+	if int(s) < len(serveStageNames) {
+		return serveStageNames[s]
+	}
+	return "stage?"
 }
 
 // Config sizes a Tracer. The zero value is usable.
@@ -639,6 +702,19 @@ func (h *Handle) BeginOuter() {
 	h.pending = true
 }
 
+// BeginOuterFlow is BeginOuter with an externally supplied flow id — the
+// networked front door adopts a client-derived span id here instead of
+// allocating one, so the same flow links client, wire, shard, and DRAM
+// records. Like BeginOuter it marks the flow pending for the controller
+// underneath.
+func (h *Handle) BeginOuterFlow(id uint64) {
+	if !h.Enabled() {
+		return
+	}
+	h.flow = id
+	h.pending = true
+}
+
 // Begin starts the controller-level flow: it consumes a pending outer flow
 // if the shard router opened one, otherwise allocates a fresh flow id (the
 // unsharded, direct-controller case).
@@ -711,6 +787,33 @@ func (h *Handle) Record(k Kind, addr uint64, aux uint32, flags Flags, arg0, arg1
 	case KindAliasRetained:
 		t.noteAliasRetained(now, addr)
 	}
+}
+
+// RecordFlow appends one trace record carrying an explicit flow id without
+// touching the handle's flow state. Unlike Record it is safe for multiple
+// concurrent writers sharing a handle (ring appends are mutex-serialized;
+// there is no per-handle state to race on) — the HTTP serve path uses it
+// from request goroutines.
+func (h *Handle) RecordFlow(k Kind, flow, addr uint64, aux uint32, flags Flags, arg0, arg1, arg2 uint64) {
+	if !h.Enabled() {
+		return
+	}
+	t := h.t
+	if t.frozen.Load() {
+		return
+	}
+	h.ring.append(Record{
+		Time:  t.clock.Add(1),
+		Flow:  flow,
+		Addr:  addr,
+		Arg0:  arg0,
+		Arg1:  arg1,
+		Arg2:  arg2,
+		Kind:  k,
+		Shard: h.shard,
+		Flags: flags,
+		Aux:   aux,
+	})
 }
 
 // TriggerAnomaly freezes the owning tracer (nil-safe convenience for layers
